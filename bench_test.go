@@ -1,0 +1,296 @@
+// Benchmarks, one per paper artifact plus the hot-path primitives. Each
+// table/figure bench runs a reduced-size instance of the same code path the
+// mnnsim subcommand drives, so `go test -bench=.` exercises the full
+// reproduction pipeline; EXPERIMENTS.md records the full-size runs.
+package mnn
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/nn"
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// --- Hot-path primitives -------------------------------------------------
+
+func BenchmarkWordDivMod(b *testing.B) {
+	w := core.Pow2Word(200)
+	w.AddShifted(12345678, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = w.DivModU64(1011)
+	}
+}
+
+func BenchmarkEncodeCorrectDecode(b *testing.B) {
+	code, err := core.NewStaticCode(16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, _ := code.EncodeU64(40000)
+	bad, _ := enc.Add(core.Pow2Word(9))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fixed, _ := code.Correct(bad)
+		_, _ = code.Decode(fixed)
+	}
+}
+
+func BenchmarkRowSample(b *testing.B) {
+	s, err := noise.NewRowSampler(noise.DefaultDeviceParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	counts := []int{32, 32, 32, 32}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SampleError(rng, counts)
+	}
+}
+
+func BenchmarkDataAwareTableBuild(b *testing.B) {
+	spec := core.DataAwareSpec{}
+	for r := 0; r < 96; r++ {
+		spec.Rows = append(spec.Rows, core.RowErr{
+			BitOffset: 2 * r,
+			StepProb:  [4]float64{1e-4 * float64(r%7+1), 1e-5, 1e-6, 1e-7},
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.BuildDataAwareTable(337, 3, spec)
+	}
+}
+
+func BenchmarkASearchHardwareCandidates(b *testing.B) {
+	spec := core.DataAwareSpec{}
+	for r := 0; r < 96; r++ {
+		spec.Rows = append(spec.Rows, core.RowErr{
+			BitOffset: 2 * r,
+			StepProb:  [4]float64{1e-4, 1e-5, 1e-6, 1e-7},
+		})
+	}
+	cands := core.HardwareCandidateAs(9, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.SearchA(9, 3, spec, cands)
+	}
+}
+
+// benchMatrix maps an 8x112 matrix once and reuses it across iterations.
+func benchMatrix(b *testing.B, s accel.Scheme, bits int) (*accel.MappedMatrix, []float64, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	W := make([]float64, 8*112)
+	for i := range W {
+		W[i] = rng.NormFloat64() * 0.01
+	}
+	cfg := accel.DefaultConfig(s)
+	cfg.Device.BitsPerCell = bits
+	m, err := accel.MapMatrix(cfg, 8, 112, func(r, c int) float64 { return W[r*112+c] }, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 112)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return m, x, make([]int, cfg.Device.NumLevels())
+}
+
+func BenchmarkNoisyMVMNoECC(b *testing.B) {
+	m, x, counts := benchMatrix(b, accel.SchemeNoECC(), 2)
+	rng := stats.NewRNG(1)
+	var st accel.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MVM(x, rng, counts, &st)
+	}
+}
+
+func BenchmarkNoisyMVMABN9(b *testing.B) {
+	m, x, counts := benchMatrix(b, accel.SchemeABN(9), 2)
+	rng := stats.NewRNG(1)
+	var st accel.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MVM(x, rng, counts, &st)
+	}
+}
+
+func BenchmarkMapMatrixABN9(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	W := make([]float64, 8*112)
+	for i := range W {
+		W[i] = rng.NormFloat64() * 0.01
+	}
+	cfg := accel.DefaultConfig(accel.SchemeABN(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := accel.MapMatrix(cfg, 8, 112, func(r, c int) float64 { return W[r*112+c] }, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Per-figure/table benches (reduced-size instances) --------------------
+
+// benchWorkload is a small trained model reused by the experiment benches.
+func benchWorkload(b *testing.B) expt.Workload {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(3, 3))
+	net := &nn.Network{Name: "bench", InShape: []int{16},
+		Layers: []nn.Layer{nn.NewDense(16, 12, rng), &nn.ReLU{}, nn.NewDense(12, 4, rng)}}
+	var train, test []nn.Example
+	for i := 0; i < 160; i++ {
+		x := make([]float64, 16)
+		label := i % 4
+		for j := range x {
+			x[j] = rng.Float64() * 0.3
+		}
+		x[label*4] += 0.8
+		ex := nn.Example{Input: nn.FromSlice(x, 16), Label: label}
+		if i < 120 {
+			train = append(train, ex)
+		} else {
+			test = append(test, ex)
+		}
+	}
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 8
+	nn.Train(net, train, cfg)
+	return expt.Workload{Name: "bench", Net: net, Test: test}
+}
+
+// BenchmarkFig7RowTransient regenerates a shortened Figure 7 transient.
+func BenchmarkFig7RowTransient(b *testing.B) {
+	cfg := circuit.DefaultConfig()
+	cfg.Duration = 0.02
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := circuit.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10MisclassSweep runs one fault-free Figure 10 cell
+// (ABN-9 at 2 bits per cell) on the bench workload.
+func BenchmarkFig10MisclassSweep(b *testing.B) {
+	w := benchWorkload(b)
+	dev := noise.DefaultDeviceParams()
+	dev.BitsPerCell = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.EvaluateScheme(w, expt.EvalConfig{
+			Device: dev, Scheme: accel.SchemeABN(9), Images: 20, Seed: 1, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11FaultSweep runs one faulty Figure 11 cell (0.1% stuck).
+func BenchmarkFig11FaultSweep(b *testing.B) {
+	w := benchWorkload(b)
+	dev := noise.DefaultDeviceParams()
+	dev.BitsPerCell = 2
+	dev.FailureRate = 0.001
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.EvaluateScheme(w, expt.EvalConfig{
+			Device: dev, Scheme: accel.SchemeABN(9), Images: 20, Seed: 1, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12Sensitivity runs one Figure 12 sensitivity point.
+func BenchmarkFig12Sensitivity(b *testing.B) {
+	w := benchWorkload(b)
+	dev := noise.DefaultDeviceParams()
+	dev.BitsPerCell = 2
+	dev.DeltaRLoFrac = 0.042
+	dev.GiantDeltaR = 0.5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.EvaluateScheme(w, expt.EvalConfig{
+			Device: dev, Scheme: accel.SchemeABN(10), Images: 20, Seed: 1, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3MiniAlexNet runs a shrunken Table III point: the AlexNet
+// stand-in architecture evaluated on a handful of images under ABN-9.
+func BenchmarkTable3MiniAlexNet(b *testing.B) {
+	net := nn.NewMiniAlexNet(1, 8)
+	rng := rand.New(rand.NewPCG(2, 2))
+	var test []nn.Example
+	for i := 0; i < 4; i++ {
+		x := nn.NewTensor(3, 32, 32)
+		for j := range x.Data {
+			x.Data[j] = rng.Float64()
+		}
+		test = append(test, nn.Example{Input: x, Label: i % 8})
+	}
+	w := expt.Workload{Name: "alex", Net: net, Test: test}
+	dev := noise.DefaultDeviceParams()
+	dev.BitsPerCell = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.EvaluateScheme(w, expt.EvalConfig{
+			Device: dev, Scheme: accel.SchemeABN(9), Images: 2, Seed: 1, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4HWModel evaluates the hardware cost model.
+func BenchmarkTable4HWModel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = expt.RunTable4()
+	}
+}
+
+// BenchmarkAblations runs the zero-guard ablation cell (the cheapest
+// variant that exercises a distinct code path).
+func BenchmarkAblations(b *testing.B) {
+	w := benchWorkload(b)
+	dev := noise.DefaultDeviceParams()
+	dev.BitsPerCell = 2
+	sch := accel.SchemeABN(9)
+	sch.ZeroGuard = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.EvaluateScheme(w, expt.EvalConfig{
+			Device: dev, Scheme: sch, Images: 10, Seed: 1, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSoftwareForward is the float baseline for the MVM benches.
+func BenchmarkSoftwareForward(b *testing.B) {
+	w := benchWorkload(b)
+	x := w.Test[0].Input
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Net.Forward(x)
+	}
+}

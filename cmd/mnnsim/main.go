@@ -1,0 +1,226 @@
+// Command mnnsim regenerates the tables and figures of "Making Memristive
+// Neural Network Accelerators Reliable" (HPCA 2018) on the simulated
+// substrate. Each subcommand reproduces one artifact:
+//
+//	mnnsim fig7    — 128-cell row current transient (Figure 7 / Section IV)
+//	mnnsim fig10   — misclassification sweep, fault free (Figure 10)
+//	mnnsim fig11   — misclassification sweep with 0.1% stuck cells (Figure 11)
+//	mnnsim fig12   — MLP1 RTN sensitivity (Figure 12)
+//	mnnsim table3  — MiniAlexNet top-1/top-5 (Table III)
+//	mnnsim table4  — ECU area/power and overheads (Table IV, Section VIII-B)
+//	mnnsim sec4    — row error-rate distribution summary (Section IV)
+//	mnnsim ablate  — design-choice ablations (DESIGN.md)
+//	mnnsim all     — everything above
+//
+// Results print to stdout; CSVs land under -out when set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/accel"
+	"repro/internal/circuit"
+	"repro/internal/expt"
+	"repro/internal/hwmodel"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mnnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mnnsim", flag.ContinueOnError)
+	images := fs.Int("images", 300, "test images per Monte-Carlo cell")
+	trainN := fs.Int("train", 4000, "training examples per dataset")
+	epochs := fs.Int("epochs", 5, "training epochs")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	bits := fs.String("bits", "1,2,3,4,5", "comma-separated bits-per-cell sweep")
+	outDir := fs.String("out", "", "directory for CSV outputs (optional)")
+	cache := fs.String("cache", "testdata/weights", "trained-weight cache directory")
+	quiet := fs.Bool("q", false, "suppress progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|all)")
+	}
+
+	opt := expt.DefaultSweepOptions()
+	opt.Images = *images
+	opt.Seed = *seed
+	opt.Train.Seed = *seed + 41
+	opt.Train.Train = *trainN
+	opt.Train.Epochs = *epochs
+	opt.Train.CacheDir = *cache
+	opt.Train.Log = os.Stderr
+	if !*quiet {
+		opt.Progress = expt.Progress{W: os.Stderr}
+	}
+	var bitList []int
+	for _, tok := range splitCSV(*bits) {
+		var b int
+		if _, err := fmt.Sscanf(tok, "%d", &b); err != nil {
+			return fmt.Errorf("bad -bits entry %q", tok)
+		}
+		bitList = append(bitList, b)
+	}
+	opt.Bits = bitList
+
+	cmds := fs.Args()
+	if len(cmds) == 1 && cmds[0] == "all" {
+		cmds = []string{"fig7", "sec4", "table4", "fig10", "fig11", "fig12", "table3", "ablate"}
+	}
+	for _, cmd := range cmds {
+		if err := dispatch(cmd, opt, *outDir); err != nil {
+			return fmt.Errorf("%s: %w", cmd, err)
+		}
+	}
+	return nil
+}
+
+func dispatch(cmd string, opt expt.SweepOptions, outDir string) error {
+	switch cmd {
+	case "fig7":
+		res, err := expt.RunFig7(circuit.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		expt.RenderFig7(os.Stdout, res)
+		return writeCSV(outDir, "fig7.csv", func(f *os.File) error {
+			return expt.WriteFig7CSV(f, res)
+		})
+	case "sec4":
+		cfg := circuit.DefaultConfig()
+		cfg.Duration = 2.0
+		res, err := expt.RunFig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nSection IV row error distribution (2 s transient)\n")
+		fmt.Printf("total %.2f%%  high %.2f%%  low %.2f%%  (paper: 14.5%%, 13.9%%, 0.51%%)\n",
+			100*res.TotalRate, 100*res.HighRate, 100*res.LowRate)
+		return nil
+	case "fig10":
+		cells, err := expt.RunFig10(opt)
+		if err != nil {
+			return err
+		}
+		expt.RenderSweep(os.Stdout, cells)
+		return writeCSV(outDir, "fig10.csv", func(f *os.File) error {
+			return expt.WriteSweepCSV(f, cells)
+		})
+	case "fig11":
+		cells, err := expt.RunFig11(opt)
+		if err != nil {
+			return err
+		}
+		expt.RenderSweep(os.Stdout, cells)
+		return writeCSV(outDir, "fig11.csv", func(f *os.File) error {
+			return expt.WriteSweepCSV(f, cells)
+		})
+	case "fig12":
+		pts, err := expt.RunFig12(opt)
+		if err != nil {
+			return err
+		}
+		expt.RenderFig12(os.Stdout, pts)
+		return nil
+	case "table3":
+		res, err := expt.RunTable3(opt)
+		if err != nil {
+			return err
+		}
+		expt.RenderTable3(os.Stdout, res)
+		return nil
+	case "table4":
+		expt.RenderTable4(os.Stdout, expt.RunTable4())
+		return nil
+	case "budget":
+		workloads, err := expt.DigitWorkloads(opt.Train)
+		if err != nil {
+			return err
+		}
+		tech := hwmodel.Default32nm()
+		tile := hwmodel.DefaultTileConfig()
+		spec := hwmodel.DefaultECUSpec()
+		lat := hwmodel.DefaultLatencyModel()
+		fmt.Printf("\nHardware budget per workload (ABN-9, 2-bit cells, 32 nm)\n")
+		fmt.Printf("%-8s %8s %8s %6s %6s %12s %10s %14s\n",
+			"net", "rows", "arrays", "IMAs", "tiles", "area (mm2)", "power (W)", "latency (us)")
+		for _, w := range workloads {
+			acfg := accel.DefaultConfig(accel.SchemeABN(9))
+			eng, err := accel.Map(w.Net, acfg)
+			if err != nil {
+				return err
+			}
+			fp := tech.PlanNetwork(eng.PhysicalRows, eng.NumGroups(), tile, spec)
+			reads := eng.NumGroups() * acfg.InputBits
+			l := lat.InferenceLatency(reads, 0, fp.IMAs)
+			fmt.Printf("%-8s %8d %8d %6d %6d %12.2f %10.2f %14.2f\n",
+				w.Name, fp.PhysicalRows, fp.Arrays, fp.IMAs, fp.Tiles,
+				fp.Area.AreaMM2, fp.Area.PowerMW/1000, l*1e6)
+		}
+		fmt.Printf("\ninference-only lifetime at weekly reprogramming, 1e6 endurance: %.0f years\n",
+			hwmodel.SystemLifetimeYears(1e6, 1.0/7))
+		return nil
+	case "ablate":
+		workloads, err := expt.DigitWorkloads(opt.Train)
+		if err != nil {
+			return err
+		}
+		res, err := expt.RunAblations(workloads[0], opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nDesign-choice ablations (%s, 2-bit cells)\n", workloads[0].Name)
+		for _, r := range res {
+			fmt.Printf("%-12s miss=%.4f drift=%.4g corrected=%d detected=%d retries=%d\n",
+				r.Name, r.Cell.MissRate(), r.Cell.Drift.Mean(),
+				r.Cell.Stats.Corrected, r.Cell.Stats.Detected, r.Cell.Stats.Retries)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func writeCSV(dir, name string, write func(*os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

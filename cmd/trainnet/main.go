@@ -1,0 +1,48 @@
+// Command trainnet trains the Table II workloads on the synthetic datasets
+// and caches the weights for the experiment harness (mnnsim uses the same
+// cache), so the expensive training step runs once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expt"
+	"repro/internal/nn"
+)
+
+func main() {
+	train := flag.Int("train", 4000, "training examples per dataset")
+	test := flag.Int("test", 1000, "held-out examples")
+	epochs := flag.Int("epochs", 5, "training epochs")
+	seed := flag.Uint64("seed", 42, "training seed")
+	classes := flag.Int("classes", 40, "object classes for MiniAlexNet")
+	cache := flag.String("cache", "testdata/weights", "weight cache directory")
+	alex := flag.Bool("alexnet", true, "also train MiniAlexNet (slow)")
+	flag.Parse()
+
+	opt := expt.TrainOptions{
+		Seed: *seed, Train: *train, Test: *test, Epochs: *epochs,
+		Classes: *classes, CacheDir: *cache, Log: os.Stderr,
+	}
+	workloads, err := expt.DigitWorkloads(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainnet:", err)
+		os.Exit(1)
+	}
+	for _, w := range workloads {
+		fmt.Printf("%-12s %8d params  software misclassification %.4f\n",
+			w.Name, w.Net.NumParams(), nn.Evaluate(w.Net, w.Test))
+	}
+	if *alex {
+		w, err := expt.ObjectWorkload(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainnet:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %8d params  top-1 %.4f  top-5 %.4f\n",
+			w.Name, w.Net.NumParams(),
+			nn.Evaluate(w.Net, w.Test), nn.EvaluateTopK(w.Net, w.Test, 5))
+	}
+}

@@ -1,0 +1,51 @@
+package mnn_test
+
+import (
+	"fmt"
+
+	mnn "repro"
+)
+
+// The paper's Figure 4 walk-through: encode with A=19, corrupt, correct.
+func ExampleNewStaticTable() {
+	table, _ := mnn.NewStaticTable(19, 9)
+	code := &mnn.Code{A: 19, B: 1, Table: table}
+	enc, _ := code.EncodeU64(26)
+	bad, _ := enc.Add(mnn.WordFromU64(2))
+	fixed, status := code.Correct(bad)
+	dec, _ := code.Decode(fixed)
+	fmt.Println(enc, bad, status, dec)
+	// Output: 494 496 corrected 26
+}
+
+// AN codes conserve addition; that is the whole trick.
+func ExampleCode_Encode() {
+	table, _ := mnn.NewStaticTable(19, 9)
+	code := &mnn.Code{A: 19, B: 1, Table: table}
+	x, _ := code.EncodeU64(11)
+	y, _ := code.EncodeU64(15)
+	sum, _ := x.Add(y)
+	xy, _ := code.EncodeU64(26)
+	fmt.Println(sum == xy)
+	// Output: true
+}
+
+// The minimal single-error-correcting A values the paper cites.
+func ExampleMinimalSingleErrorA() {
+	fmt.Println(mnn.MinimalSingleErrorA(9, 1), mnn.MinimalSingleErrorA(39, 1))
+	// Output: 19 79
+}
+
+// SECDED does not conserve addition (paper Section III, Figure 5).
+func ExampleHamming84Encode() {
+	sum := uint64(mnn.Hamming84Encode(3)) + uint64(mnn.Hamming84Encode(4))
+	direct := uint64(mnn.Hamming84Encode(7))
+	fmt.Println(sum == direct)
+	// Output: false
+}
+
+// The endurance analysis of Section II-C6.
+func ExampleSystemLifetimeYears() {
+	fmt.Printf("%.1f\n", mnn.SystemLifetimeYears(1e6, 1827))
+	// Output: 1.5
+}

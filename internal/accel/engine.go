@@ -1,0 +1,123 @@
+package accel
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+// Engine holds a network whose dense and convolutional layers have been
+// mapped onto simulated crossbar hardware. Mapping (quantization, fault
+// injection, A search, table construction, programming) happens once;
+// Sessions then evaluate inputs concurrently against the shared arrays.
+type Engine struct {
+	cfg    Config
+	net    *nn.Network
+	mapped map[int]*MappedMatrix
+	// PhysicalRows is the total mapped word-line count (hardware-model
+	// bookkeeping).
+	PhysicalRows int
+}
+
+// Map programs every MVM-capable layer of the network onto crossbars.
+func Map(net *nn.Network, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, net: net, mapped: make(map[int]*MappedMatrix)}
+	for i, l := range net.Layers {
+		layerCfg := cfg
+		if override, ok := cfg.LayerSchemes[i]; ok {
+			layerCfg.Scheme = override
+		}
+		var m *MappedMatrix
+		var err error
+		switch v := l.(type) {
+		case *nn.Dense:
+			m, err = MapMatrix(layerCfg, v.Out, v.In, v.WeightAt, uint64(i))
+		case *nn.Conv2D:
+			m, err = MapMatrix(layerCfg, v.OutC, v.PatchLen(), v.WeightAt, uint64(i))
+		default:
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("accel: mapping layer %d (%s): %w", i, l.Name(), err)
+		}
+		e.mapped[i] = m
+		e.PhysicalRows += m.PhysicalRows
+	}
+	if len(e.mapped) == 0 {
+		return nil, fmt.Errorf("accel: network %s has no mappable layers", net.Name)
+	}
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Mapped returns the mapped matrix of a layer index (nil if unmapped).
+func (e *Engine) Mapped(layer int) *MappedMatrix { return e.mapped[layer] }
+
+// NumGroups returns the total coded-group count across all layers.
+func (e *Engine) NumGroups() int {
+	n := 0
+	for _, m := range e.mapped {
+		n += m.NumGroups()
+	}
+	return n
+}
+
+// Session is one concurrent evaluation stream: it owns an RNG, scratch
+// buffers, a forward-pass clone of the network, and its own statistics.
+type Session struct {
+	engine *Engine
+	net    *nn.Network
+	rng    *rand.Rand
+	counts []int
+	mvms   map[int]nn.MVMFunc
+	// Stats accumulates ECU and row-error tallies across all inputs this
+	// session evaluated.
+	Stats Stats
+}
+
+// NewSession creates an evaluation stream with its own noise RNG.
+func (e *Engine) NewSession(seed uint64) *Session {
+	s := &Session{
+		engine: e,
+		net:    e.net.CloneForInference(),
+		rng:    stats.SubRNG(e.cfg.Seed, seed),
+		counts: make([]int, e.cfg.Device.NumLevels()),
+	}
+	s.mvms = make(map[int]nn.MVMFunc, len(e.mapped))
+	for idx, m := range e.mapped {
+		mm := m
+		s.mvms[idx] = func(x []float64) []float64 {
+			return mm.MVM(x, s.rng, s.counts, &s.Stats)
+		}
+	}
+	return s
+}
+
+// Reseed repoints the session's noise stream, so callers can key the
+// stream to work items (for example one stream per test image) and make
+// results independent of how work is distributed across sessions.
+func (s *Session) Reseed(stream uint64) {
+	s.rng = stats.SubRNG(s.engine.cfg.Seed, stream)
+}
+
+// Forward runs one noisy inference pass.
+func (s *Session) Forward(x *nn.Tensor) *nn.Tensor {
+	return s.net.ForwardWith(x, s.mvms)
+}
+
+// Predict returns the argmax class under the noisy hardware.
+func (s *Session) Predict(x *nn.Tensor) int {
+	return s.Forward(x).ArgMax()
+}
+
+// PredictTopK returns the k highest-scoring classes.
+func (s *Session) PredictTopK(x *nn.Tensor, k int) []int {
+	return s.Forward(x).TopK(k)
+}

@@ -1,0 +1,669 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/crossbar"
+	"repro/internal/fixed"
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// Stats tallies the ECU and error-injection activity of a simulation run.
+type Stats struct {
+	// RowReads counts simulated physical-row ADC conversions.
+	RowReads uint64
+	// RowErrors counts reads whose quantized output deviated from ideal.
+	RowErrors uint64
+	// Clean, Corrected, Detected count ECU outcomes per reduced group
+	// read (Figure 9 pipeline results).
+	Clean, Corrected, Detected uint64
+	// Retries counts re-reads triggered by detected-uncorrectable errors.
+	Retries uint64
+	// Residual counts decodes whose remainder was nonzero — errors that
+	// slipped past (or were reverted by) the ECU.
+	Residual uint64
+}
+
+// Merge adds another stats block.
+func (s *Stats) Merge(o Stats) {
+	s.RowReads += o.RowReads
+	s.RowErrors += o.RowErrors
+	s.Clean += o.Clean
+	s.Corrected += o.Corrected
+	s.Detected += o.Detected
+	s.Retries += o.Retries
+	s.Residual += o.Residual
+}
+
+// RowErrorRate returns the fraction of row reads that were erroneous.
+func (s *Stats) RowErrorRate() float64 {
+	if s.RowReads == 0 {
+		return 0
+	}
+	return float64(s.RowErrors) / float64(s.RowReads)
+}
+
+// activeProb is the assumed probability that a column is driven in a given
+// input-bit cycle, used when ranking characterized faults for syndrome
+// allocation (input bits of quantized activations are roughly balanced).
+const activeProb = 0.5
+
+// stuckInfo is one stuck cell's precomputed read-time effect.
+type stuckInfo struct {
+	word  int
+	bit   uint
+	delta int // output deviation in steps while the column is active
+}
+
+// giantInfo is one giant-RTN-prone cell's precomputed read-time effect:
+// when its column is active and the cell flickers into the error state, the
+// row current shifts by mag steps.
+type giantInfo struct {
+	word int
+	bit  uint
+	mag  float64
+}
+
+// group is one coded operand group mapped onto a (logical) array: GroupOps
+// output rows sharing a column chunk, bit sliced with check bits attached.
+type group struct {
+	arr    *crossbar.Array
+	code   *core.Code // nil for the NoECC baseline
+	layout core.GroupLayout
+	// outRows are the output indices served by each lane.
+	outRows []int
+	// maxLane is the largest partial sum a lane can legitimately hold
+	// (columns * max operand); the ECU uses it as a plausibility bound to
+	// reject miscorrections that a blind table lookup would let through.
+	maxLane uint64
+	// stuckRows[r] lists the stuck cells of physical row r (usually nil).
+	stuckRows [][]stuckInfo
+	// giantRows[r] lists the giant-RTN-prone cells of physical row r.
+	giantRows [][]giantInfo
+}
+
+// chunk is a column range of the weight matrix mapped onto one array
+// column block.
+type chunk struct {
+	colLo, colHi int
+	groups       []*group
+}
+
+// MappedMatrix is one weight matrix (dense layer, or convolution kernel
+// viewed as OutC x PatchLen) quantized, encoded, and programmed onto
+// crossbar arrays.
+type MappedMatrix struct {
+	cfg     Config
+	sampler *noise.RowSampler
+	outDim  int
+	inDim   int
+	scale   float64
+	chunks  []*chunk
+	// PhysicalRows is the total word-line count across all groups, the
+	// quantity the hardware model charges for ADC/driver overhead.
+	PhysicalRows int
+}
+
+// MapMatrix quantizes and programs a weight matrix. weightAt(r, c) returns
+// the float weight of output r, input c. seed drives fault injection and
+// must differ across layers for independent fault populations.
+func MapMatrix(cfg Config, outDim, inDim int, weightAt func(r, c int) float64, seed uint64) (*MappedMatrix, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if outDim < 1 || inDim < 1 {
+		return nil, fmt.Errorf("accel: empty matrix %dx%d", outDim, inDim)
+	}
+	sampler, err := noise.NewRowSampler(cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+
+	// Quantize the whole layer with one scale, then encode negatives per
+	// the configured scheme: offset binary (one row set plus a digital
+	// bias) or differential (separate positive/negative row sets).
+	flat := make([]float64, outDim*inDim)
+	for r := 0; r < outDim; r++ {
+		for c := 0; c < inDim; c++ {
+			flat[r*inDim+c] = weightAt(r, c)
+		}
+	}
+	q := fixed.Quantize(flat, cfg.WeightBits)
+	internalOut := outDim
+	if cfg.Encoding == EncodingDifferential {
+		internalOut = 2 * outDim
+	}
+	biased := make([]uint64, internalOut*inDim)
+	for r := 0; r < outDim; r++ {
+		for c := 0; c < inDim; c++ {
+			v := q.Values[r*inDim+c]
+			if cfg.Encoding == EncodingDifferential {
+				if v >= 0 {
+					biased[(2*r)*inDim+c] = uint64(v)
+				} else {
+					biased[(2*r+1)*inDim+c] = uint64(-v)
+				}
+			} else {
+				biased[r*inDim+c] = fixed.Bias(v, cfg.WeightBits)
+			}
+		}
+	}
+
+	m := &MappedMatrix{cfg: cfg, sampler: sampler, outDim: outDim, inDim: inDim, scale: q.Scale}
+	rng := stats.SubRNG(cfg.Seed, seed)
+	staticCache := map[int]*core.Code{}
+
+	for lo := 0; lo < inDim; lo += cfg.ArraySize {
+		hi := min(lo+cfg.ArraySize, inDim)
+		ch := &chunk{colLo: lo, colHi: hi}
+		for gLo := 0; gLo < internalOut; gLo += cfg.Scheme.GroupOps {
+			gHi := min(gLo+cfg.Scheme.GroupOps, internalOut)
+			outRows := make([]int, 0, gHi-gLo)
+			for r := gLo; r < gHi; r++ {
+				outRows = append(outRows, r)
+			}
+			g, err := m.buildGroup(biased, outRows, lo, hi, rng, staticCache)
+			if err != nil {
+				return nil, err
+			}
+			ch.groups = append(ch.groups, g)
+			m.PhysicalRows += g.arr.Rows
+		}
+		m.chunks = append(m.chunks, ch)
+	}
+	return m, nil
+}
+
+// layoutFor builds the group layout for a lane count under the scheme's
+// guard policy.
+func (m *MappedMatrix) layoutFor(ops, cols int) core.GroupLayout {
+	// Guard bits absorb per-input-bit accumulation over the chunk columns;
+	// the input-bit reduction happens digitally after decode, so the
+	// column count is the only growth the lanes must absorb.
+	guard := core.GuardBitsFor(cols)
+	if m.cfg.Scheme.ZeroGuard {
+		guard = 0
+	}
+	return core.GroupLayout{Operands: ops, OperandBits: m.cfg.WeightBits, GuardBits: guard}
+}
+
+// groupDataBits is the bit length of the widest packed group value.
+func groupDataBits(layout core.GroupLayout) int {
+	return (layout.Operands-1)*layout.LaneBits() + layout.OperandBits
+}
+
+func (m *MappedMatrix) buildGroup(biased []uint64, outRows []int, colLo, colHi int,
+	rng *rand.Rand, staticCache map[int]*core.Code) (*group, error) {
+
+	cols := colHi - colLo
+	layout := m.layoutFor(len(outRows), cols)
+	cell := m.cfg.Device.BitsPerCell
+
+	// Pack the lane operands per column.
+	packed := make([]core.Word, cols)
+	ops := make([]uint64, len(outRows))
+	for j := 0; j < cols; j++ {
+		for i, r := range outRows {
+			ops[i] = biased[r*m.inDim+colLo+j]
+		}
+		w, err := layout.Pack(ops)
+		if err != nil {
+			return nil, err
+		}
+		packed[j] = w
+	}
+
+	// Determine the check budget and row count.
+	var checkBits int
+	var code *core.Code
+	switch m.cfg.Scheme.Kind {
+	case KindNone:
+		checkBits = 0
+	case KindStatic:
+		c, err := staticCodeFor(staticCache, layout, cell, m.cfg.Scheme.B)
+		if err != nil {
+			return nil, err
+		}
+		code = c
+		checkBits = c.CheckBits()
+	case KindABN:
+		checkBits = m.cfg.Scheme.CheckBits
+	}
+	nRows := (groupDataBits(layout) + checkBits + cell - 1) / cell
+
+	// Hard faults and the giant-RTN-prone population are properties of the
+	// physical cells, independent of the code eventually chosen; the
+	// characterization pass (Section V-B5) identifies both.
+	stuckCells := noise.InjectStuck(rng, nRows, cols, m.cfg.Device)
+	giantCells := noise.InjectGiantProne(rng, nRows, cols, m.cfg.Device)
+
+	// Program-verify characterization: stuck cells discovered while
+	// writing the weights are compensated digitally by the ECU periphery
+	// (their analog deviation is known exactly and subtracted), so they
+	// vanish from the error model; only post-deployment endurance
+	// failures remain for the split correction tables. The NoECC baseline
+	// has no error-handling periphery at all (the paper's premise), so it
+	// takes every fault raw.
+	if m.cfg.Scheme.Kind != KindNone {
+		unknown := stuckCells[:0:0]
+		for _, sc := range stuckCells {
+			if rng.Float64() >= m.cfg.Device.StuckCharacterizedFrac {
+				unknown = append(unknown, sc)
+			}
+		}
+		stuckCells = unknown
+	}
+
+	if m.cfg.Scheme.Kind == KindABN {
+		code = m.searchABN(packed, stuckCells, giantCells, layout, nRows)
+	}
+
+	// Program the array with the final encoding.
+	mult := uint64(1)
+	if code != nil {
+		mult = code.M()
+	}
+	arr := crossbar.NewArray(nRows, cols, cell)
+	for j, w := range packed {
+		enc, ok := w.MulU64(mult)
+		if !ok {
+			return nil, fmt.Errorf("accel: encoding overflow in group")
+		}
+		if err := arr.ProgramColumn(j, enc); err != nil {
+			return nil, err
+		}
+	}
+
+	g := &group{arr: arr, code: code, layout: layout, outRows: outRows,
+		maxLane:   uint64(cols) * (uint64(1)<<layout.OperandBits - 1),
+		stuckRows: make([][]stuckInfo, nRows),
+		giantRows: make([][]giantInfo, nRows)}
+	for _, sc := range stuckCells {
+		delta := int(sc.Level) - int(arr.Level(sc.Row, sc.Col))
+		if delta == 0 {
+			continue
+		}
+		g.stuckRows[sc.Row] = append(g.stuckRows[sc.Row], stuckInfo{
+			word: sc.Col / 64, bit: uint(sc.Col % 64), delta: delta,
+		})
+	}
+	for _, gc := range giantCells {
+		mag := m.sampler.GiantMagnitude(int(arr.Level(gc.Row, gc.Col)))
+		if mag == 0 {
+			continue
+		}
+		if gc.Neg {
+			mag = -mag
+		}
+		g.giantRows[gc.Row] = append(g.giantRows[gc.Row], giantInfo{
+			word: gc.Col / 64, bit: uint(gc.Col % 64), mag: mag,
+		})
+	}
+	return g, nil
+}
+
+// searchABN runs the per-array A search of Section V-B4: for each candidate
+// A the group is (virtually) encoded, the per-row worst-case error
+// probabilities derived from the resulting cell states, and the data-aware
+// table built; the A covering the most error probability wins.
+func (m *MappedMatrix) searchABN(packed []core.Word, stuckCells []noise.StuckCell,
+	giantCells []noise.GiantCell, layout core.GroupLayout, nRows int) *core.Code {
+
+	b := m.cfg.Scheme.B
+	if b == 0 {
+		b = 1
+	}
+	var candidates []uint64
+	if m.cfg.Scheme.FullSearch {
+		candidates = core.CandidateAs(m.cfg.Scheme.CheckBits, b)
+	} else {
+		candidates = core.HardwareCandidateAs(m.cfg.Scheme.CheckBits, b)
+	}
+	cell := m.cfg.Device.BitsPerCell
+	numLevels := 1 << cell
+
+	var best *core.Code
+	bestCovered := -1.0
+	for _, a := range candidates {
+		spec := core.DataAwareSpec{}
+		// Virtual encode: per-row level histograms under this A.
+		hist := make([][]int, nRows)
+		levels := make([][]uint8, len(packed))
+		for r := range hist {
+			hist[r] = make([]int, numLevels)
+		}
+		ok := true
+		for j, w := range packed {
+			enc, fits := w.MulU64(a * b)
+			if !fits {
+				ok = false
+				break
+			}
+			lv, err := crossbar.SliceLevels(enc, cell, nRows)
+			if err != nil {
+				ok = false
+				break
+			}
+			levels[j] = lv
+			for r, l := range lv {
+				hist[r][l]++
+			}
+		}
+		if !ok {
+			continue
+		}
+		rowProbs := make([]noise.StepProbs, nRows)
+		for r := 0; r < nRows; r++ {
+			rowProbs[r] = m.sampler.PredictStepProbs(noise.WorstCaseRowCounts(hist[r]))
+		}
+		// Characterized giant-prone cells dominate the row susceptibility;
+		// their magnitudes depend on the levels this candidate A encodes.
+		// Small events blur across the +/-1 and +/-2 buckets; larger ones
+		// register their true rounded step so the table allocates the
+		// syndrome that actually occurs.
+		flicker := m.cfg.Device.GiantFlickerProb
+		magsByRow := make(map[int][]float64)
+		extraByRow := make(map[int][]core.ExtraStep)
+		for _, gc := range giantCells {
+			mag := m.sampler.GiantMagnitude(int(levels[gc.Col][gc.Row]))
+			if gc.Neg {
+				mag = -mag
+			}
+			if math.Abs(mag) < 2.5 {
+				rowProbs[gc.Row].AddDiscrete(mag, flicker*activeProb)
+			} else {
+				// Large events quantize to their rounded step, but the
+				// residual read jitter occasionally lands one step away;
+				// register the neighbours so those reads stay correctable.
+				for d := -1; d <= 1; d++ {
+					steps := int(math.Round(mag)) + d
+					w := stepBlurWeight(mag, steps)
+					if steps != 0 && w > 1e-4 {
+						extraByRow[gc.Row] = append(extraByRow[gc.Row],
+							core.ExtraStep{Steps: steps, P: flicker * activeProb * w})
+					}
+				}
+			}
+			magsByRow[gc.Row] = append(magsByRow[gc.Row], mag)
+		}
+		for r, mags := range magsByRow {
+			// Rows hosting several prone cells can produce combined-step
+			// errors beyond the +/-2 buckets; register the pairwise sums.
+			p2 := flicker * activeProb * flicker * activeProb
+			for i := 0; i < len(mags); i++ {
+				for j := i + 1; j < len(mags); j++ {
+					steps := int(math.Round(mags[i] + mags[j]))
+					if steps != 0 && steps != 1 && steps != -1 && steps != 2 && steps != -2 {
+						extraByRow[r] = append(extraByRow[r], core.ExtraStep{Steps: steps, P: p2})
+					}
+				}
+			}
+		}
+		for r := 0; r < nRows; r++ {
+			spec.Rows = append(spec.Rows, core.RowErr{
+				BitOffset: r * cell,
+				StepProb:  rowProbs[r],
+				Extra:     extraByRow[r],
+			})
+		}
+		for _, sc := range stuckCells {
+			delta := int(sc.Level) - int(levels[sc.Col][sc.Row])
+			if delta == 0 {
+				continue
+			}
+			spec.Stuck = append(spec.Stuck, core.StuckErr{
+				BitOffset: sc.Row * cell, Steps: delta, PActive: activeProb,
+			})
+		}
+		table := core.BuildDataAwareTable(a, b, spec)
+		if table.CoveredProb() > bestCovered {
+			best = &core.Code{A: a, B: b, Table: table}
+			bestCovered = table.CoveredProb()
+		}
+	}
+	return best
+}
+
+// stepBlurWeight is the probability that a discrete error of continuous
+// magnitude mag quantizes to the given step under the residual read jitter.
+func stepBlurWeight(mag float64, steps int) float64 {
+	const sigma = 0.15
+	phi := func(x float64) float64 { return 0.5 * (1 + math.Erf(x/(sigma*math.Sqrt2))) }
+	s := float64(steps)
+	return phi(s+0.5-mag) - phi(s-0.5-mag)
+}
+
+// staticCodeFor builds (and caches per lane count) the naive
+// single-error-correcting code of Section V-A sized so its static table
+// covers every physical row of the encoded group.
+func staticCodeFor(cache map[int]*core.Code, layout core.GroupLayout, cell int, b uint64) (*core.Code, error) {
+	if c, ok := cache[layout.Operands]; ok {
+		return c, nil
+	}
+	dataBits := groupDataBits(layout)
+	check := 1
+	for iter := 0; iter < 64; iter++ {
+		nRows := (dataBits + check + cell - 1) / cell
+		wordBits := nRows*cell + 1 // +/-2 errors on the top row included
+		a := core.MinimalSingleErrorA(wordBits, b)
+		newCheck := bits.Len64(a*b - 1)
+		if newCheck == check {
+			table, err := core.NewStaticTable(a, wordBits)
+			if err != nil {
+				return nil, err
+			}
+			c := &core.Code{A: a, B: b, Table: table}
+			cache[layout.Operands] = c
+			return c, nil
+		}
+		check = newCheck
+	}
+	return nil, fmt.Errorf("accel: static code sizing did not converge for %d data bits", dataBits)
+}
+
+// debugReadHook, when non-nil, receives the pre-correction accumulator and
+// post-correction value of every group read (white-box test instrumentation
+// only; nil in production).
+var debugReadHook func(g *group, raw, corrected core.Word, status core.Status)
+
+// read performs one group read under an input bit mask: per-row noisy ADC
+// sampling, shift-and-add reduction, ECU correction (with re-reads on
+// detected-uncorrectable errors if configured), decode, and lane split.
+// counts is caller scratch of NumLevels length.
+func (g *group) read(m *MappedMatrix, mask []uint64, rng *rand.Rand, counts []int, st *Stats) []uint64 {
+	var acc core.Word
+	var status core.Status
+	for attempt := 0; ; attempt++ {
+		acc = g.sampleRows(m, mask, rng, counts, st)
+		if g.code == nil {
+			return g.layout.Unpack(acc)
+		}
+		var fixedW core.Word
+		fixedW, status = g.code.Correct(acc)
+		if status == core.StatusCorrected && !g.plausible(fixedW) {
+			// The corrected quotient violates the lane bound, so the
+			// table hit was an aliased miscorrection (Section V-A's
+			// "may make the error even worse"); the ECU treats it like
+			// any other detected-uncorrectable error.
+			fixedW, status = acc, core.StatusDetected
+		}
+		if status == core.StatusDetected && attempt < m.cfg.Retries {
+			st.Retries++
+			continue
+		}
+		if debugReadHook != nil {
+			debugReadHook(g, acc, fixedW, status)
+		}
+		acc = fixedW
+		break
+	}
+	switch status {
+	case core.StatusClean:
+		st.Clean++
+	case core.StatusCorrected:
+		st.Corrected++
+	case core.StatusDetected:
+		st.Detected++
+	}
+	q, rem := g.code.Decode(acc)
+	if rem != 0 {
+		st.Residual++
+	}
+	lanes := g.layout.Unpack(q)
+	// Digital saturation: a lane can never legitimately exceed the maximum
+	// partial sum, so the periphery clamps whatever residual-error garbage
+	// a reverted read leaves behind.
+	for i, lane := range lanes {
+		if lane > g.maxLane {
+			lanes[i] = g.maxLane
+		}
+	}
+	return lanes
+}
+
+// sampleRows performs the per-row noisy ADC conversions of one group read
+// and reduces them with the shift-and-add tree.
+func (g *group) sampleRows(m *MappedMatrix, mask []uint64, rng *rand.Rand, counts []int, st *Stats) core.Word {
+	var acc core.Word
+	cell := g.arr.BitsPerCell
+	maxOut := g.arr.MaxOutput()
+	flicker := m.cfg.Device.GiantFlickerProb
+	for r := 0; r < g.arr.Rows; r++ {
+		g.arr.ActiveCounts(r, mask, counts)
+		t := crossbar.OutputFromCounts(counts)
+		dev := m.sampler.SampleDeviation(rng, counts)
+		for _, gi := range g.giantRows[r] {
+			if mask[gi.word]>>gi.bit&1 == 1 && rng.Float64() < flicker {
+				dev += gi.mag
+			}
+		}
+		s := t + int(math.Round(dev))
+		for _, si := range g.stuckRows[r] {
+			if mask[si.word]>>si.bit&1 == 1 {
+				s += si.delta
+			}
+		}
+		if s < 0 {
+			s = 0
+		}
+		if s > maxOut {
+			s = maxOut
+		}
+		st.RowReads++
+		if s != t {
+			st.RowErrors++
+		}
+		acc.AddShifted(uint64(s), uint(r*cell))
+	}
+	return acc
+}
+
+// plausible reports whether every lane of the decoded correction result
+// lies within the physically reachable partial-sum range.
+func (g *group) plausible(fixed core.Word) bool {
+	q, _ := g.code.Decode(fixed)
+	if q.BitLen() > g.layout.DataBits() {
+		return false
+	}
+	for _, lane := range g.layout.Unpack(q) {
+		if lane > g.maxLane {
+			return false
+		}
+	}
+	return true
+}
+
+// MVM computes the noisy in-situ product W*x for a quantized input vector,
+// returning dequantized float outputs. counts is caller scratch.
+func (m *MappedMatrix) MVM(x []float64, rng *rand.Rand, counts []int, st *Stats) []float64 {
+	if len(x) != m.inDim {
+		panic(fmt.Sprintf("accel: input length %d, want %d", len(x), m.inDim))
+	}
+	qx := fixed.QuantizeUnsigned(x, m.cfg.InputBits)
+	internalOut := m.outDim
+	if m.cfg.Encoding == EncodingDifferential {
+		internalOut = 2 * m.outDim
+	}
+	acc := make([]int64, internalOut)
+	for _, ch := range m.chunks {
+		vals := qx.Values[ch.colLo:ch.colHi]
+		masks := crossbar.InputMasks(vals, m.cfg.InputBits)
+		var vsum int64
+		for _, v := range vals {
+			vsum += int64(v)
+		}
+		for _, g := range ch.groups {
+			for b, mask := range masks {
+				lanes := g.read(m, mask, rng, counts, st)
+				for i, outRow := range g.outRows {
+					acc[outRow] += int64(lanes[i]) << uint(b)
+				}
+			}
+		}
+		if m.cfg.Encoding == EncodingOffsetBinary {
+			// Offset-binary correction: subtract half * sum(inputs) from
+			// every internal row served by this chunk (Section VII-D
+			// negative-weight handling).
+			bias := fixed.BiasCorrection(m.cfg.WeightBits, vsum)
+			for r := range acc {
+				acc[r] -= bias
+			}
+		}
+	}
+	out := make([]float64, m.outDim)
+	f := m.scale * qx.Scale
+	for r := range out {
+		if m.cfg.Encoding == EncodingDifferential {
+			out[r] = float64(acc[2*r]-acc[2*r+1]) * f
+		} else {
+			out[r] = float64(acc[r]) * f
+		}
+	}
+	return out
+}
+
+// StorageOverhead returns the fraction of programmed cell bits that are
+// not raw weight data — check bits, lane guard bits, and slice padding.
+// The paper's Section V-A/VIII-A comparisons are in these terms: Static16
+// spends ~6 check bits per 16-bit operand (~38%), the grouped ABN codes
+// 7-10 bits per 128 (~7%).
+func (m *MappedMatrix) StorageOverhead() float64 {
+	dataBits := m.outDim * m.inDim * m.cfg.WeightBits
+	if m.cfg.Encoding == EncodingDifferential {
+		dataBits *= 2
+	}
+	stored := 0
+	for _, ch := range m.chunks {
+		cols := ch.colHi - ch.colLo
+		for _, g := range ch.groups {
+			stored += g.arr.Rows * m.cfg.Device.BitsPerCell * cols
+		}
+	}
+	return float64(stored)/float64(dataBits) - 1
+}
+
+// NumGroups returns the total coded group count (ECU instances needed).
+func (m *MappedMatrix) NumGroups() int {
+	n := 0
+	for _, ch := range m.chunks {
+		n += len(ch.groups)
+	}
+	return n
+}
+
+// Codes returns the distinct code of every group, for inspection and the
+// code-anatomy example.
+func (m *MappedMatrix) Codes() []*core.Code {
+	var out []*core.Code
+	for _, ch := range m.chunks {
+		for _, g := range ch.groups {
+			out = append(out, g.code)
+		}
+	}
+	return out
+}

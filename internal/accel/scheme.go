@@ -1,0 +1,186 @@
+// Package accel simulates an ISAAC-style memristive inference accelerator
+// (paper Sections II-B, VI, VII-A): trained networks are quantized to
+// 16-bit fixed point, offset-binary encoded, grouped into 128-bit coded
+// operands, multiplied by the scheme's AN/ABN code, bit sliced across
+// 128-column crossbar arrays, and evaluated with bit-serial inputs under
+// the Section II-C noise and fault models. Each in-situ multiply-accumulate
+// unit carries the error correction unit of Figure 9, and the data-aware
+// code construction of Section V-B runs per array at mapping time.
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+)
+
+// SchemeKind selects the protection strategy.
+type SchemeKind int
+
+const (
+	// KindNone stores unprotected operands (the paper's NoECC baseline).
+	KindNone SchemeKind = iota
+	// KindStatic uses the classical single-error-correcting AN code of
+	// Section V-A with fixed +/-2^i syndromes.
+	KindStatic
+	// KindABN uses the paper's data-aware ABN codes: per-array A search and
+	// probability-ranked syndrome allocation (Section V-B).
+	KindABN
+)
+
+// Scheme describes one protection configuration from the evaluation.
+type Scheme struct {
+	Name string
+	Kind SchemeKind
+	// GroupOps is the number of 16-bit operands per coded group
+	// (1 for per-operand codes, 8 for the paper's 128-bit groups).
+	GroupOps int
+	// CheckBits is the ABN check-bit budget (7-10 in Figure 10).
+	CheckBits int
+	// B is the detection multiplier (3 for every evaluated code).
+	B uint64
+	// FullSearch evaluates every legal A instead of the five hardware
+	// candidates of Section VI.
+	FullSearch bool
+	// ZeroGuard packs group lanes with no guard bits — the paper's exact
+	// bit accounting, at the cost of inter-lane carry bleed (ablation
+	// mode; see DESIGN.md section 1).
+	ZeroGuard bool
+}
+
+// SchemeNoECC is the unprotected baseline.
+func SchemeNoECC() Scheme {
+	return Scheme{Name: "NoECC", Kind: KindNone, GroupOps: 1}
+}
+
+// SchemeStatic16 is the naive per-operand AN code with B=3 ("Static16"
+// in Figures 10/11): the minimal single-error-correcting A over each
+// 16-bit operand, roughly 6 check bits per operand (48 per 8 operands).
+func SchemeStatic16() Scheme {
+	return Scheme{Name: "Static16", Kind: KindStatic, GroupOps: 1, B: 3}
+}
+
+// SchemeStatic128 is the naive AN code over 128-bit grouped operands with
+// B=3 ("Static128"): one single-bit-correcting code amortized over 8
+// operands, without data-aware allocation.
+func SchemeStatic128() Scheme {
+	return Scheme{Name: "Static128", Kind: KindStatic, GroupOps: 8, B: 3}
+}
+
+// SchemeABN is the paper's data-aware ABN code with the given total
+// check-bit budget ("ABN-7" through "ABN-10").
+func SchemeABN(checkBits int) Scheme {
+	return Scheme{
+		Name:      fmt.Sprintf("ABN-%d", checkBits),
+		Kind:      KindABN,
+		GroupOps:  8,
+		CheckBits: checkBits,
+		B:         3,
+	}
+}
+
+// Validate checks the scheme is internally consistent.
+func (s Scheme) Validate() error {
+	switch {
+	case s.GroupOps < 1:
+		return fmt.Errorf("accel: scheme %q needs GroupOps >= 1", s.Name)
+	case s.Kind == KindABN && (s.CheckBits < 4 || s.CheckBits > 16):
+		return fmt.Errorf("accel: scheme %q check bits %d out of range [4,16]", s.Name, s.CheckBits)
+	case s.Kind != KindNone && s.B != 1 && s.B != 3:
+		return fmt.Errorf("accel: scheme %q detection multiplier B=%d unsupported", s.Name, s.B)
+	}
+	return nil
+}
+
+// WeightEncoding selects how signed weights are stored on the unipolar
+// conductance range (Section II-B's accelerator family differs here).
+type WeightEncoding int
+
+const (
+	// EncodingOffsetBinary stores w + 2^(bits-1) and subtracts the bias
+	// digitally — ISAAC's scheme, the paper's choice (Section VII-D).
+	EncodingOffsetBinary WeightEncoding = iota
+	// EncodingDifferential stores positive and negative magnitudes in
+	// separate row sets and subtracts the two dot products digitally —
+	// the PRIME-style alternative.
+	EncodingDifferential
+)
+
+// Config is the full accelerator configuration.
+type Config struct {
+	// Device is the cell and noise model (Table I).
+	Device noise.DeviceParams
+	// ArraySize is the crossbar column count per array (128).
+	ArraySize int
+	// WeightBits is the fixed-point weight width (16).
+	WeightBits int
+	// InputBits is the bit-serial input width (8).
+	InputBits int
+	// Scheme is the protection configuration.
+	Scheme Scheme
+	// Encoding selects the negative-weight representation.
+	Encoding WeightEncoding
+	// LayerSchemes optionally overrides the protection scheme per layer
+	// index — the criticality-aware extension the paper's abstract points
+	// at ("knowledge of how critical each portion of the computation is"):
+	// spend check bits on the layers whose errors flip classifications and
+	// run the tolerant ones cheaper.
+	LayerSchemes map[int]Scheme
+	// Retries is how many times a group read is re-executed when the ECU
+	// flags a detected-uncorrectable error (paper Section VI-A's retry
+	// option: RTN is transient, so a re-read usually succeeds). Zero
+	// models the throughput-preserving revert-to-uncorrected policy.
+	Retries int
+	// Seed drives stuck-at fault injection at mapping time.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's evaluation configuration with the
+// given scheme.
+func DefaultConfig(s Scheme) Config {
+	return Config{
+		Device:     noise.DefaultDeviceParams(),
+		ArraySize:  128,
+		WeightBits: 16,
+		InputBits:  8,
+		Scheme:     s,
+		Retries:    6,
+		Seed:       1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Device.Validate(); err != nil {
+		return err
+	}
+	if err := c.Scheme.Validate(); err != nil {
+		return err
+	}
+	for layer, s := range c.LayerSchemes {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("accel: layer %d override: %w", layer, err)
+		}
+	}
+	switch {
+	case c.ArraySize < 8 || c.ArraySize > 1024:
+		return fmt.Errorf("accel: array size %d out of range [8,1024]", c.ArraySize)
+	case c.WeightBits < 4 || c.WeightBits > 32:
+		return fmt.Errorf("accel: weight bits %d out of range [4,32]", c.WeightBits)
+	case c.InputBits < 1 || c.InputBits > 16:
+		return fmt.Errorf("accel: input bits %d out of range [1,16]", c.InputBits)
+	case c.Retries < 0 || c.Retries > 16:
+		return fmt.Errorf("accel: retries %d out of range [0,8]", c.Retries)
+	}
+	// The widest coded group must fit a core.Word with input headroom.
+	layout := core.GroupLayout{
+		Operands:    c.Scheme.GroupOps,
+		OperandBits: c.WeightBits,
+		GuardBits:   core.GuardBitsFor(c.ArraySize),
+	}
+	if err := layout.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package circuit is the discrete-time replacement for the paper's SPICE
+// model of a single crossbar row (Section IV, Figures 6 and 7): a chain of
+// programmable resistors driven by ideal voltage sources, each with a
+// two-state random-telegraph-noise Markov process (exponential dwell times),
+// plus Johnson-Nyquist thermal and shot-noise current sources, sampled over
+// a transient window. It reproduces the Figure 7 current trace and the
+// Section IV error-rate split.
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// Config describes one row transient experiment.
+type Config struct {
+	// Device holds the cell physics (Table I).
+	Device noise.DeviceParams
+	// Cells is the row length (paper: 128).
+	Cells int
+	// Levels assigns a programmed level per cell; nil distributes cells
+	// equally across all levels as in Figure 7.
+	Levels []uint8
+	// Duration is the simulated wall time in seconds (paper: 1 s).
+	Duration float64
+	// TimeStep is the integration step in seconds.
+	TimeStep float64
+	// RTNCycle is the mean RTN dwell cycle tauErr+tauNormal in seconds;
+	// the two dwell times are split to give the configured PRTN occupancy.
+	RTNCycle float64
+	// Seed drives the deterministic RNG.
+	Seed uint64
+}
+
+// DefaultConfig returns the Figure 7 setup: 128 cells, 2 bits per cell,
+// equal level occupancy, one second at 0.1 ms resolution.
+func DefaultConfig() Config {
+	return Config{
+		Device:   noise.DefaultDeviceParams(),
+		Cells:    128,
+		Duration: 1.0,
+		TimeStep: 1e-4,
+		RTNCycle: 20e-3,
+		Seed:     1,
+	}
+}
+
+// Sample is one point of the simulated current transient.
+type Sample struct {
+	Time    float64 // seconds
+	Current float64 // amps
+	// ErrorSteps is the quantization error the ADC would emit at this
+	// instant: round((I - Iexpected) / Istep).
+	ErrorSteps int
+}
+
+// Result holds the transient trace and its error statistics.
+type Result struct {
+	Samples []Sample
+	// IdealCurrent is the error-free current the ADC lattice is centered
+	// on (the dotted line of Figure 7).
+	IdealCurrent float64
+	// StepCurrent is one ADC quantization step in amps; the ±1 and ±2
+	// error thresholds sit at ±0.5 and ±1.5 steps around IdealCurrent.
+	StepCurrent float64
+	// HighRate, LowRate, TotalRate are the fractions of samples quantizing
+	// above, below, and away from the correct output.
+	HighRate, LowRate, TotalRate float64
+	// RTNOccupancy is the observed fraction of cell-time spent in the RTN
+	// error state (should track DeviceParams.PRTN).
+	RTNOccupancy float64
+}
+
+type cell struct {
+	gProg   float64 // programmed conductance (with RTN offset compensation)
+	gErr    float64 // conductance while in the RTN error state
+	tauErr  float64
+	tauNorm float64
+	inErr   bool
+}
+
+// Run executes the transient simulation.
+func Run(cfg Config) (*Result, error) {
+	dev := cfg.Device
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cells <= 0 {
+		return nil, fmt.Errorf("circuit: need at least one cell, got %d", cfg.Cells)
+	}
+	if cfg.TimeStep <= 0 || cfg.Duration <= 0 || cfg.TimeStep > cfg.Duration {
+		return nil, fmt.Errorf("circuit: bad time base dt=%g T=%g", cfg.TimeStep, cfg.Duration)
+	}
+	if cfg.RTNCycle <= 0 {
+		return nil, fmt.Errorf("circuit: RTN cycle must be positive")
+	}
+	levels := cfg.Levels
+	if levels == nil {
+		levels = equalLevels(cfg.Cells, dev.NumLevels())
+	}
+	if len(levels) != cfg.Cells {
+		return nil, fmt.Errorf("circuit: %d levels for %d cells", len(levels), cfg.Cells)
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	conds := dev.LevelConductances()
+	dg := dev.DeltaG()
+	cells := make([]cell, cfg.Cells)
+	ideal := 0.0 // lattice current: level-weighted steps plus the GMin floor
+	for i, lv := range levels {
+		if int(lv) >= dev.NumLevels() {
+			return nil, fmt.Errorf("circuit: cell %d level %d out of range", i, lv)
+		}
+		g := conds[lv]
+		ideal += dev.VHi * g
+		x := dev.DeltaROverR(1 / g)
+		// Programming-time RTN offset (Section IV): shave the mean RTN
+		// excess off the programmed conductance, clamped at GMin, then
+		// apply the iterative-programming tolerance.
+		comp := dev.CompensationFactor * dev.PRTN * g * x
+		if g-comp < dev.GMin() {
+			comp = g - dev.GMin()
+		}
+		tol := dev.ProgErrFrac
+		if lsb := dev.ProgVerifyLSB * dg / g; dev.ProgVerifyLSB > 0 && tol > lsb {
+			tol = lsb
+		}
+		gProg := (g - comp) * (1 + tol*(2*rng.Float64()-1))
+		cells[i] = cell{
+			gProg:   gProg,
+			gErr:    gProg * (1 + x),
+			tauErr:  dev.PRTN * cfg.RTNCycle,
+			tauNorm: (1 - dev.PRTN) * cfg.RTNCycle,
+			inErr:   rng.Float64() < dev.PRTN,
+		}
+	}
+
+	stepI := dev.VHi * dg
+	nSteps := int(cfg.Duration / cfg.TimeStep)
+	res := &Result{
+		Samples:      make([]Sample, 0, nSteps),
+		IdealCurrent: ideal,
+		StepCurrent:  stepI,
+	}
+	high, low, occupied := 0, 0, 0
+	for s := 0; s < nSteps; s++ {
+		i := 0.0
+		for c := range cells {
+			cl := &cells[c]
+			if flip(rng, cfg.TimeStep, cl.tau()) {
+				cl.inErr = !cl.inErr
+			}
+			if cl.inErr {
+				occupied++
+				i += dev.VHi * cl.gErr
+			} else {
+				i += dev.VHi * cl.gProg
+			}
+			// Thermal noise of this cell at its current resistance.
+			g := cl.gProg
+			if cl.inErr {
+				g = cl.gErr
+			}
+			i += rng.NormFloat64() * dev.ThermalNoiseSigma(1/g)
+		}
+		i += rng.NormFloat64() * dev.ShotNoiseSigma(i)
+		e := int(math.Round((i - ideal) / stepI))
+		if e > 0 {
+			high++
+		} else if e < 0 {
+			low++
+		}
+		res.Samples = append(res.Samples, Sample{
+			Time:       float64(s) * cfg.TimeStep,
+			Current:    i,
+			ErrorSteps: e,
+		})
+	}
+	n := float64(nSteps)
+	res.HighRate = float64(high) / n
+	res.LowRate = float64(low) / n
+	res.TotalRate = float64(high+low) / n
+	res.RTNOccupancy = float64(occupied) / (n * float64(cfg.Cells))
+	return res, nil
+}
+
+func (c *cell) tau() float64 {
+	if c.inErr {
+		return c.tauErr
+	}
+	return c.tauNorm
+}
+
+// flip returns true if an exponential dwell of mean tau expires within dt.
+func flip(rng *rand.Rand, dt, tau float64) bool {
+	return rng.Float64() < -math.Expm1(-dt/tau)
+}
+
+// equalLevels spreads cells evenly across all levels (Figure 7: "an equal
+// number of elements in each state").
+func equalLevels(cells, numLevels int) []uint8 {
+	out := make([]uint8, cells)
+	for i := range out {
+		out[i] = uint8(i % numLevels)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package core
+
+import "fmt"
+
+// Burst-error AN codes (paper Section V-A): beyond single +/-2^i errors,
+// "the burst error correction code for 2 bits can correct all errors of
+// S = +/-2^i or +/-(2^i + 2^(i+1))" — a quantization error of up to 3 in one
+// physical row. The paper notes these codes waste roughly 15% of the
+// residues relative to the perfectly efficient single-error codes, and that
+// correcting multiple uncorrelated errors requires impractically large A
+// (Mandelbaum); both observations are reproduced by the tests.
+
+// NewBurstTable builds the 2-bit burst-error table: syndromes +/-2^i and
+// +/-(2^i + 2^(i+1)) for every bit position below wordBits. It fails if any
+// two syndromes collide mod a.
+func NewBurstTable(a uint64, wordBits int) (*Table, error) {
+	t := NewTable(a)
+	addBoth := func(mag Word, what string) error {
+		for _, neg := range [2]bool{false, true} {
+			if !t.Add(Syndrome{Neg: neg, Mag: mag}) {
+				return fmt.Errorf("core: A=%d cannot uniquely correct %s over %d-bit words", a, what, wordBits)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < wordBits; i++ {
+		if err := addBoth(Pow2Word(i), fmt.Sprintf("±2^%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i+1 < wordBits; i++ {
+		mag, _ := Pow2Word(i).Add(Pow2Word(i + 1))
+		if err := addBoth(mag, fmt.Sprintf("±3·2^%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MinimalBurstA returns the smallest odd A, coprime to b, that admits the
+// 2-bit burst table over wordBits-bit words.
+func MinimalBurstA(wordBits int, b uint64) uint64 {
+	// Burst tables need at least 2*wordBits + 2*(wordBits-1) residues.
+	for a := uint64(4*wordBits - 1); ; a += 2 {
+		if a%2 == 0 {
+			continue
+		}
+		if b > 1 && a%b == 0 {
+			continue
+		}
+		if _, err := NewBurstTable(a, wordBits); err == nil {
+			return a
+		}
+	}
+}
+
+// ResidueEfficiency reports the fraction of a table's usable residues that
+// carry syndromes — 1.0 for the perfectly efficient minimal single-error
+// codes like A=19 and A=79, lower for burst codes (the paper's ~15% waste).
+func ResidueEfficiency(t *Table) float64 {
+	if t.Capacity() == 0 {
+		return 0
+	}
+	return float64(t.Len()) / float64(t.Capacity())
+}

@@ -1,0 +1,99 @@
+package core
+
+import "testing"
+
+func TestBurstTableCorrectsBurstErrors(t *testing.T) {
+	const wordBits = 24
+	a := MinimalBurstA(wordBits, 3)
+	table, err := NewBurstTable(a, wordBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := &Code{A: a, B: 3, Table: table}
+	if err := code.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := code.EncodeU64(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-bit and every 2-bit burst (quantization error up to 3
+	// in one row) must correct.
+	for i := 0; i < 12; i++ {
+		for _, mult := range []uint64{1, 3} {
+			mag, _ := Pow2Word(i).MulU64(mult)
+			bad, _ := enc.Add(mag)
+			fixed, status := code.Correct(bad)
+			if status != StatusCorrected || fixed != enc {
+				t.Fatalf("+%d<<%d not corrected: %v", mult, i, status)
+			}
+			bad2, borrow := enc.Sub(mag)
+			if borrow == 0 {
+				fixed2, status2 := code.Correct(bad2)
+				if status2 != StatusCorrected || fixed2 != enc {
+					t.Fatalf("-%d<<%d not corrected: %v", mult, i, status2)
+				}
+			}
+		}
+	}
+}
+
+// TestBurstCodesLessEfficient reproduces the Section V-A remark: the
+// minimal single-error codes use every residue (A=19 for 9-bit words, A=79
+// for 39-bit), while burst codes waste a noticeable fraction.
+func TestBurstCodesLessEfficient(t *testing.T) {
+	single, err := NewStaticTable(19, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := ResidueEfficiency(single); e != 1.0 {
+		t.Fatalf("A=19 efficiency = %g, want 1.0", e)
+	}
+	single79, err := NewStaticTable(79, 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := ResidueEfficiency(single79); e != 1.0 {
+		t.Fatalf("A=79 efficiency = %g, want 1.0", e)
+	}
+
+	const wordBits = 24
+	a := MinimalBurstA(wordBits, 1)
+	burst, err := NewBurstTable(a, wordBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := ResidueEfficiency(burst); e > 0.95 {
+		t.Fatalf("burst efficiency = %g; the paper expects noticeable waste", e)
+	}
+	if e := ResidueEfficiency(burst); e < 0.5 {
+		t.Fatalf("burst efficiency = %g; implausibly wasteful", e)
+	}
+}
+
+// TestBurstAGrowsFasterThanSingle verifies the Mandelbaum observation the
+// paper cites: correcting wider error classes inflates A quickly.
+func TestBurstAGrowsFasterThanSingle(t *testing.T) {
+	const wordBits = 20
+	single := MinimalSingleErrorA(wordBits, 1)
+	burst := MinimalBurstA(wordBits, 1)
+	if burst <= single {
+		t.Fatalf("burst A=%d must exceed single-error A=%d", burst, single)
+	}
+	if burst < 2*single-10 {
+		t.Fatalf("burst A=%d suspiciously small vs single A=%d", burst, single)
+	}
+}
+
+func TestBurstTableCollisionDetection(t *testing.T) {
+	// A too-small modulus must be rejected.
+	if _, err := NewBurstTable(31, 24); err == nil {
+		t.Fatal("A=31 cannot host 94 burst syndromes")
+	}
+}
+
+func TestResidueEfficiencyEmpty(t *testing.T) {
+	if ResidueEfficiency(NewTable(3)) != 0 {
+		t.Fatal("empty table efficiency must be 0")
+	}
+}

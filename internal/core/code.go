@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Status describes the outcome of one correction attempt in the ECU.
+type Status int
+
+const (
+	// StatusClean means the residue was zero and the B check passed: no
+	// error was observed.
+	StatusClean Status = iota
+	// StatusCorrected means a nonzero residue indexed a table entry and the
+	// corrected value passed the B detection check.
+	StatusCorrected
+	// StatusDetected means an error was observed but could not be corrected
+	// (missing table entry, failed B check, or a correction that underflowed).
+	// Per paper Section VI-A the hardware reverts to the uncorrected value.
+	StatusDetected
+)
+
+// String names the status for logs and tables.
+func (s Status) String() string {
+	switch s {
+	case StatusClean:
+		return "clean"
+	case StatusCorrected:
+		return "corrected"
+	case StatusDetected:
+		return "detected"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Code is an AN or ABN arithmetic code: data is encoded by multiplying by
+// A*B, errors are corrected by residue-mod-A table lookup, and B provides
+// post-correction detection (B=1 yields a plain AN code).
+type Code struct {
+	// A is the correction multiplier; residues mod A index the table.
+	A uint64
+	// B is the detection multiplier (1 disables detection; the paper uses 3).
+	B uint64
+	// Table maps residues to syndromes. A nil table gives a detect-only code.
+	Table *Table
+}
+
+// M returns the full code multiplier A*B.
+func (c *Code) M() uint64 { return c.A * c.B }
+
+// CheckBits returns the number of bits the multiplier adds to an operand.
+func (c *Code) CheckBits() int { return bits.Len64(c.M() - 1) }
+
+// Validate checks the structural invariants: A odd, coprime to B, and the
+// table (if any) indexed by the same A.
+func (c *Code) Validate() error {
+	if c.A < 3 || c.A%2 == 0 {
+		return fmt.Errorf("core: A=%d must be an odd integer >= 3", c.A)
+	}
+	if c.B < 1 {
+		return fmt.Errorf("core: B=%d must be >= 1", c.B)
+	}
+	if c.B > 1 && gcd(c.A, c.B) != 1 {
+		return fmt.Errorf("core: A=%d and B=%d must be coprime", c.A, c.B)
+	}
+	if c.Table != nil && c.Table.A() != c.A {
+		return fmt.Errorf("core: table indexed mod %d does not match A=%d", c.Table.A(), c.A)
+	}
+	return nil
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Encode multiplies a data word by A*B. It fails if the encoded value would
+// exceed the Word width.
+func (c *Code) Encode(v Word) (Word, error) {
+	e, ok := v.MulU64(c.M())
+	if !ok {
+		return Word{}, fmt.Errorf("core: encoding %d-bit value by M=%d overflows Word", v.BitLen(), c.M())
+	}
+	return e, nil
+}
+
+// EncodeU64 encodes a value that fits in 64 bits.
+func (c *Code) EncodeU64(v uint64) (Word, error) {
+	return c.Encode(WordFromU64(v))
+}
+
+// Correct runs the ECU pipeline of paper Figure 9 on a reduced row output:
+// residue mod A, correction-table lookup and subtraction, then the B
+// detection check on the corrected value. On any detected-uncorrectable
+// condition it returns the input unchanged with StatusDetected (the paper's
+// revert-to-uncorrected policy, Section VI-A / VIII-A).
+func (c *Code) Correct(r Word) (Word, Status) {
+	res := r.ModU64(c.A)
+	if res == 0 {
+		if c.B > 1 && r.ModU64(c.B) != 0 {
+			return r, StatusDetected
+		}
+		return r, StatusClean
+	}
+	if c.Table == nil {
+		return r, StatusDetected
+	}
+	syn, ok := c.Table.Lookup(res)
+	if !ok {
+		return r, StatusDetected
+	}
+	fixed, ok := syn.ApplyTo(r)
+	if !ok {
+		return r, StatusDetected
+	}
+	if c.B > 1 && fixed.ModU64(c.B) != 0 {
+		return r, StatusDetected
+	}
+	return fixed, StatusCorrected
+}
+
+// Decode divides an encoded (and presumed corrected) value by A*B, returning
+// the data word and the leftover remainder. A nonzero remainder means a
+// residual (undetected or reverted) error reached the decoder; the hardware
+// truncates it, and callers use the quotient as the best-effort result.
+func (c *Code) Decode(r Word) (Word, uint64) {
+	return r.DivModU64(c.M())
+}
+
+// NewStaticCode builds the naive single-error-correcting AN code of paper
+// Section V-A for dataBits-wide operands: the minimal A whose +/- 2^i
+// residues are unique over the full encoded word (data plus check bits),
+// with an optional B detection term. The check-bit count depends on A, and A
+// depends on the encoded width, so the builder iterates to a fixed point.
+func NewStaticCode(dataBits int, b uint64) (*Code, error) {
+	if dataBits <= 0 {
+		return nil, fmt.Errorf("core: dataBits must be positive, got %d", dataBits)
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("core: B=%d must be >= 1", b)
+	}
+	check := 1
+	for iter := 0; iter < 64; iter++ {
+		a := MinimalSingleErrorA(dataBits+check, b)
+		newCheck := bits.Len64(a*b - 1)
+		if dataBits+newCheck >= WordBits {
+			return nil, fmt.Errorf("core: static code for %d data bits exceeds Word width", dataBits)
+		}
+		if newCheck == check {
+			table, err := NewStaticTable(a, dataBits+check)
+			if err != nil {
+				return nil, err
+			}
+			return &Code{A: a, B: b, Table: table}, nil
+		}
+		check = newCheck
+	}
+	return nil, fmt.Errorf("core: static code search for %d data bits did not converge", dataBits)
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestFigure4Example replays the paper's Figure 4 walk-through: an A=19 code
+// encoding the sum 26 as 494, a +2 error producing 496, residue 496%19 = 2
+// indexing the syndrome +2, and correction restoring 494.
+func TestFigure4Example(t *testing.T) {
+	table, err := NewStaticTable(19, 9)
+	if err != nil {
+		t.Fatalf("A=19 static table over 9 bits: %v", err)
+	}
+	code := &Code{A: 19, B: 1, Table: table}
+	enc, err := code.EncodeU64(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Low64() != 494 {
+		t.Fatalf("encoded 26 = %d, want 494", enc.Low64())
+	}
+	corrupted, _ := enc.Add(WordFromU64(2))
+	if corrupted.Low64() != 496 {
+		t.Fatalf("corrupted = %d, want 496", corrupted.Low64())
+	}
+	if res := corrupted.ModU64(19); res != 2 {
+		t.Fatalf("residue = %d, want 2", res)
+	}
+	fixed, status := code.Correct(corrupted)
+	if status != StatusCorrected || fixed.Low64() != 494 {
+		t.Fatalf("Correct = (%d, %v), want (494, corrected)", fixed.Low64(), status)
+	}
+	dec, rem := code.Decode(fixed)
+	if rem != 0 || dec.Low64() != 26 {
+		t.Fatalf("Decode = (%d, %d), want (26, 0)", dec.Low64(), rem)
+	}
+}
+
+// TestMinimalAValues checks the minimal single-error-correcting A values the
+// paper cites: A=19 for 5-bit operands (9-bit encoded words) and A=79 for
+// 32-bit operands (39-bit encoded words).
+func TestMinimalAValues(t *testing.T) {
+	if a := MinimalSingleErrorA(9, 1); a != 19 {
+		t.Errorf("minimal A for 9-bit words = %d, want 19", a)
+	}
+	if a := MinimalSingleErrorA(39, 1); a != 79 {
+		t.Errorf("minimal A for 39-bit words = %d, want 79", a)
+	}
+}
+
+// TestA3DetectsButCannotCorrect mirrors Section II-D: A=3 detects every
+// single-bit error (nonzero residue) but has too few residues to localize it.
+func TestA3DetectsButCannotCorrect(t *testing.T) {
+	for i := 0; i < 40; i++ {
+		if res := Pow2Word(i).ModU64(3); res == 0 {
+			t.Fatalf("A=3 failed to detect ±2^%d", i)
+		}
+	}
+	if _, err := NewStaticTable(3, 2); err == nil {
+		t.Fatal("A=3 must not admit a single-error-correcting table")
+	}
+}
+
+// TestA79MiscorrectionExample replays Section V-A: with A=79 and value 1024
+// (encoded 80896), a two-bit syndrome of +9 aliases the residue of +2^20, so
+// blind correction subtracts 1048576 and drives the result far from truth.
+// Our unsigned datapath refuses the underflowing subtraction and reverts
+// (detected), and on larger values the miscorrection proceeds silently when
+// B detection is disabled.
+func TestA79MiscorrectionExample(t *testing.T) {
+	table, err := NewStaticTable(79, 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := &Code{A: 79, B: 1, Table: table}
+
+	// The aliasing the paper exploits: 9 ≡ 2^20 (mod 79).
+	if Pow2Word(20).ModU64(79) != 9 {
+		t.Fatal("expected 2^20 ≡ 9 (mod 79)")
+	}
+
+	enc, _ := code.EncodeU64(1024)
+	if enc.Low64() != 80896 {
+		t.Fatalf("encoded = %d, want 80896", enc.Low64())
+	}
+	corrupted, _ := enc.Add(WordFromU64(9))
+	fixed, status := code.Correct(corrupted)
+	if status != StatusDetected || fixed != corrupted {
+		t.Fatalf("underflowing miscorrection should revert, got (%v, %v)", fixed, status)
+	}
+
+	// A large enough value lets the miscorrection proceed silently.
+	big, _ := code.EncodeU64(2_000_000)
+	corrupted2, _ := big.Add(WordFromU64(9))
+	fixed2, status2 := code.Correct(corrupted2)
+	if status2 != StatusCorrected {
+		t.Fatalf("expected silent miscorrection, got %v", status2)
+	}
+	dec, _ := code.Decode(fixed2)
+	if dec.Low64() == 2_000_000 {
+		t.Fatal("miscorrection should not restore the true value")
+	}
+}
+
+// TestBDetectionCatchesMiscorrection shows the ABN improvement: the same
+// aliased syndrome that silently miscorrects under a plain AN code is caught
+// by the B=3 check, and the decoder reverts to the uncorrected value.
+func TestBDetectionCatchesMiscorrection(t *testing.T) {
+	a := MinimalSingleErrorA(41, 3)
+	table, err := NewStaticTable(a, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := &Code{A: a, B: 3, Table: table}
+	if err := code.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := code.EncodeU64(2_000_000)
+	// Find a two-bit syndrome whose residue aliases a single-bit entry and
+	// whose miscorrected value fails the mod-3 check.
+	found := false
+	for i := 0; i < 30 && !found; i++ {
+		for j := i + 1; j < 30 && !found; j++ {
+			syn, _ := Pow2Word(i).Add(Pow2Word(j))
+			corrupted, _ := enc.Add(syn)
+			entry, ok := table.Lookup(corrupted.ModU64(a))
+			if !ok {
+				continue
+			}
+			if mis, okApply := entry.ApplyTo(corrupted); okApply && mis.ModU64(3) != 0 {
+				fixed, status := code.Correct(corrupted)
+				if status != StatusDetected || fixed != corrupted {
+					t.Fatalf("B check should revert, got status %v", status)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no aliasing syndrome found to exercise the B check")
+	}
+}
+
+func TestCorrectCleanPath(t *testing.T) {
+	code := mustStaticCode(t, 16, 3)
+	enc, _ := code.EncodeU64(12345)
+	fixed, status := code.Correct(enc)
+	if status != StatusClean || fixed != enc {
+		t.Fatalf("clean value flagged %v", status)
+	}
+}
+
+func TestCorrectEverySingleBitError(t *testing.T) {
+	code := mustStaticCode(t, 16, 3)
+	wordBits := 16 + code.CheckBits()
+	enc, _ := code.EncodeU64(40000)
+	for i := 0; i < wordBits; i++ {
+		for _, neg := range []bool{false, true} {
+			var bad Word
+			if neg {
+				var borrow uint64
+				bad, borrow = enc.Sub(Pow2Word(i))
+				if borrow != 0 {
+					continue // error would drive the analog sum negative
+				}
+			} else {
+				bad, _ = enc.Add(Pow2Word(i))
+			}
+			fixed, status := code.Correct(bad)
+			if status != StatusCorrected {
+				t.Fatalf("±2^%d (neg=%v) not corrected: %v", i, neg, status)
+			}
+			if fixed != enc {
+				t.Fatalf("±2^%d (neg=%v) corrected to wrong value", i, neg)
+			}
+		}
+	}
+}
+
+func TestCodeValidate(t *testing.T) {
+	cases := []struct {
+		code Code
+		ok   bool
+	}{
+		{Code{A: 19, B: 3}, true},
+		{Code{A: 19, B: 1}, true},
+		{Code{A: 18, B: 3}, false}, // even A
+		{Code{A: 1, B: 3}, false},  // A too small
+		{Code{A: 21, B: 3}, false}, // gcd(A,B) != 1
+		{Code{A: 19, B: 0}, false}, // bad B
+	}
+	for _, c := range cases {
+		err := c.code.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(A=%d,B=%d) err=%v, want ok=%v", c.code.A, c.code.B, err, c.ok)
+		}
+	}
+	mismatched := &Code{A: 23, B: 1, Table: NewTable(19)}
+	if mismatched.Validate() == nil {
+		t.Error("table modulus mismatch must fail validation")
+	}
+}
+
+func TestEncodeOverflow(t *testing.T) {
+	code := &Code{A: 1023, B: 3}
+	if _, err := code.Encode(Pow2Word(250)); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestNewStaticCodeSizes(t *testing.T) {
+	for _, tc := range []struct {
+		dataBits int
+		b        uint64
+	}{{5, 1}, {16, 1}, {16, 3}, {32, 1}, {64, 3}, {128, 3}} {
+		code, err := NewStaticCode(tc.dataBits, tc.b)
+		if err != nil {
+			t.Fatalf("NewStaticCode(%d,%d): %v", tc.dataBits, tc.b, err)
+		}
+		if err := code.Validate(); err != nil {
+			t.Fatalf("invalid code: %v", err)
+		}
+		// The table must cover the full encoded width.
+		wordBits := tc.dataBits + code.CheckBits()
+		for i := 0; i < wordBits; i++ {
+			if _, ok := code.Table.Lookup(Pow2Word(i).ModU64(code.A)); !ok {
+				t.Fatalf("dataBits=%d: +2^%d uncovered", tc.dataBits, i)
+			}
+		}
+	}
+}
+
+func TestNewStaticCodeRejectsBadInput(t *testing.T) {
+	if _, err := NewStaticCode(0, 1); err == nil {
+		t.Fatal("dataBits=0 must fail")
+	}
+	if _, err := NewStaticCode(16, 0); err == nil {
+		t.Fatal("B=0 must fail")
+	}
+	if _, err := NewStaticCode(250, 3); err == nil {
+		t.Fatal("near-word-width data must fail")
+	}
+}
+
+// Property: AN codes conserve addition — Encode(x) + Encode(y) equals
+// Encode(x+y), the distributive property the whole scheme rests on.
+func TestDistributivePropertyQuick(t *testing.T) {
+	code := mustStaticCode(t, 16, 3)
+	f := func(x, y uint16) bool {
+		ex, err1 := code.EncodeU64(uint64(x))
+		ey, err2 := code.EncodeU64(uint64(y))
+		exy, err3 := code.EncodeU64(uint64(x) + uint64(y))
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		sum, carry := ex.Add(ey)
+		return carry == 0 && sum == exy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decode inverts encode for arbitrary 180-bit group values.
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	code := mustStaticCode(t, 16, 3)
+	rng := rand.New(rand.NewPCG(42, 43))
+	for i := 0; i < 1000; i++ {
+		v := randWord(rng, 180)
+		enc, err := code.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc.ModU64(code.A) != 0 || enc.ModU64(code.B) != 0 {
+			t.Fatal("encoded value must be divisible by A and B")
+		}
+		dec, rem := code.Decode(enc)
+		if rem != 0 || dec != v {
+			t.Fatalf("round trip failed for %v", v)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusClean.String() != "clean" || StatusCorrected.String() != "corrected" ||
+		StatusDetected.String() != "detected" || Status(9).String() != "Status(9)" {
+		t.Fatal("Status.String mismatch")
+	}
+}
+
+func mustStaticCode(t *testing.T, dataBits int, b uint64) *Code {
+	t.Helper()
+	code, err := NewStaticCode(dataBits, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}

@@ -1,0 +1,95 @@
+package core
+
+import "fmt"
+
+// GroupLayout describes the multi-operand packing of paper Section V-B2:
+// several operands are concatenated into one wide word and encoded together,
+// so the constant check-bit budget is amortized over the whole group.
+//
+// Each operand occupies a lane of OperandBits data bits plus GuardBits of
+// headroom. The guard bits absorb the growth of a lane's partial dot product
+// when up to 2^GuardBits crossbar columns accumulate into it, so the lanes of
+// a decoded result can be split apart exactly. The paper packs 8x16-bit
+// operands with no guard bits and accepts inter-lane carry bleed; both modes
+// are supported (see DESIGN.md section 1).
+type GroupLayout struct {
+	// Operands is the number of values packed per group (paper: 8).
+	Operands int
+	// OperandBits is the data width of each operand (paper: 16).
+	OperandBits int
+	// GuardBits is the per-lane headroom reserved for dot-product growth.
+	GuardBits int
+}
+
+// LaneBits returns the total width of one lane.
+func (g GroupLayout) LaneBits() int { return g.OperandBits + g.GuardBits }
+
+// DataBits returns the width of the packed (unencoded) group.
+func (g GroupLayout) DataBits() int { return g.Operands * g.LaneBits() }
+
+// Validate checks the layout fits the fixed Word width with room for check
+// bits and per-input-bit accumulation.
+func (g GroupLayout) Validate() error {
+	switch {
+	case g.Operands < 1:
+		return fmt.Errorf("core: group needs at least one operand, got %d", g.Operands)
+	case g.OperandBits < 1 || g.OperandBits > 64:
+		return fmt.Errorf("core: operand width %d out of range [1,64]", g.OperandBits)
+	case g.GuardBits < 0:
+		return fmt.Errorf("core: negative guard bits %d", g.GuardBits)
+	case g.LaneBits() > 64:
+		return fmt.Errorf("core: lane width %d exceeds 64 bits", g.LaneBits())
+	case g.DataBits()+16 > WordBits:
+		return fmt.Errorf("core: group of %d bits leaves no room for check bits in a %d-bit Word", g.DataBits(), WordBits)
+	}
+	return nil
+}
+
+// Pack concatenates operands into a group word, operand 0 in the least
+// significant lane. Each operand must fit in OperandBits.
+func (g GroupLayout) Pack(ops []uint64) (Word, error) {
+	if len(ops) != g.Operands {
+		return Word{}, fmt.Errorf("core: packing %d operands into a %d-operand group", len(ops), g.Operands)
+	}
+	limit := operandLimit(g.OperandBits)
+	var w Word
+	lane := uint(g.LaneBits())
+	for i, op := range ops {
+		if op > limit {
+			return Word{}, fmt.Errorf("core: operand %d value %d exceeds %d bits", i, op, g.OperandBits)
+		}
+		if !w.AddShifted(op, uint(i)*lane) {
+			return Word{}, fmt.Errorf("core: group overflowed Word while packing operand %d", i)
+		}
+	}
+	return w, nil
+}
+
+// Unpack splits a decoded group word into its lane values. With sufficient
+// guard bits each lane is an exact partial sum; with GuardBits=0 this models
+// the paper's split, including any carry bleed between lanes.
+func (g GroupLayout) Unpack(w Word) []uint64 {
+	lane := uint(g.LaneBits())
+	out := make([]uint64, g.Operands)
+	for i := range out {
+		out[i] = w.ExtractBits(uint(i)*lane, lane)
+	}
+	return out
+}
+
+// GuardBitsFor returns the guard width needed so a lane can absorb the sum
+// of up to columns operands without overflowing: ceil(log2(columns)).
+func GuardBitsFor(columns int) int {
+	g := 0
+	for (1 << g) < columns {
+		g++
+	}
+	return g
+}
+
+func operandLimit(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << bits) - 1
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupLayoutWidths(t *testing.T) {
+	g := GroupLayout{Operands: 8, OperandBits: 16, GuardBits: 7}
+	if g.LaneBits() != 23 || g.DataBits() != 184 {
+		t.Fatalf("lane=%d data=%d", g.LaneBits(), g.DataBits())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperBitAccounting checks the paper's Section VIII-A arithmetic: an
+// eight-operand group of 16-bit operands with 9 check bits is 137 bits and
+// needs 35 bit slices at 4 bits per cell (zero-guard accounting mode).
+func TestPaperBitAccounting(t *testing.T) {
+	g := GroupLayout{Operands: 8, OperandBits: 16, GuardBits: 0}
+	encodedBits := g.DataBits() + 9
+	if encodedBits != 137 {
+		t.Fatalf("encoded bits = %d, want 137", encodedBits)
+	}
+	slices := (encodedBits + 3) / 4
+	if slices != 35 {
+		t.Fatalf("slices = %d, want 35", slices)
+	}
+}
+
+func TestGroupValidateRejections(t *testing.T) {
+	bad := []GroupLayout{
+		{Operands: 0, OperandBits: 16},
+		{Operands: 4, OperandBits: 0},
+		{Operands: 4, OperandBits: 65},
+		{Operands: 4, OperandBits: 16, GuardBits: -1},
+		{Operands: 4, OperandBits: 60, GuardBits: 10}, // lane > 64
+		{Operands: 16, OperandBits: 16, GuardBits: 0}, // 256 data bits, no room
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, g)
+		}
+	}
+}
+
+func TestGroupPackUnpackRoundTrip(t *testing.T) {
+	g := GroupLayout{Operands: 8, OperandBits: 16, GuardBits: 7}
+	rng := rand.New(rand.NewPCG(21, 22))
+	for i := 0; i < 300; i++ {
+		ops := make([]uint64, g.Operands)
+		for j := range ops {
+			ops[j] = rng.Uint64() & 0xFFFF
+		}
+		w, err := g.Pack(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := g.Unpack(w)
+		for j := range ops {
+			if back[j] != ops[j] {
+				t.Fatalf("lane %d: got %d want %d", j, back[j], ops[j])
+			}
+		}
+	}
+}
+
+func TestGroupPackRejectsOversizedOperand(t *testing.T) {
+	g := GroupLayout{Operands: 2, OperandBits: 8, GuardBits: 0}
+	if _, err := g.Pack([]uint64{256, 0}); err == nil {
+		t.Fatal("operand exceeding width must be rejected")
+	}
+	if _, err := g.Pack([]uint64{1}); err == nil {
+		t.Fatal("wrong operand count must be rejected")
+	}
+}
+
+// TestGuardBitsPreserveLaneSums is the key linearity property: with guard
+// bits sized for the column count, the lanes of a sum of packed groups are
+// the sums of the lanes — the property in-situ MVM over grouped operands
+// depends on.
+func TestGuardBitsPreserveLaneSums(t *testing.T) {
+	const cols = 100
+	g := GroupLayout{Operands: 8, OperandBits: 8, GuardBits: GuardBitsFor(cols)}
+	rng := rand.New(rand.NewPCG(31, 32))
+	var acc Word
+	want := make([]uint64, g.Operands)
+	for j := 0; j < cols; j++ {
+		ops := make([]uint64, g.Operands)
+		for k := range ops {
+			ops[k] = rng.Uint64() & 0xFF
+			want[k] += ops[k]
+		}
+		w, err := g.Pack(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var carry uint64
+		acc, carry = acc.Add(w)
+		if carry != 0 {
+			t.Fatal("accumulation overflow")
+		}
+	}
+	got := g.Unpack(acc)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("lane %d: got %d want %d", k, got[k], want[k])
+		}
+	}
+}
+
+// TestZeroGuardCarryBleed documents the paper-mode hazard: without guard
+// bits, lane sums that overflow the operand width corrupt the next lane.
+func TestZeroGuardCarryBleed(t *testing.T) {
+	g := GroupLayout{Operands: 2, OperandBits: 4, GuardBits: 0}
+	var acc Word
+	// Two columns each holding operand value 15 in lane 0 -> lane sum 30
+	// overflows 4 bits.
+	for j := 0; j < 2; j++ {
+		w, err := g.Pack([]uint64{15, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, _ = acc.Add(w)
+	}
+	lanes := g.Unpack(acc)
+	if lanes[0] == 30 {
+		t.Fatal("zero-guard lane cannot represent 30")
+	}
+	if lanes[1] == 2 {
+		t.Fatal("expected carry bleed into lane 1")
+	}
+}
+
+func TestGuardBitsFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 127: 7, 128: 7, 129: 8}
+	for cols, want := range cases {
+		if got := GuardBitsFor(cols); got != want {
+			t.Errorf("GuardBitsFor(%d) = %d, want %d", cols, got, want)
+		}
+	}
+}
+
+// Property: pack/unpack round-trips for arbitrary layouts and operands.
+func TestGroupRoundTripQuick(t *testing.T) {
+	f := func(raw [6]uint16, guard uint8) bool {
+		g := GroupLayout{Operands: 6, OperandBits: 16, GuardBits: int(guard % 8)}
+		if g.Validate() != nil {
+			return true
+		}
+		ops := make([]uint64, 6)
+		for i, v := range raw {
+			ops[i] = uint64(v)
+		}
+		w, err := g.Pack(ops)
+		if err != nil {
+			return false
+		}
+		back := g.Unpack(w)
+		for i := range ops {
+			if back[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "math/bits"
+
+// This file implements the (8,4) extended Hamming SECDED code used by the
+// paper's Section III argument (Figure 5): unlike AN codes, Hamming codes do
+// not conserve addition, so they cannot protect an in-situ dot product —
+// f(x) + f(y) != f(x+y) even with no errors at all. The implementation also
+// powers the Figure 3 illustration of arithmetic versus Hamming distance.
+
+// Hamming84Encode encodes a 4-bit value into the (8,4) extended Hamming
+// code word: data bits d0..d3, parity bits p1 p2 p4 at the power-of-two
+// positions, and an overall parity bit for double-error detection. The
+// returned layout is [p0 p1 p2 d0 p4 d1 d2 d3] from bit 7 down to bit 0 in
+// the classical positional arrangement (positions 1..7 plus overall).
+func Hamming84Encode(data uint8) uint8 {
+	d := data & 0xF
+	d0 := d & 1
+	d1 := d >> 1 & 1
+	d2 := d >> 2 & 1
+	d3 := d >> 3 & 1
+	p1 := d0 ^ d1 ^ d3
+	p2 := d0 ^ d2 ^ d3
+	p4 := d1 ^ d2 ^ d3
+	// Positions 1..7: p1 p2 d0 p4 d1 d2 d3; bit 0 is overall parity.
+	word := p1<<7 | p2<<6 | d0<<5 | p4<<4 | d1<<3 | d2<<2 | d3<<1
+	overall := uint8(bits.OnesCount8(word)) & 1
+	return word | overall
+}
+
+// Hamming84Decode corrects a single flipped bit and reports the outcome:
+// ok=false signals a detected double error. The corrected data nibble is
+// returned in either case.
+func Hamming84Decode(word uint8) (data uint8, corrected bool, ok bool) {
+	bit := func(pos int) uint8 { return word >> (8 - pos) & 1 } // pos 1..7
+	s1 := bit(1) ^ bit(3) ^ bit(5) ^ bit(7)
+	s2 := bit(2) ^ bit(3) ^ bit(6) ^ bit(7)
+	s4 := bit(4) ^ bit(5) ^ bit(6) ^ bit(7)
+	syndrome := int(s1) | int(s2)<<1 | int(s4)<<2
+	overallOK := uint8(bits.OnesCount8(word))&1 == 0
+	switch {
+	case syndrome == 0 && overallOK:
+		// clean
+	case syndrome != 0 && !overallOK:
+		word ^= 1 << (8 - syndrome) // single error at position `syndrome`
+		corrected = true
+	case syndrome == 0 && !overallOK:
+		word ^= 1 // overall parity bit itself flipped
+		corrected = true
+	default:
+		// Syndrome set but overall parity consistent: double error.
+		return extractData(word), false, false
+	}
+	return extractData(word), corrected, true
+}
+
+func extractData(word uint8) uint8 {
+	bit := func(pos int) uint8 { return word >> (8 - pos) & 1 }
+	return bit(3) | bit(5)<<1 | bit(6)<<2 | bit(7)<<3
+}
+
+// HammingDistance counts differing bits between two words, the metric of
+// the paper's Figure 3 contrast between arithmetic and Hamming error
+// models.
+func HammingDistance(a, b uint64) int {
+	return bits.OnesCount64(a ^ b)
+}
+
+// SECDEDConservesAddition checks whether the (8,4) code commutes with
+// addition for a given operand pair: Hamming84Encode(x) + Hamming84Encode(y)
+// == Hamming84Encode(x+y). The paper's Section III shows this fails (for
+// 3 + 4 = 7 the two sides differ by Hamming distance two), which is why
+// SECDED cannot protect in-situ analog accumulation.
+func SECDEDConservesAddition(x, y uint8) bool {
+	sum := uint16(Hamming84Encode(x)) + uint16(Hamming84Encode(y))
+	return sum == uint16(Hamming84Encode((x+y)&0xF))
+}

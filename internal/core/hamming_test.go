@@ -1,0 +1,95 @@
+package core
+
+import "testing"
+
+func TestHamming84RoundTrip(t *testing.T) {
+	for d := uint8(0); d < 16; d++ {
+		w := Hamming84Encode(d)
+		got, corrected, ok := Hamming84Decode(w)
+		if !ok || corrected || got != d {
+			t.Fatalf("clean decode of %d: got %d corrected=%v ok=%v", d, got, corrected, ok)
+		}
+	}
+}
+
+func TestHamming84CorrectsSingleBit(t *testing.T) {
+	for d := uint8(0); d < 16; d++ {
+		w := Hamming84Encode(d)
+		for b := 0; b < 8; b++ {
+			got, corrected, ok := Hamming84Decode(w ^ (1 << b))
+			if !ok || !corrected || got != d {
+				t.Fatalf("data %d bit %d: got %d corrected=%v ok=%v", d, b, got, corrected, ok)
+			}
+		}
+	}
+}
+
+func TestHamming84DetectsDoubleBit(t *testing.T) {
+	misses := 0
+	for d := uint8(0); d < 16; d++ {
+		w := Hamming84Encode(d)
+		for b1 := 0; b1 < 8; b1++ {
+			for b2 := b1 + 1; b2 < 8; b2++ {
+				if _, _, ok := Hamming84Decode(w ^ (1 << b1) ^ (1 << b2)); ok {
+					misses++
+				}
+			}
+		}
+	}
+	if misses != 0 {
+		t.Fatalf("%d double errors went undetected", misses)
+	}
+}
+
+// TestFigure3ArithmeticVsHammingDistance replays the paper's Figure 3: an
+// additive error of +1 turns 0111 (7) into 1000 (8) — one arithmetic error
+// but Hamming distance four, outside SECDED's reach.
+func TestFigure3ArithmeticVsHammingDistance(t *testing.T) {
+	if d := HammingDistance(0b0111, 0b1000); d != 4 {
+		t.Fatalf("Hamming distance = %d, want 4", d)
+	}
+}
+
+// TestSECDEDDoesNotConserveAddition replays Figure 5: encoding 3 and 4 with
+// the (8,4) Hamming code and adding the code words does not produce the
+// code word of 7, and the gap is Hamming distance two — uncorrectable even
+// though no error occurred.
+func TestSECDEDDoesNotConserveAddition(t *testing.T) {
+	if SECDEDConservesAddition(3, 4) {
+		t.Fatal("SECDED must not conserve 3+4")
+	}
+	sum := uint16(Hamming84Encode(3)) + uint16(Hamming84Encode(4))
+	direct := uint16(Hamming84Encode(7))
+	if sum == direct {
+		t.Fatal("sums unexpectedly equal")
+	}
+	if sum < 256 {
+		if d := HammingDistance(uint64(sum), uint64(direct)); d < 2 {
+			t.Fatalf("expected Hamming distance >= 2, got %d", d)
+		}
+	}
+	// Contrast: the AN code conserves the same addition exactly.
+	code := &Code{A: 19, B: 1}
+	e3, _ := code.EncodeU64(3)
+	e4, _ := code.EncodeU64(4)
+	e7, _ := code.EncodeU64(7)
+	if sum, _ := e3.Add(e4); sum != e7 {
+		t.Fatal("AN code must conserve addition")
+	}
+}
+
+// TestSECDEDConservationIsRare scans all operand pairs: conservation can
+// only hold by coincidence, never in general.
+func TestSECDEDConservationIsRare(t *testing.T) {
+	conserved := 0
+	for x := uint8(0); x < 16; x++ {
+		for y := uint8(0); y < 16; y++ {
+			if SECDEDConservesAddition(x, y) {
+				conserved++
+			}
+		}
+	}
+	if conserved > 64 { // far fewer than all 256 pairs
+		t.Fatalf("SECDED conserved %d/256 pairs; should be rare", conserved)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Syndrome is a signed additive error value. Errors in a bit-sliced crossbar
+// manifest as +/- q * 2^(row offset) terms added to the reduced dot product;
+// a Syndrome records one such term (or a combination of up to four of them).
+type Syndrome struct {
+	Neg bool // true if the error decreases the result
+	Mag Word // magnitude of the additive error
+}
+
+// SyndromeFromSteps builds the syndrome steps * 2^bitOffset from a signed
+// quantization-step error at a physical-row bit offset.
+func SyndromeFromSteps(steps int, bitOffset int) Syndrome {
+	neg := steps < 0
+	if neg {
+		steps = -steps
+	}
+	mag, ok := Pow2Word(bitOffset).MulU64(uint64(steps))
+	if !ok {
+		panic(fmt.Sprintf("core: syndrome %d<<%d overflows Word", steps, bitOffset))
+	}
+	return Syndrome{Neg: neg, Mag: mag}
+}
+
+// AddTo folds another syndrome term into s (used to compose multi-row
+// combinations).
+func (s Syndrome) AddTo(o Syndrome) Syndrome {
+	if s.Neg == o.Neg {
+		mag, carry := s.Mag.Add(o.Mag)
+		if carry != 0 {
+			panic("core: syndrome magnitude overflow")
+		}
+		return Syndrome{Neg: s.Neg, Mag: mag}
+	}
+	// Opposite signs: subtract the smaller magnitude from the larger.
+	if s.Mag.Cmp(o.Mag) >= 0 {
+		mag, _ := s.Mag.Sub(o.Mag)
+		return Syndrome{Neg: s.Neg, Mag: mag}
+	}
+	mag, _ := o.Mag.Sub(s.Mag)
+	return Syndrome{Neg: o.Neg, Mag: mag}
+}
+
+// IsZero reports whether the syndrome is the zero error.
+func (s Syndrome) IsZero() bool { return s.Mag.IsZero() }
+
+// Residue returns the syndrome's residue mod a, the value the decoder
+// observes when this error corrupts a computation.
+func (s Syndrome) Residue(a uint64) uint64 {
+	r := s.Mag.ModU64(a)
+	if s.Neg && r != 0 {
+		r = a - r
+	}
+	return r
+}
+
+// ApplyTo returns value - s (the correction step). ok is false if the
+// correction would drive the value negative, which the hardware treats as an
+// uncorrectable error.
+func (s Syndrome) ApplyTo(v Word) (Word, bool) {
+	if s.Neg {
+		r, carry := v.Add(s.Mag)
+		return r, carry == 0
+	}
+	r, borrow := v.Sub(s.Mag)
+	return r, borrow == 0
+}
+
+// String renders the syndrome with its sign.
+func (s Syndrome) String() string {
+	if s.Neg {
+		return "-" + s.Mag.String()
+	}
+	return "+" + s.Mag.String()
+}
+
+// Table maps residues mod A to the syndromes they correct. It models the
+// correction-table SRAM in the error correction unit (paper Figure 9): the
+// residue of the reduced row output indexes the table, and the stored
+// syndrome is subtracted from the result.
+type Table struct {
+	a       uint64
+	entries map[uint64]Syndrome
+	// coveredProb is the total probability mass of the error patterns this
+	// table corrects, accumulated during data-aware construction; zero for
+	// statically built tables.
+	coveredProb float64
+}
+
+// NewTable returns an empty correction table for residues mod a.
+func NewTable(a uint64) *Table {
+	return &Table{a: a, entries: make(map[uint64]Syndrome)}
+}
+
+// A returns the modulus the table is indexed by.
+func (t *Table) A() uint64 { return t.a }
+
+// Len returns the number of allocated syndromes.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Capacity returns the number of usable residues (A-1: residue zero means
+// "no error" and cannot address a correction).
+func (t *Table) Capacity() int { return int(t.a) - 1 }
+
+// CoveredProb returns the probability mass covered during data-aware
+// construction (0 for static tables).
+func (t *Table) CoveredProb() float64 { return t.coveredProb }
+
+// Lookup returns the syndrome allocated to a residue.
+func (t *Table) Lookup(res uint64) (Syndrome, bool) {
+	s, ok := t.entries[res]
+	return s, ok
+}
+
+// Add allocates a syndrome if its residue is nonzero and not yet taken,
+// reporting whether it was inserted.
+func (t *Table) Add(s Syndrome) bool {
+	res := s.Residue(t.a)
+	if res == 0 || s.IsZero() {
+		return false
+	}
+	if _, taken := t.entries[res]; taken {
+		return false
+	}
+	t.entries[res] = s
+	return true
+}
+
+// Syndromes returns the allocated syndromes sorted by residue, for display
+// and deterministic iteration in tests.
+func (t *Table) Syndromes() []Syndrome {
+	keys := make([]uint64, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Syndrome, len(keys))
+	for i, k := range keys {
+		out[i] = t.entries[k]
+	}
+	return out
+}
+
+// NewStaticTable builds the classical single-error-correcting AN table:
+// syndromes +/- 2^i for every bit position i below wordBits (paper
+// Section V-A). It fails if two syndromes collide mod a, meaning a is too
+// small to correct single-bit errors on words of that length.
+func NewStaticTable(a uint64, wordBits int) (*Table, error) {
+	t := NewTable(a)
+	for i := 0; i < wordBits; i++ {
+		for _, neg := range [2]bool{false, true} {
+			s := Syndrome{Neg: neg, Mag: Pow2Word(i)}
+			if !t.Add(s) {
+				return nil, fmt.Errorf("core: A=%d cannot uniquely correct ±2^%d over %d-bit words", a, i, wordBits)
+			}
+		}
+	}
+	return t, nil
+}
+
+// MinimalSingleErrorA returns the smallest odd A, coprime to b, whose
+// residues distinguish all +/- 2^i single-bit errors over wordBits-bit
+// words. For 5-bit encoded words this recovers the paper's A=19 example; for
+// 39-bit encoded words it recovers A=79.
+func MinimalSingleErrorA(wordBits int, b uint64) uint64 {
+	for a := uint64(2*wordBits + 1); ; a += 2 {
+		if b > 1 && a%b == 0 {
+			continue
+		}
+		if _, err := NewStaticTable(a, wordBits); err == nil {
+			return a
+		}
+	}
+}

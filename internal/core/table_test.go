@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSyndromeFromSteps(t *testing.T) {
+	s := SyndromeFromSteps(2, 10)
+	if s.Neg || s.Mag != WordFromU64(2048) {
+		t.Fatalf("2<<10 syndrome = %v", s)
+	}
+	n := SyndromeFromSteps(-1, 0)
+	if !n.Neg || n.Mag != WordFromU64(1) {
+		t.Fatalf("-1 syndrome = %v", n)
+	}
+	if !SyndromeFromSteps(0, 5).IsZero() {
+		t.Fatal("zero steps must give zero syndrome")
+	}
+}
+
+func TestSyndromeAddTo(t *testing.T) {
+	a := SyndromeFromSteps(1, 4)  // +16
+	b := SyndromeFromSteps(1, 2)  // +4
+	c := SyndromeFromSteps(-1, 4) // -16
+	if sum := a.AddTo(b); sum.Neg || sum.Mag.Low64() != 20 {
+		t.Fatalf("+16 + +4 = %v", sum)
+	}
+	if diff := a.AddTo(c); !diff.IsZero() {
+		t.Fatalf("+16 + -16 = %v", diff)
+	}
+	if diff := b.AddTo(c); !diff.Neg || diff.Mag.Low64() != 12 {
+		t.Fatalf("+4 + -16 = %v", diff)
+	}
+	if diff := c.AddTo(b); !diff.Neg || diff.Mag.Low64() != 12 {
+		t.Fatalf("-16 + +4 = %v", diff)
+	}
+}
+
+func TestSyndromeResidue(t *testing.T) {
+	if r := SyndromeFromSteps(1, 3).Residue(19); r != 8 {
+		t.Fatalf("+8 mod 19 = %d", r)
+	}
+	if r := SyndromeFromSteps(-1, 3).Residue(19); r != 11 {
+		t.Fatalf("-8 mod 19 = %d, want 11", r)
+	}
+	if r := (Syndrome{Neg: true, Mag: WordFromU64(19)}).Residue(19); r != 0 {
+		t.Fatalf("-19 mod 19 = %d, want 0", r)
+	}
+}
+
+func TestSyndromeApplyTo(t *testing.T) {
+	v := WordFromU64(100)
+	pos := SyndromeFromSteps(1, 3) // error +8, correction subtracts 8
+	got, ok := pos.ApplyTo(v)
+	if !ok || got.Low64() != 92 {
+		t.Fatalf("ApplyTo = %v,%v", got, ok)
+	}
+	neg := SyndromeFromSteps(-1, 3) // error -8, correction adds 8
+	got, ok = neg.ApplyTo(v)
+	if !ok || got.Low64() != 108 {
+		t.Fatalf("ApplyTo = %v,%v", got, ok)
+	}
+	_, ok = SyndromeFromSteps(1, 10).ApplyTo(WordFromU64(5))
+	if ok {
+		t.Fatal("underflowing correction must report failure")
+	}
+}
+
+func TestSyndromeString(t *testing.T) {
+	if s := SyndromeFromSteps(1, 2).String(); s != "+4" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := SyndromeFromSteps(-3, 1).String(); s != "-6" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTableAddAndLookup(t *testing.T) {
+	tb := NewTable(19)
+	if tb.Capacity() != 18 {
+		t.Fatalf("capacity = %d", tb.Capacity())
+	}
+	s := SyndromeFromSteps(1, 1)
+	if !tb.Add(s) {
+		t.Fatal("first add must succeed")
+	}
+	if tb.Add(s) {
+		t.Fatal("duplicate residue must be rejected")
+	}
+	if tb.Add(SyndromeFromSteps(0, 0)) {
+		t.Fatal("zero syndrome must be rejected")
+	}
+	if tb.Add(Syndrome{Mag: WordFromU64(19)}) {
+		t.Fatal("residue-zero syndrome must be rejected")
+	}
+	got, ok := tb.Lookup(2)
+	if !ok || got != s {
+		t.Fatalf("Lookup(2) = %v,%v", got, ok)
+	}
+	if _, ok := tb.Lookup(5); ok {
+		t.Fatal("unallocated residue must miss")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableSyndromesSorted(t *testing.T) {
+	tb := NewTable(19)
+	tb.Add(SyndromeFromSteps(1, 3))
+	tb.Add(SyndromeFromSteps(1, 0))
+	tb.Add(SyndromeFromSteps(-1, 0))
+	all := tb.Syndromes()
+	if len(all) != 3 {
+		t.Fatalf("len = %d", len(all))
+	}
+	// Residues: +8 -> 8, +1 -> 1, -1 -> 18; sorted by residue.
+	if all[0] != SyndromeFromSteps(1, 0) || all[1] != SyndromeFromSteps(1, 3) || all[2] != SyndromeFromSteps(-1, 0) {
+		t.Fatalf("unexpected order: %v", all)
+	}
+}
+
+func TestStaticTableTooSmallA(t *testing.T) {
+	if _, err := NewStaticTable(17, 9); err == nil {
+		t.Fatal("A=17 has only 16 usable residues; 9-bit words need 18")
+	}
+}
+
+// Property: every static table's residues are unique and every syndrome it
+// stores corrects the corresponding single-bit error exactly.
+func TestStaticTableCorrectsAllQuick(t *testing.T) {
+	table, err := NewStaticTable(79, 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := &Code{A: 79, B: 1, Table: table}
+	f := func(v uint32, bit uint8, neg bool) bool {
+		b := int(bit) % 39
+		enc, err := code.EncodeU64(uint64(v))
+		if err != nil {
+			return false
+		}
+		var bad Word
+		if neg {
+			var borrow uint64
+			bad, borrow = enc.Sub(Pow2Word(b))
+			if borrow != 0 {
+				return true // skip underflow cases
+			}
+		} else {
+			bad, _ = enc.Add(Pow2Word(b))
+		}
+		fixed, status := code.Correct(bad)
+		return status == StatusCorrected && fixed == enc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimalSingleErrorARespectsCoprimality(t *testing.T) {
+	a := MinimalSingleErrorA(20, 3)
+	if a%3 == 0 {
+		t.Fatalf("A=%d must be coprime to B=3", a)
+	}
+	if a%2 == 0 {
+		t.Fatalf("A=%d must be odd", a)
+	}
+}

@@ -1,0 +1,211 @@
+// Package crossbar models the memristive crossbar substrate of the
+// accelerators the paper protects (Section II-B): multi-level cell arrays,
+// bit slicing of wide operands across physical rows (Figure 2), bit-serial
+// input application, and the shift-and-add reduction trees that reassemble
+// full-precision dot products (Figure 1).
+//
+// The representation is optimized for the Monte-Carlo hot path: each
+// physical row keeps one bitmask per conductance level, so the active-cell
+// population under an input mask — the quantity both the ideal ADC output
+// and the noise model need — is a handful of AND+popcount operations.
+package crossbar
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// DefaultSize is the array dimension the paper evaluates (128x128).
+const DefaultSize = 128
+
+// Array is one physical crossbar: Rows word lines by Cols bit lines of
+// cells programmable to 2^BitsPerCell conductance levels.
+type Array struct {
+	Rows, Cols, BitsPerCell int
+
+	words  int       // words per row mask
+	levels [][]uint8 // [row][col] programmed level
+	// masks[row][level][word]: bit c set iff cell (row, c) is programmed to
+	// that level. Level 0 masks are omitted (they carry no signal).
+	masks [][][]uint64
+	// hist[row][level] is the static level histogram used for worst-case
+	// susceptibility prediction.
+	hist [][]int
+}
+
+// NewArray allocates a zeroed (all cells at level 0) array.
+func NewArray(rows, cols, bitsPerCell int) *Array {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("crossbar: invalid dimensions %dx%d", rows, cols))
+	}
+	if bitsPerCell < 1 || bitsPerCell > 8 {
+		panic(fmt.Sprintf("crossbar: bits per cell %d out of range [1,8]", bitsPerCell))
+	}
+	k := 1 << bitsPerCell
+	words := (cols + 63) / 64
+	a := &Array{
+		Rows: rows, Cols: cols, BitsPerCell: bitsPerCell,
+		words:  words,
+		levels: make([][]uint8, rows),
+		masks:  make([][][]uint64, rows),
+		hist:   make([][]int, rows),
+	}
+	for r := 0; r < rows; r++ {
+		a.levels[r] = make([]uint8, cols)
+		a.masks[r] = make([][]uint64, k)
+		for l := 1; l < k; l++ {
+			a.masks[r][l] = make([]uint64, words)
+		}
+		a.hist[r] = make([]int, k)
+		a.hist[r][0] = cols
+	}
+	return a
+}
+
+// NumLevels returns the number of programmable levels per cell.
+func (a *Array) NumLevels() int { return 1 << a.BitsPerCell }
+
+// MaskWords returns the number of 64-bit words in an input mask for this
+// array.
+func (a *Array) MaskWords() int { return a.words }
+
+// Set programs cell (r, c) to the given level.
+func (a *Array) Set(r, c int, level uint8) {
+	if int(level) >= a.NumLevels() {
+		panic(fmt.Sprintf("crossbar: level %d exceeds %d-bit cell", level, a.BitsPerCell))
+	}
+	old := a.levels[r][c]
+	if old == level {
+		return
+	}
+	w, b := c/64, uint(c%64)
+	if old != 0 {
+		a.masks[r][old][w] &^= 1 << b
+	}
+	if level != 0 {
+		a.masks[r][level][w] |= 1 << b
+	}
+	a.levels[r][c] = level
+	a.hist[r][old]--
+	a.hist[r][level]++
+}
+
+// Level returns the programmed level of cell (r, c).
+func (a *Array) Level(r, c int) uint8 { return a.levels[r][c] }
+
+// Histogram returns the static level histogram of row r (do not mutate).
+func (a *Array) Histogram(r int) []int { return a.hist[r] }
+
+// ActiveCounts fills counts[level] with the number of row-r cells at each
+// level whose column is active in the input mask. counts must have
+// NumLevels entries; entry 0 is left zero (level-0 cells carry no signal
+// beyond the calibrated offset).
+func (a *Array) ActiveCounts(r int, input []uint64, counts []int) {
+	row := a.masks[r]
+	for l := 1; l < len(row); l++ {
+		m := row[l]
+		n := 0
+		for w := 0; w < a.words; w++ {
+			n += bits.OnesCount64(m[w] & input[w])
+		}
+		counts[l] = n
+	}
+	counts[0] = 0
+}
+
+// IdealRowOutput returns the noise-free quantized ADC output of row r under
+// an input mask: the level-weighted active-cell count, which is exactly the
+// integer the shift-and-add tree expects.
+func (a *Array) IdealRowOutput(r int, input []uint64) int {
+	row := a.masks[r]
+	out := 0
+	for l := 1; l < len(row); l++ {
+		m := row[l]
+		n := 0
+		for w := 0; w < a.words; w++ {
+			n += bits.OnesCount64(m[w] & input[w])
+		}
+		out += l * n
+	}
+	return out
+}
+
+// OutputFromCounts converts an ActiveCounts result to the ideal ADC output.
+func OutputFromCounts(counts []int) int {
+	out := 0
+	for l := 1; l < len(counts); l++ {
+		out += l * counts[l]
+	}
+	return out
+}
+
+// MaxOutput is the ADC full-scale value for this array: every column active
+// at the top level.
+func (a *Array) MaxOutput() int { return (a.NumLevels() - 1) * a.Cols }
+
+// SliceLevels splits an encoded word into per-row cell levels, least
+// significant slice first (Figure 2). nRows must cover the word's bit
+// length.
+func SliceLevels(w core.Word, bitsPerCell, nRows int) ([]uint8, error) {
+	if need := (w.BitLen() + bitsPerCell - 1) / bitsPerCell; need > nRows {
+		return nil, fmt.Errorf("crossbar: %d-bit word needs %d slices, only %d rows", w.BitLen(), need, nRows)
+	}
+	out := make([]uint8, nRows)
+	for r := 0; r < nRows; r++ {
+		out[r] = uint8(w.ExtractBits(uint(r*bitsPerCell), uint(bitsPerCell)))
+	}
+	return out, nil
+}
+
+// ProgramColumn writes the bit slices of an encoded word down column col,
+// one slice per physical row starting at row 0.
+func (a *Array) ProgramColumn(col int, w core.Word) error {
+	lv, err := SliceLevels(w, a.BitsPerCell, a.Rows)
+	if err != nil {
+		return err
+	}
+	for r, l := range lv {
+		a.Set(r, col, l)
+	}
+	return nil
+}
+
+// ReduceRows reassembles per-row ADC outputs into the full logical result
+// via the shift-and-add tree: sum of outs[r] << (r*bitsPerCell). Outputs
+// must be non-negative (the ADC clamps at zero). ok is false on overflow.
+func ReduceRows(outs []int, bitsPerCell int) (core.Word, bool) {
+	var acc core.Word
+	for r, o := range outs {
+		if o < 0 {
+			return core.Word{}, false
+		}
+		if o == 0 {
+			continue
+		}
+		if !acc.AddShifted(uint64(o), uint(r*bitsPerCell)) {
+			return core.Word{}, false
+		}
+	}
+	return acc, true
+}
+
+// InputMasks bit-slices a quantized input vector for bit-serial application
+// (Section II-B1): masks[b] has bit j set iff bit b of input j is one.
+func InputMasks(vals []uint64, inputBits int) [][]uint64 {
+	words := (len(vals) + 63) / 64
+	masks := make([][]uint64, inputBits)
+	for b := range masks {
+		masks[b] = make([]uint64, words)
+	}
+	for j, v := range vals {
+		w, bit := j/64, uint(j%64)
+		for b := 0; b < inputBits; b++ {
+			if v>>uint(b)&1 == 1 {
+				masks[b][w] |= 1 << bit
+			}
+		}
+	}
+	return masks
+}

@@ -1,0 +1,196 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func nnRand(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 0)) }
+
+func TestSynthDigitsShapeAndLabels(t *testing.T) {
+	d := SynthDigits(1, 50, 30)
+	if d.Classes != 10 || len(d.Train) != 50 || len(d.Test) != 30 {
+		t.Fatalf("sizes: %d classes, %d train, %d test", d.Classes, len(d.Train), len(d.Test))
+	}
+	seen := make(map[int]bool)
+	for _, ex := range d.Train {
+		if ex.Label < 0 || ex.Label > 9 {
+			t.Fatalf("label %d out of range", ex.Label)
+		}
+		seen[ex.Label] = true
+		if len(ex.Input.Shape) != 3 || ex.Input.Shape[1] != 28 {
+			t.Fatalf("shape %v", ex.Input.Shape)
+		}
+		for _, v := range ex.Input.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %g out of [0,1]", v)
+			}
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d classes present in 50 samples", len(seen))
+	}
+}
+
+func TestSynthDigitsDeterministic(t *testing.T) {
+	a := SynthDigits(7, 10, 10)
+	b := SynthDigits(7, 10, 10)
+	for i := range a.Train {
+		for j := range a.Train[i].Input.Data {
+			if a.Train[i].Input.Data[j] != b.Train[i].Input.Data[j] {
+				t.Fatal("same seed must generate identical data")
+			}
+		}
+	}
+	c := SynthDigits(8, 10, 10)
+	same := true
+	for j := range a.Train[0].Input.Data {
+		if a.Train[0].Input.Data[j] != c.Train[0].Input.Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestSynthDigitsTrainTestDisjointStreams(t *testing.T) {
+	d := SynthDigits(3, 10, 10)
+	same := true
+	for j := range d.Train[0].Input.Data {
+		if d.Train[0].Input.Data[j] != d.Test[0].Input.Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("train and test streams must be independent")
+	}
+}
+
+func TestSynthDigitsHaveInk(t *testing.T) {
+	d := SynthDigits(5, 20, 0)
+	for i, ex := range d.Train {
+		sum := 0.0
+		for _, v := range ex.Input.Data {
+			sum += v
+		}
+		// A glyph should cover a meaningful fraction of the image but not
+		// dominate it.
+		if sum < 20 || sum > 500 {
+			t.Fatalf("sample %d (label %d) ink mass %g implausible", i, ex.Label, sum)
+		}
+	}
+}
+
+// TestSynthDigitsLearnable: a small MLP must reach high accuracy quickly,
+// confirming the classes are separable like MNIST.
+func TestSynthDigitsLearnable(t *testing.T) {
+	d := SynthDigits(11, 1500, 300)
+	net := &nn.Network{Name: "probe", InShape: []int{1, 28, 28}, Layers: nil}
+	rng := nnRand(1)
+	net.Layers = []nn.Layer{&nn.Flatten{}, nn.NewDense(784, 96, rng), &nn.ReLU{}, nn.NewDense(96, 10, rng)}
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 10
+	nn.Train(net, d.Train, cfg)
+	if miss := nn.Evaluate(net, d.Test); miss > 0.15 {
+		t.Fatalf("probe misclassification %.3f; digits should be learnable", miss)
+	}
+}
+
+// TestSynthObjectsHarderThanDigits: the ILSVRC stand-in must be
+// substantially harder for a small probe model, mirroring the
+// MNIST-vs-ImageNet difficulty gap the paper's baselines reflect.
+func TestSynthObjectsHarderThanDigits(t *testing.T) {
+	classes := 20
+	d := SynthObjects(13, classes, 800, 300)
+	net := &nn.Network{Name: "probe", InShape: []int{3, 32, 32}}
+	rng := nnRand(2)
+	net.Layers = []nn.Layer{&nn.Flatten{}, nn.NewDense(3072, 48, rng), &nn.ReLU{}, nn.NewDense(48, classes, rng)}
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 6
+	nn.Train(net, d.Train, cfg)
+	miss := nn.Evaluate(net, d.Test)
+	chance := 1 - 1/float64(classes)
+	if miss >= chance {
+		t.Fatalf("probe does no better than chance (%.3f)", miss)
+	}
+	if miss < 0.10 {
+		t.Fatalf("objects too easy (%.3f); Table III needs a hard baseline", miss)
+	}
+}
+
+func TestSynthObjectsShape(t *testing.T) {
+	d := SynthObjects(1, 40, 40, 40)
+	if d.Classes != 40 {
+		t.Fatalf("classes = %d", d.Classes)
+	}
+	labels := make(map[int]bool)
+	for _, ex := range d.Test {
+		labels[ex.Label] = true
+		if ex.Input.Shape[0] != 3 || ex.Input.Shape[1] != 32 || ex.Input.Shape[2] != 32 {
+			t.Fatalf("shape %v", ex.Input.Shape)
+		}
+		for _, v := range ex.Input.Data {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("pixel %g out of range", v)
+			}
+		}
+	}
+	if len(labels) != 40 {
+		t.Fatalf("%d distinct labels in test set", len(labels))
+	}
+}
+
+func TestSynthObjectsClassesDiffer(t *testing.T) {
+	d := SynthObjects(21, 4, 8, 0)
+	// Mean images of different classes should differ noticeably more than
+	// samples within a class differ from their own mean.
+	byClass := map[int][]*nn.Tensor{}
+	for _, ex := range d.Train {
+		byClass[ex.Label] = append(byClass[ex.Label], ex.Input)
+	}
+	m0 := meanImage(byClass[0])
+	m1 := meanImage(byClass[1])
+	if dist(m0, m1) < 0.5 {
+		t.Fatalf("class means too similar: %g", dist(m0, m1))
+	}
+}
+
+func meanImage(xs []*nn.Tensor) []float64 {
+	out := make([]float64, xs[0].Len())
+	for _, x := range xs {
+		for i, v := range x.Data {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(xs))
+	}
+	return out
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestPointSegDist(t *testing.T) {
+	if d := pointSegDist(0, 1, 0, 0, 2, 0); d != 1 {
+		t.Fatalf("perpendicular distance = %g", d)
+	}
+	if d := pointSegDist(-3, 0, 0, 0, 2, 0); d != 3 {
+		t.Fatalf("endpoint distance = %g", d)
+	}
+	if d := pointSegDist(1, 0, 1, 0, 1, 0); d != 0 {
+		t.Fatalf("degenerate segment distance = %g", d)
+	}
+}

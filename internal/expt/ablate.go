@@ -1,0 +1,111 @@
+package expt
+
+import (
+	"repro/internal/accel"
+)
+
+// AblationResult is one design-choice variant evaluated on the same
+// workload and device point.
+type AblationResult struct {
+	Name string
+	Cell CellResult
+}
+
+// AblationSpecs returns the design-choice variants DESIGN.md calls out,
+// all anchored on the ABN-9 configuration:
+//
+//   - abn9:            the shipped configuration (guard bits, 5 hardware
+//     candidate As, detect-and-retry)
+//   - full-search:     exhaustive A search instead of the 5-candidate
+//     hardware divider (Section V-B4 vs Section VI)
+//   - no-retry:        the throughput-preserving revert-on-detect policy
+//     (Section VI-A)
+//   - zero-guard:      the paper's exact bit accounting with no lane guard
+//     bits, exposing inter-lane carry bleed (DESIGN.md section 1)
+//   - group-4:         four operands per coded group instead of eight
+//   - ungrouped:       one operand per code word (constant-overhead
+//     grouping disabled)
+//   - differential:    PRIME-style positive/negative row pairs instead of
+//     ISAAC's offset-binary negative-weight encoding
+func AblationSpecs() []struct {
+	Name    string
+	Scheme  accel.Scheme
+	Retries int
+} {
+	base := accel.SchemeABN(9)
+	full := base
+	full.FullSearch = true
+	full.Name = "full-search"
+	zg := base
+	zg.ZeroGuard = true
+	zg.Name = "zero-guard"
+	g4 := base
+	g4.GroupOps = 4
+	g4.Name = "group-4"
+	g1 := base
+	g1.GroupOps = 1
+	g1.Name = "ungrouped"
+	diff := base
+	diff.Name = "differential"
+	return []struct {
+		Name    string
+		Scheme  accel.Scheme
+		Retries int
+	}{
+		{"abn9", base, 0},
+		{"full-search", full, 0},
+		{"no-retry", base, -1}, // -1 encodes "force zero retries"
+		{"zero-guard", zg, 0},
+		{"group-4", g4, 0},
+		{"ungrouped", g1, 0},
+		{"differential", diff, -2}, // -2 encodes the PRIME-style encoding
+	}
+}
+
+// RunAblations evaluates the variants on one workload at one device point.
+func RunAblations(w Workload, opt SweepOptions) ([]AblationResult, error) {
+	dev := opt.Device
+	dev.BitsPerCell = 2
+	var out []AblationResult
+	for _, spec := range AblationSpecs() {
+		cfg := EvalConfig{
+			Device: dev, Scheme: spec.Scheme, Retries: opt.Retries,
+			Images: opt.Images, Seed: opt.Seed, Workers: opt.Workers,
+		}
+		if spec.Retries < 0 {
+			// Negative values are variant selectors handled by
+			// evaluateWithRetryOverride, not retry counts.
+			cfg.Retries = spec.Retries
+		}
+		cell, err := evaluateWithRetryOverride(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{Name: spec.Name, Cell: cell})
+		opt.Progress.Printf("ablation %-12s miss=%.4f corr=%d det=%d\n",
+			spec.Name, cell.MissRate(), cell.Stats.Corrected, cell.Stats.Detected)
+	}
+	return out, nil
+}
+
+// evaluateWithRetryOverride is EvaluateScheme plus support for the two
+// variants the plain config cannot express: the zero-retry revert policy
+// (cfg.Retries == -1) and differential weight encoding (cfg.Retries == -2).
+func evaluateWithRetryOverride(w Workload, cfg EvalConfig) (CellResult, error) {
+	switch cfg.Retries {
+	case -1:
+		acfg := accel.DefaultConfig(cfg.Scheme)
+		acfg.Device = cfg.Device
+		acfg.Retries = 0
+		acfg.Seed = cfg.Seed
+		return evaluateMapped(w, acfg, cfg)
+	case -2:
+		acfg := accel.DefaultConfig(cfg.Scheme)
+		acfg.Device = cfg.Device
+		acfg.Encoding = accel.EncodingDifferential
+		acfg.Seed = cfg.Seed
+		return evaluateMapped(w, acfg, cfg)
+	default:
+		return EvaluateScheme(w, cfg)
+	}
+}

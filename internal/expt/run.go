@@ -1,0 +1,175 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/nn"
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// SchemeSoftware is the sentinel name for the float forward pass baseline.
+const SchemeSoftware = "Software"
+
+// EvalConfig drives one Monte-Carlo classification cell.
+type EvalConfig struct {
+	Device  noise.DeviceParams
+	Scheme  accel.Scheme
+	Retries int
+	Images  int // test images evaluated (0 = all)
+	Seed    uint64
+	Workers int // 0 = GOMAXPROCS
+	TopK    int // additionally report top-K misclassification (0 = skip)
+}
+
+// CellResult is one (workload, scheme, device) evaluation.
+type CellResult struct {
+	Workload string
+	Scheme   string
+	Bits     int
+	Miss     stats.Counter
+	MissTopK stats.Counter
+	// Drift is the mean absolute logit deviation from the software
+	// forward pass — the silent output perturbation that remains even
+	// when the argmax survives.
+	Drift stats.Summary
+	Stats accel.Stats
+}
+
+// MissRate returns the top-1 misclassification rate.
+func (c CellResult) MissRate() float64 { return c.Miss.Rate() }
+
+// EvaluateSoftware runs the float baseline over the test subset.
+func EvaluateSoftware(w Workload, images, topK int) CellResult {
+	test := clipTest(w.Test, images)
+	res := CellResult{Workload: w.Name, Scheme: SchemeSoftware}
+	for _, ex := range test {
+		logits := w.Net.Forward(ex.Input)
+		res.Miss.AddOutcome(logits.ArgMax() != ex.Label)
+		if topK > 0 {
+			res.MissTopK.AddOutcome(!containsLabel(logits.TopK(topK), ex.Label))
+		}
+	}
+	return res
+}
+
+// EvaluateScheme maps the workload onto the accelerator under the scheme
+// and measures misclassification over the test subset, parallelized over
+// images with per-worker sessions.
+func EvaluateScheme(w Workload, cfg EvalConfig) (CellResult, error) {
+	acfg := accel.DefaultConfig(cfg.Scheme)
+	acfg.Device = cfg.Device
+	if cfg.Retries > 0 {
+		acfg.Retries = cfg.Retries
+	}
+	acfg.Seed = cfg.Seed
+	return evaluateMapped(w, acfg, cfg)
+}
+
+// evaluateMapped runs the Monte-Carlo over a fully specified accelerator
+// configuration.
+func evaluateMapped(w Workload, acfg accel.Config, cfg EvalConfig) (CellResult, error) {
+	eng, err := accel.Map(w.Net, acfg)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("expt: mapping %s under %s: %w", w.Name, cfg.Scheme.Name, err)
+	}
+	test := clipTest(w.Test, cfg.Images)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(test) {
+		workers = max(1, len(test))
+	}
+
+	results := make([]CellResult, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			sess := eng.NewSession(cfg.Seed*1000 + uint64(wk))
+			soft := w.Net.CloneForInference()
+			r := &results[wk]
+			for i := wk; i < len(test); i += workers {
+				ex := test[i]
+				// One noise stream per image: results do not depend on
+				// how images are distributed across workers.
+				sess.Reseed(cfg.Seed*100_000 + uint64(i))
+				logits := sess.Forward(ex.Input)
+				r.Miss.AddOutcome(logits.ArgMax() != ex.Label)
+				if cfg.TopK > 0 {
+					r.MissTopK.AddOutcome(!containsLabel(logits.TopK(cfg.TopK), ex.Label))
+				}
+				ref := soft.Forward(ex.Input)
+				for j := range logits.Data {
+					r.Drift.Add(abs(logits.Data[j] - ref.Data[j]))
+				}
+			}
+			r.Stats = sess.Stats
+		}(wk)
+	}
+	wg.Wait()
+
+	out := CellResult{Workload: w.Name, Scheme: cfg.Scheme.Name, Bits: cfg.Device.BitsPerCell}
+	for _, r := range results {
+		out.Miss.Merge(r.Miss)
+		out.MissTopK.Merge(r.MissTopK)
+		out.Drift.Merge(&r.Drift)
+		out.Stats.Merge(r.Stats)
+	}
+	return out, nil
+}
+
+// FigureSchemes returns the seven protected configurations of Figures 10
+// and 11 (the Software baseline is evaluated separately).
+func FigureSchemes() []accel.Scheme {
+	return []accel.Scheme{
+		accel.SchemeNoECC(),
+		accel.SchemeStatic16(),
+		accel.SchemeStatic128(),
+		accel.SchemeABN(7),
+		accel.SchemeABN(8),
+		accel.SchemeABN(9),
+		accel.SchemeABN(10),
+	}
+}
+
+func clipTest(test []nn.Example, images int) []nn.Example {
+	if images <= 0 || images >= len(test) {
+		return test
+	}
+	return test[:images]
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func containsLabel(topk []int, label int) bool {
+	for _, c := range topk {
+		if c == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Progress optionally reports experiment progress lines.
+type Progress struct {
+	W io.Writer
+}
+
+// Printf writes a progress line when a writer is configured.
+func (p Progress) Printf(format string, args ...any) {
+	if p.W != nil {
+		fmt.Fprintf(p.W, format, args...)
+	}
+}

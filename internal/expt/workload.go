@@ -1,0 +1,100 @@
+// Package expt is the evaluation harness: it trains (or loads) the Table II
+// workloads, runs the Monte-Carlo classification experiments behind
+// Figures 10-12 and Table III, drives the Figure 7 transient and the
+// Table IV hardware model, and renders the results as aligned text tables
+// and CSV files. Every experiment is deterministic in its seed and
+// parallelized over images.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// Workload is one trained network with its held-out test set.
+type Workload struct {
+	Name string
+	Net  *nn.Network
+	Test []nn.Example
+}
+
+// TrainOptions sizes the workload training runs.
+type TrainOptions struct {
+	Seed     uint64
+	Train    int // training examples per dataset
+	Test     int // held-out examples
+	Epochs   int
+	Classes  int // object classes for the MiniAlexNet workload
+	CacheDir string
+	Log      io.Writer
+}
+
+// DefaultTrainOptions returns a laptop-scale configuration.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Seed: 42, Train: 4000, Test: 1000, Epochs: 5, Classes: 40}
+}
+
+// DigitWorkloads trains (or restores from cache) the three MNIST-class
+// networks of Table II: MLP1, MLP2, and CNN1 on SynthDigits.
+func DigitWorkloads(opt TrainOptions) ([]Workload, error) {
+	ds := dataset.SynthDigits(opt.Seed, opt.Train, opt.Test)
+	nets := []*nn.Network{nn.NewMLP1(opt.Seed), nn.NewMLP2(opt.Seed), nn.NewCNN1(opt.Seed)}
+	out := make([]Workload, 0, len(nets))
+	for _, net := range nets {
+		if err := fitOrLoad(net, ds.Train, opt); err != nil {
+			return nil, err
+		}
+		out = append(out, Workload{Name: net.Name, Net: net, Test: ds.Test})
+	}
+	return out, nil
+}
+
+// ObjectWorkload trains (or restores) the AlexNet stand-in on SynthObjects.
+func ObjectWorkload(opt TrainOptions) (Workload, error) {
+	ds := dataset.SynthObjects(opt.Seed, opt.Classes, opt.Train, opt.Test)
+	net := nn.NewMiniAlexNet(opt.Seed, opt.Classes)
+	if err := fitOrLoad(net, ds.Train, opt); err != nil {
+		return Workload{}, err
+	}
+	return Workload{Name: net.Name, Net: net, Test: ds.Test}, nil
+}
+
+// fitOrLoad restores cached weights when available, otherwise trains and
+// caches.
+func fitOrLoad(net *nn.Network, train []nn.Example, opt TrainOptions) error {
+	var cache string
+	if opt.CacheDir != "" {
+		cache = filepath.Join(opt.CacheDir, fmt.Sprintf("%s-s%d-n%d-e%d.gob",
+			net.Name, opt.Seed, len(train), opt.Epochs))
+		if err := net.LoadWeights(cache); err == nil {
+			if opt.Log != nil {
+				fmt.Fprintf(opt.Log, "%s: loaded cached weights from %s\n", net.Name, cache)
+			}
+			return nil
+		}
+	}
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = opt.Epochs
+	cfg.Seed = opt.Seed
+	cfg.Log = opt.Log
+	if net.Name == "MiniAlexNet" {
+		// The deep stand-in diverges at the MLP learning rate.
+		cfg.LR = 0.01
+		cfg.BatchSize = 16
+	}
+	nn.Train(net, train, cfg)
+	if cache != "" {
+		if err := os.MkdirAll(opt.CacheDir, 0o755); err != nil {
+			return err
+		}
+		if err := net.SaveWeights(cache); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package fixed provides the fixed-point quantization used to map trained
+// floating-point networks onto the crossbar substrate: symmetric signed
+// quantization of weights, unsigned quantization of activations, and the
+// offset-binary ("biased") encoding of negative weights from ISAAC that the
+// paper adopts (Section VII-D). With offset binary, a signed weight w is
+// stored as w + 2^(bits-1) >= 0; the dot product picks up a bias of
+// 2^(bits-1) * sum(inputs) that the digital periphery subtracts exactly.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantized holds a signed fixed-point view of a float vector.
+type Quantized struct {
+	// Values are the quantized integers in [-(2^(Bits-1)-1), 2^(Bits-1)-1].
+	Values []int64
+	// Scale converts back to floats: real ~= Value * Scale.
+	Scale float64
+	// Bits is the signed word width.
+	Bits int
+}
+
+// Quantize maps vals to symmetric signed fixed point with the given width.
+// The scale is chosen from the maximum magnitude so the largest value maps
+// to full scale; an all-zero input gets scale 1 to stay invertible.
+func Quantize(vals []float64, bits int) Quantized {
+	if bits < 2 || bits > 62 {
+		panic(fmt.Sprintf("fixed: signed width %d out of range [2,62]", bits))
+	}
+	maxMag := 0.0
+	for _, v := range vals {
+		if m := math.Abs(v); m > maxMag {
+			maxMag = m
+		}
+	}
+	limit := float64(int64(1)<<(bits-1) - 1)
+	scale := 1.0
+	if maxMag > 0 {
+		scale = maxMag / limit
+	}
+	q := make([]int64, len(vals))
+	for i, v := range vals {
+		x := math.Round(v / scale)
+		if x > limit {
+			x = limit
+		}
+		if x < -limit {
+			x = -limit
+		}
+		q[i] = int64(x)
+	}
+	return Quantized{Values: q, Scale: scale, Bits: bits}
+}
+
+// Dequantize returns the float approximation of element i.
+func (q Quantized) Dequantize(i int) float64 { return float64(q.Values[i]) * q.Scale }
+
+// Bias converts a signed fixed-point value to offset binary for crossbar
+// storage: u = v + 2^(bits-1), always non-negative.
+func Bias(v int64, bits int) uint64 {
+	half := int64(1) << (bits - 1)
+	if v < -half || v >= half {
+		panic(fmt.Sprintf("fixed: value %d out of %d-bit signed range", v, bits))
+	}
+	return uint64(v + half)
+}
+
+// Unbias inverts Bias.
+func Unbias(u uint64, bits int) int64 {
+	half := int64(1) << (bits - 1)
+	return int64(u) - half
+}
+
+// BiasCorrection returns the term the digital periphery subtracts from a
+// biased dot product: 2^(bits-1) * inputSum, where inputSum is the exact
+// integer sum of the input elements that multiplied the biased weights.
+func BiasCorrection(bits int, inputSum int64) int64 {
+	return (int64(1) << (bits - 1)) * inputSum
+}
+
+// QuantizedU holds an unsigned fixed-point view of a non-negative vector
+// (activations after ReLU, or normalized input pixels).
+type QuantizedU struct {
+	Values []uint64
+	Scale  float64
+	Bits   int
+}
+
+// QuantizeUnsigned maps non-negative vals to unsigned fixed point. Negative
+// inputs are clamped to zero (the accelerator applies it after ReLU).
+func QuantizeUnsigned(vals []float64, bits int) QuantizedU {
+	if bits < 1 || bits > 62 {
+		panic(fmt.Sprintf("fixed: unsigned width %d out of range [1,62]", bits))
+	}
+	maxV := 0.0
+	for _, v := range vals {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	limit := float64(uint64(1)<<bits - 1)
+	scale := 1.0
+	if maxV > 0 {
+		scale = maxV / limit
+	}
+	q := make([]uint64, len(vals))
+	for i, v := range vals {
+		if v <= 0 {
+			continue
+		}
+		x := math.Round(v / scale)
+		if x > limit {
+			x = limit
+		}
+		q[i] = uint64(x)
+	}
+	return QuantizedU{Values: q, Scale: scale, Bits: bits}
+}
+
+// Dequantize returns the float approximation of element i.
+func (q QuantizedU) Dequantize(i int) float64 { return float64(q.Values[i]) * q.Scale }
+
+// Sum returns the exact integer sum of the quantized values, the quantity
+// the bias correction needs.
+func (q QuantizedU) Sum() int64 {
+	var s int64
+	for _, v := range q.Values {
+		s += int64(v)
+	}
+	return s
+}

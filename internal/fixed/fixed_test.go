@@ -1,0 +1,139 @@
+package fixed
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundTripAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	q := Quantize(vals, 16)
+	for i, v := range vals {
+		if err := math.Abs(q.Dequantize(i) - v); err > q.Scale/2+1e-12 {
+			t.Fatalf("element %d: error %g exceeds half step %g", i, err, q.Scale/2)
+		}
+	}
+}
+
+func TestQuantizeFullScaleMapsToLimit(t *testing.T) {
+	q := Quantize([]float64{-2, 1, 2}, 8)
+	if q.Values[2] != 127 || q.Values[0] != -127 {
+		t.Fatalf("full scale mapped to %d/%d", q.Values[0], q.Values[2])
+	}
+}
+
+func TestQuantizeAllZeros(t *testing.T) {
+	q := Quantize([]float64{0, 0}, 16)
+	if q.Scale != 1 || q.Values[0] != 0 {
+		t.Fatal("all-zero input must quantize to zeros with scale 1")
+	}
+}
+
+func TestQuantizePanicsOnBadBits(t *testing.T) {
+	for _, bits := range []int{1, 63} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bits=%d must panic", bits)
+				}
+			}()
+			Quantize(nil, bits)
+		}()
+	}
+}
+
+func TestBiasUnbiasRoundTrip(t *testing.T) {
+	for _, v := range []int64{-32768, -1, 0, 1, 32767} {
+		u := Bias(v, 16)
+		if u > 65535 {
+			t.Fatalf("biased %d out of 16-bit unsigned range: %d", v, u)
+		}
+		if got := Unbias(u, 16); got != v {
+			t.Fatalf("round trip %d -> %d -> %d", v, u, got)
+		}
+	}
+}
+
+func TestBiasPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bias(128, 8)
+}
+
+// TestBiasedDotProductIdentity checks the ISAAC identity the mapper relies
+// on: sum((w+half)*v) - half*sum(v) == sum(w*v) exactly, for all integers.
+func TestBiasedDotProductIdentity(t *testing.T) {
+	f := func(ws [8]int16, vs [8]uint8) bool {
+		var biased, plain, vsum int64
+		for i := range ws {
+			w := int64(ws[i])
+			v := int64(vs[i])
+			biased += int64(Bias(w, 16)) * v
+			plain += w * v
+			vsum += v
+		}
+		return biased-BiasCorrection(16, vsum) == plain
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeUnsignedClampsNegatives(t *testing.T) {
+	q := QuantizeUnsigned([]float64{-1, 0, 0.5, 1}, 8)
+	if q.Values[0] != 0 || q.Values[1] != 0 {
+		t.Fatal("negatives must clamp to zero")
+	}
+	if q.Values[3] != 255 {
+		t.Fatalf("max value = %d, want 255", q.Values[3])
+	}
+	if q.Values[2] != 128 {
+		t.Fatalf("half scale = %d, want 128", q.Values[2])
+	}
+}
+
+func TestQuantizeUnsignedSum(t *testing.T) {
+	q := QuantizedU{Values: []uint64{1, 2, 3}}
+	if q.Sum() != 6 {
+		t.Fatalf("Sum = %d", q.Sum())
+	}
+}
+
+func TestQuantizeUnsignedAllZero(t *testing.T) {
+	q := QuantizeUnsigned([]float64{0, 0}, 8)
+	if q.Scale != 1 || q.Sum() != 0 {
+		t.Fatal("zero input must give zero sum, scale 1")
+	}
+}
+
+func TestQuantizeUnsignedRoundTripAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = rng.Float64() * 10
+	}
+	q := QuantizeUnsigned(vals, 8)
+	for i, v := range vals {
+		if err := math.Abs(q.Dequantize(i) - v); err > q.Scale/2+1e-12 {
+			t.Fatalf("element %d: error %g exceeds half step", i, err)
+		}
+	}
+}
+
+func TestQuantizeUnsignedPanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QuantizeUnsigned(nil, 0)
+}

@@ -1,0 +1,114 @@
+package hwmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Floorplan maps a network's crossbar demand onto the hierarchical
+// organization of Section II-B2: physical arrays grouped into in-situ
+// multiply-accumulate units, IMAs into tiles, with one ECU per IMA and
+// correction tables shared across staggered IMAs (Section VI).
+type Floorplan struct {
+	PhysicalRows int
+	Groups       int
+	Arrays       int
+	IMAs         int
+	Tiles        int
+	ECUs         int
+	Tables       int
+	Area         AreaPower
+}
+
+// PlanNetwork sizes the hardware for a mapped network: physicalRows is the
+// total word-line count across all coded groups and groups the ECU-served
+// group count (both reported by the accelerator mapper).
+func (t TechParams) PlanNetwork(physicalRows, groups int, c TileConfig, spec ECUSpec) Floorplan {
+	if physicalRows < 0 || groups < 0 {
+		panic(fmt.Sprintf("hwmodel: negative demand rows=%d groups=%d", physicalRows, groups))
+	}
+	arrays := int(math.Ceil(float64(physicalRows) / float64(c.ArraySize)))
+	if arrays == 0 && groups > 0 {
+		arrays = 1
+	}
+	imas := ceilDiv(arrays, c.ArraysPerIMA)
+	tiles := ceilDiv(imas, c.IMAs)
+	ecus := imas
+	tables := ceilDiv(imas, c.TableSharedIMAs)
+
+	area := t.ADC.Add(t.DAC).Add(t.Array).Scale(float64(arrays))
+	area = area.Add(t.OtherTile.Scale(float64(tiles)))
+	area = area.Add(t.ECU(spec).Scale(float64(ecus)))
+	area = area.Add(t.Table(spec).Scale(float64(tables)))
+	return Floorplan{
+		PhysicalRows: physicalRows,
+		Groups:       groups,
+		Arrays:       arrays,
+		IMAs:         imas,
+		Tiles:        tiles,
+		ECUs:         ecus,
+		Tables:       tables,
+		Area:         area,
+	}
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// LatencyModel converts group-read counts into cycles and inference
+// latency, following the Section VIII-B3 throughput argument: the ECU is
+// fully pipelined (one reduced group result per cycle per IMA), so
+// steady-state throughput is set by the read schedule; only
+// detected-uncorrectable re-reads stall the pipeline.
+type LatencyModel struct {
+	// ClockHz is the pipeline rate (ISAAC: 1.2 GHz).
+	ClockHz float64
+	// InputBits is the bit-serial input width (one read cycle per group
+	// per input bit).
+	InputBits int
+}
+
+// DefaultLatencyModel returns the ISAAC-rate pipeline.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{ClockHz: 1.2e9, InputBits: 8}
+}
+
+// CyclesPerInference returns pipeline cycles for one input given the
+// network's coded-group count per IMA-parallel step and the measured
+// retry rate (retries per group read).
+func (l LatencyModel) CyclesPerInference(groupReadsPerInference int, retryRate float64) float64 {
+	return float64(groupReadsPerInference) * (1 + retryRate)
+}
+
+// InferenceLatency converts cycles to seconds; parallelIMAs is the number
+// of IMAs working concurrently.
+func (l LatencyModel) InferenceLatency(groupReadsPerInference int, retryRate float64, parallelIMAs int) float64 {
+	if parallelIMAs < 1 {
+		parallelIMAs = 1
+	}
+	cycles := l.CyclesPerInference(groupReadsPerInference, retryRate)
+	return cycles / float64(parallelIMAs) / l.ClockHz
+}
+
+// ThroughputOverhead is the fractional slowdown the retry policy costs —
+// zero for the revert-on-detect policy the paper evaluates as primary.
+func (l LatencyModel) ThroughputOverhead(retryRate float64) float64 {
+	return retryRate
+}
+
+// SystemLifetimeYears reproduces the endurance analysis of Section II-C6:
+// with a cell endurance of enduranceWrites and the accelerator reprogrammed
+// reprogramsPerDay times (new models, or training updates), the worst-case
+// lifetime is endurance/rate. Bojnordi et al.'s Memristive Boltzmann
+// Machine analysis lands at roughly 1.5 years.
+func SystemLifetimeYears(enduranceWrites, reprogramsPerDay float64) float64 {
+	if reprogramsPerDay <= 0 {
+		return math.Inf(1)
+	}
+	days := enduranceWrites / reprogramsPerDay
+	return days / 365.25
+}

@@ -1,0 +1,133 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanNetworkCounts(t *testing.T) {
+	tech := Default32nm()
+	cfg := DefaultTileConfig()
+	spec := DefaultECUSpec()
+	// MLP1-scale demand: ~44k physical rows, ~440 groups.
+	fp := tech.PlanNetwork(44000, 440, cfg, spec)
+	wantArrays := (44000 + 127) / 128
+	if fp.Arrays != wantArrays {
+		t.Fatalf("arrays = %d, want %d", fp.Arrays, wantArrays)
+	}
+	if fp.IMAs != ceilDiv(fp.Arrays, cfg.ArraysPerIMA) {
+		t.Fatalf("IMAs = %d", fp.IMAs)
+	}
+	if fp.Tiles != ceilDiv(fp.IMAs, cfg.IMAs) {
+		t.Fatalf("tiles = %d", fp.Tiles)
+	}
+	if fp.ECUs != fp.IMAs || fp.Tables != ceilDiv(fp.IMAs, cfg.TableSharedIMAs) {
+		t.Fatalf("ECUs=%d tables=%d", fp.ECUs, fp.Tables)
+	}
+	if fp.Area.AreaMM2 <= 0 || fp.Area.PowerMW <= 0 {
+		t.Fatal("floorplan budget must be positive")
+	}
+}
+
+func TestPlanNetworkMonotone(t *testing.T) {
+	tech := Default32nm()
+	cfg := DefaultTileConfig()
+	spec := DefaultECUSpec()
+	small := tech.PlanNetwork(1000, 10, cfg, spec)
+	big := tech.PlanNetwork(100000, 1000, cfg, spec)
+	if big.Area.AreaMM2 <= small.Area.AreaMM2 {
+		t.Fatal("larger networks must cost more area")
+	}
+	if big.Tiles < small.Tiles {
+		t.Fatal("larger networks must need at least as many tiles")
+	}
+}
+
+func TestPlanNetworkEdges(t *testing.T) {
+	tech := Default32nm()
+	cfg := DefaultTileConfig()
+	spec := DefaultECUSpec()
+	zero := tech.PlanNetwork(0, 0, cfg, spec)
+	if zero.Arrays != 0 || zero.Tiles != 0 {
+		t.Fatalf("zero demand: %+v", zero)
+	}
+	tiny := tech.PlanNetwork(0, 1, cfg, spec)
+	if tiny.Arrays != 1 {
+		t.Fatal("any group demands at least one array")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative demand must panic")
+		}
+	}()
+	tech.PlanNetwork(-1, 0, cfg, spec)
+}
+
+func TestLatencyModel(t *testing.T) {
+	l := DefaultLatencyModel()
+	base := l.CyclesPerInference(1000, 0)
+	if base != 1000 {
+		t.Fatalf("cycles = %g", base)
+	}
+	withRetries := l.CyclesPerInference(1000, 0.02)
+	if withRetries != 1020 {
+		t.Fatalf("cycles with retries = %g", withRetries)
+	}
+	lat := l.InferenceLatency(1200, 0, 8)
+	if math.Abs(lat-1200.0/8/1.2e9) > 1e-18 {
+		t.Fatalf("latency = %g", lat)
+	}
+	if l.InferenceLatency(1200, 0, 0) != l.InferenceLatency(1200, 0, 1) {
+		t.Fatal("parallelIMAs must clamp to 1")
+	}
+	if l.ThroughputOverhead(0.015) != 0.015 {
+		t.Fatal("throughput overhead is the retry rate")
+	}
+}
+
+// TestMBMLifetimeAnchor reproduces the Section II-C6 figure: the Memristive
+// Boltzmann Machine's worst-case ~1.5-year lifetime corresponds to a 1e6
+// endurance part reprogrammed ~1800x per day.
+func TestMBMLifetimeAnchor(t *testing.T) {
+	years := SystemLifetimeYears(1e6, 1827)
+	if math.Abs(years-1.5) > 0.01 {
+		t.Fatalf("lifetime = %.3f years, want ~1.5", years)
+	}
+	if !math.IsInf(SystemLifetimeYears(1e6, 0), 1) {
+		t.Fatal("no reprogramming means unbounded lifetime")
+	}
+	// Inference-only deployment (paper's setting): reprogram weekly on a
+	// 1e6 part -> thousands of years; endurance is a non-issue.
+	if SystemLifetimeYears(1e6, 1.0/7) < 1000 {
+		t.Fatal("weekly reprogramming should outlive the hardware")
+	}
+}
+
+func TestEnergyModelDerivation(t *testing.T) {
+	tech := Default32nm()
+	e := tech.Energy(DefaultECUSpec(), 1.2e9)
+	// ADC: 4 mW at 1.2 GHz -> 3.33 pJ per conversion.
+	if math.Abs(e.ADCConv-4e-3/1.2e9) > 1e-18 {
+		t.Fatalf("ADC energy = %g", e.ADCConv)
+	}
+	if e.ECUPass <= 0 || e.TablePer <= 0 {
+		t.Fatal("ECU energies must be positive")
+	}
+}
+
+// TestEnergyOverheadMatchesPaperRegime: a protected run with 9 extra rows
+// per 128 and one ECU pass per group read lands in the paper's <4.7%
+// energy-overhead regime.
+func TestEnergyOverheadMatchesPaperRegime(t *testing.T) {
+	tech := Default32nm()
+	e := tech.Energy(DefaultECUSpec(), 1.2e9)
+	baseline := ReadCounts{RowReads: 128000, GroupReads: 0}
+	protected := ReadCounts{RowReads: 137000, GroupReads: 2000, Retries: 20}
+	oh := e.EnergyOverhead(protected, baseline)
+	if oh < 0.05 || oh > 0.09 {
+		t.Fatalf("energy overhead %.3f outside the expected regime", oh)
+	}
+	if e.EnergyOverhead(protected, ReadCounts{}) != 0 {
+		t.Fatal("zero baseline must return 0")
+	}
+}

@@ -1,0 +1,238 @@
+// Package hwmodel is the analytic stand-in for the paper's circuit flow
+// (Verilog RTL + Synopsys DC at FreePDK45 scaled to 32 nm, plus CACTI 6.5
+// for the correction-table SRAM; Section VII-C). It estimates the error
+// correction unit of Figure 9 from gate counts, the correction table from an
+// SRAM bit model, and composes them into an ISAAC-style tile budget to
+// reproduce Table IV and the area/power/throughput overheads of
+// Section VIII-B. The technology constants are calibrated to published
+// 32 nm component budgets; per-gate and per-bit values land in the
+// physically expected range (~0.2 µm²/gate, ~0.2 µm²/SRAM bit).
+package hwmodel
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AreaPower is one component budget.
+type AreaPower struct {
+	AreaMM2 float64
+	PowerMW float64
+}
+
+// Add accumulates another component.
+func (a AreaPower) Add(o AreaPower) AreaPower {
+	return AreaPower{a.AreaMM2 + o.AreaMM2, a.PowerMW + o.PowerMW}
+}
+
+// Scale multiplies a component by a count or factor.
+func (a AreaPower) Scale(f float64) AreaPower {
+	return AreaPower{a.AreaMM2 * f, a.PowerMW * f}
+}
+
+// TechParams holds the 32 nm technology constants.
+type TechParams struct {
+	// GateArea / GatePower are per NAND2-equivalent at the ISAAC 1.2 GHz
+	// pipeline rate.
+	GateArea  float64
+	GatePower float64
+	// SRAMBitArea / SRAMBitPower model the correction-table SRAM
+	// (CACTI-like, periphery amortized per bit).
+	SRAMBitArea  float64
+	SRAMBitPower float64
+	// ADC is one 8-bit 1.2 GS/s SAR ADC; DAC one row driver bank; Array
+	// one 128x128 crossbar with its sensing.
+	ADC, DAC, Array AreaPower
+	// OtherTile covers the tile's buffers, shift-and-add, sigmoid, and
+	// routing — everything the check bits do not inflate.
+	OtherTile AreaPower
+}
+
+// Default32nm returns the calibrated technology constants.
+func Default32nm() TechParams {
+	return TechParams{
+		GateArea:     2.2e-7, // mm^2 per gate (0.22 µm^2)
+		GatePower:    1.0e-4, // mW per gate
+		SRAMBitArea:  1.9e-7,
+		SRAMBitPower: 8.0e-5,
+		ADC:          AreaPower{0.0030, 4.00},
+		DAC:          AreaPower{0.00115, 0.63},
+		Array:        AreaPower{0.0008, 0.40},
+		OtherTile:    AreaPower{0.4483, 243.0},
+	}
+}
+
+// ECUSpec sizes one error correction unit (Figure 9).
+type ECUSpec struct {
+	// DataWidth is the reduced row-output width in bits the ECU datapath
+	// processes (encoded group bits plus column-accumulation headroom).
+	DataWidth int
+	// A and B are the code multipliers; the divide/residual units are
+	// constant-divisor multiply-by-reciprocal networks sized by them.
+	A, B uint64
+	// TableEntries and EntryBits size the correction-table SRAM; the
+	// paper stores each syndrome as four sparse bit indices (Section VI).
+	TableEntries int
+	EntryBits    int
+}
+
+// DefaultECUSpec returns the paper's Table IV configuration: 9 ECC bits
+// over 128-bit groups of 16-bit operands at 2 bits per cell.
+func DefaultECUSpec() ECUSpec {
+	return ECUSpec{
+		DataWidth:    208, // 128 data + 9 check bits + ~7b column headroom, rounded up
+		A:            167,
+		B:            3,
+		TableEntries: 167,
+		EntryBits:    38, // 4 x 8-bit row index + steps/sign/valid flags
+	}
+}
+
+// Gates estimates the ECU datapath gate count: two constant divide/residual
+// units (multiply-by-reciprocal, Hacker's Delight style), the correction
+// adder, and control.
+func (s ECUSpec) Gates() int {
+	// A constant divide/residual unit over W bits with a k-bit divisor is
+	// a shift-add reciprocal network of roughly 5 W k gates.
+	divA := 5 * s.DataWidth * bits.Len64(s.A)
+	divB := 5 * s.DataWidth * bits.Len64(s.B*4) // tiny constant divider
+	adder := 2 * s.DataWidth
+	const control = 1000
+	return divA + divB + adder + control
+}
+
+// TableBits returns the correction-table SRAM size.
+func (s ECUSpec) TableBits() int { return s.TableEntries * s.EntryBits }
+
+// ECU returns the datapath budget (Table IV row 1).
+func (t TechParams) ECU(s ECUSpec) AreaPower {
+	g := float64(s.Gates())
+	return AreaPower{g * t.GateArea, g * t.GatePower}
+}
+
+// Table returns the correction-table budget (Table IV row 2).
+func (t TechParams) Table(s ECUSpec) AreaPower {
+	b := float64(s.TableBits())
+	return AreaPower{b * t.SRAMBitArea, b * t.SRAMBitPower}
+}
+
+// TileConfig describes the ISAAC-style tile the overhead is measured
+// against (Section VIII-B: 16-bit operands, 2 bits per cell).
+type TileConfig struct {
+	IMAs         int // in-situ multiply-accumulate units per tile
+	ArraysPerIMA int
+	ArraySize    int // rows = columns
+	BitsPerCell  int
+	WeightBits   int
+	// GroupOps and CheckBits define the coded-group row overhead.
+	GroupOps  int
+	CheckBits int
+	// TableSharedIMAs is how many IMAs share one correction table through
+	// staggered access (Section VI optimization 2).
+	TableSharedIMAs int
+}
+
+// DefaultTileConfig returns the Section VIII-B configuration.
+func DefaultTileConfig() TileConfig {
+	return TileConfig{
+		IMAs:            8,
+		ArraysPerIMA:    8,
+		ArraySize:       128,
+		BitsPerCell:     2,
+		WeightBits:      16,
+		GroupOps:        8,
+		CheckBits:       9,
+		TableSharedIMAs: 8,
+	}
+}
+
+// RowOverheadFactor is the fractional extra word lines (and with them ADC
+// conversions and driver time) the check bits demand: check bits per
+// GroupOps*WeightBits data bits.
+func (c TileConfig) RowOverheadFactor() float64 {
+	data := float64(c.GroupOps * c.WeightBits)
+	return float64(c.CheckBits) / data
+}
+
+// Budget holds a tile decomposition.
+type Budget struct {
+	ADC, DAC, Arrays, Other, ECU, Table AreaPower
+}
+
+// Total sums the tile budget.
+func (b Budget) Total() AreaPower {
+	return b.ADC.Add(b.DAC).Add(b.Arrays).Add(b.Other).Add(b.ECU).Add(b.Table)
+}
+
+// Tile composes the tile budget; withECC adds the ECUs, the shared tables,
+// and the check-bit row overhead on the array path.
+func (t TechParams) Tile(c TileConfig, spec ECUSpec, withECC bool) Budget {
+	arrays := float64(c.IMAs * c.ArraysPerIMA)
+	b := Budget{
+		ADC:    t.ADC.Scale(arrays),
+		DAC:    t.DAC.Scale(arrays),
+		Arrays: t.Array.Scale(arrays),
+		Other:  t.OtherTile,
+	}
+	if withECC {
+		row := 1 + c.RowOverheadFactor()
+		b.ADC = b.ADC.Scale(row)
+		b.DAC = b.DAC.Scale(row)
+		b.Arrays = b.Arrays.Scale(row)
+		b.ECU = t.ECU(spec).Scale(float64(c.IMAs))
+		tables := float64(c.IMAs) / float64(c.TableSharedIMAs)
+		b.Table = t.Table(spec).Scale(tables)
+	}
+	return b
+}
+
+// Overheads is the Section VIII-B summary.
+type Overheads struct {
+	ECUUnit    AreaPower // Table IV row 1
+	TableUnit  AreaPower // Table IV row 2
+	ECUAreaPct float64   // ECU (and tables) alone vs baseline tile area
+	RowAreaPct float64   // extra rows on ADC/DAC/array area
+	TileArea   float64   // total tile area overhead
+	ChipArea   float64   // chip-level area overhead
+	ECUPowerPc float64   // ECU power vs tile
+	ChipPower  float64   // chip-level power overhead
+}
+
+// ChipTileFraction are the fractions of chip area/power the tiles occupy
+// (the remainder is global routing, I/O, and eDRAM, which the ECC does not
+// touch).
+const (
+	chipTileAreaFraction  = 0.84
+	chipTilePowerFraction = 0.95
+)
+
+// ComputeOverheads evaluates the full Section VIII-B accounting.
+func ComputeOverheads(t TechParams, c TileConfig, spec ECUSpec) Overheads {
+	base := t.Tile(c, spec, false).Total()
+	ecc := t.Tile(c, spec, true)
+	eccTotal := ecc.Total()
+	ecuArea := ecc.ECU.AreaMM2 + ecc.Table.AreaMM2
+	rowArea := eccTotal.AreaMM2 - base.AreaMM2 - ecuArea
+	o := Overheads{
+		ECUUnit:    t.ECU(spec),
+		TableUnit:  t.Table(spec),
+		ECUAreaPct: ecuArea / base.AreaMM2,
+		RowAreaPct: rowArea / base.AreaMM2,
+		TileArea:   (eccTotal.AreaMM2 - base.AreaMM2) / base.AreaMM2,
+		ECUPowerPc: (ecc.ECU.PowerMW + ecc.Table.PowerMW) / base.PowerMW,
+		ChipPower:  (eccTotal.PowerMW - base.PowerMW) / base.PowerMW * chipTilePowerFraction,
+	}
+	o.ChipArea = o.TileArea * chipTileAreaFraction
+	return o
+}
+
+// ThroughputStatement reports the pipeline impact: the ECU is fully
+// pipelined (Section VIII-B3), so steady-state throughput is unchanged;
+// only detected-uncorrectable retries stall, at the measured rate.
+func ThroughputStatement(detectRate float64, retries int) string {
+	if retries == 0 {
+		return "fully pipelined ECU: zero throughput overhead (revert-on-detect policy)"
+	}
+	return fmt.Sprintf("fully pipelined ECU: steady-state throughput unchanged; re-reads on ~%.3g%% of group reads (detected-uncorrectable, up to %d retries)",
+		detectRate*100, retries)
+}

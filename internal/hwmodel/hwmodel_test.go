@@ -1,0 +1,106 @@
+package hwmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4g, want %.4g ± %.2g", name, got, want, tol)
+	}
+}
+
+// TestTableIV checks the model reproduces the paper's Table IV: ECU
+// 0.0031 mm^2 / 1.42 mW, correction table 0.0012 mm^2 / 0.51 mW.
+func TestTableIV(t *testing.T) {
+	tech := Default32nm()
+	spec := DefaultECUSpec()
+	ecu := tech.ECU(spec)
+	near(t, "ECU area", ecu.AreaMM2, 0.0031, 0.0003)
+	near(t, "ECU power", ecu.PowerMW, 1.42, 0.15)
+	tab := tech.Table(spec)
+	near(t, "table area", tab.AreaMM2, 0.0012, 0.0002)
+	near(t, "table power", tab.PowerMW, 0.51, 0.06)
+}
+
+// TestSection8BOverheads checks the Section VIII-B percentages: ECU 3.4% of
+// a tile, 6.3% total tile area, 5.3% chip area, 2.1% tile power from the
+// ECU, 5.8% chip power.
+func TestSection8BOverheads(t *testing.T) {
+	o := ComputeOverheads(Default32nm(), DefaultTileConfig(), DefaultECUSpec())
+	near(t, "ECU area pct", o.ECUAreaPct, 0.034, 0.004)
+	near(t, "tile area pct", o.TileArea, 0.063, 0.006)
+	near(t, "chip area pct", o.ChipArea, 0.053, 0.006)
+	near(t, "ECU power pct", o.ECUPowerPc, 0.021, 0.003)
+	near(t, "chip power pct", o.ChipPower, 0.058, 0.006)
+}
+
+func TestRowOverheadFactor(t *testing.T) {
+	c := DefaultTileConfig()
+	near(t, "row overhead", c.RowOverheadFactor(), 9.0/128, 1e-12)
+	c.CheckBits = 7
+	near(t, "row overhead 7b", c.RowOverheadFactor(), 7.0/128, 1e-12)
+}
+
+func TestAreaPowerArithmetic(t *testing.T) {
+	a := AreaPower{1, 2}.Add(AreaPower{3, 4})
+	if a.AreaMM2 != 4 || a.PowerMW != 6 {
+		t.Fatalf("Add = %+v", a)
+	}
+	s := a.Scale(0.5)
+	if s.AreaMM2 != 2 || s.PowerMW != 3 {
+		t.Fatalf("Scale = %+v", s)
+	}
+}
+
+func TestTileBudgetMonotonic(t *testing.T) {
+	tech := Default32nm()
+	cfg := DefaultTileConfig()
+	spec := DefaultECUSpec()
+	base := tech.Tile(cfg, spec, false).Total()
+	ecc := tech.Tile(cfg, spec, true).Total()
+	if ecc.AreaMM2 <= base.AreaMM2 || ecc.PowerMW <= base.PowerMW {
+		t.Fatal("ECC tile must cost more than baseline")
+	}
+	// More check bits -> more overhead.
+	cfg10 := cfg
+	cfg10.CheckBits = 10
+	ecc10 := tech.Tile(cfg10, spec, true).Total()
+	if ecc10.AreaMM2 <= ecc.AreaMM2 {
+		t.Fatal("10 check bits must cost more than 9")
+	}
+}
+
+func TestECUGatesScaleWithWidth(t *testing.T) {
+	s := DefaultECUSpec()
+	wide := s
+	wide.DataWidth *= 2
+	if wide.Gates() <= s.Gates() {
+		t.Fatal("gate count must grow with datapath width")
+	}
+	bigA := s
+	bigA.A = 1021
+	if bigA.Gates() <= s.Gates() {
+		t.Fatal("gate count must grow with divisor width")
+	}
+}
+
+func TestTableBits(t *testing.T) {
+	s := DefaultECUSpec()
+	if s.TableBits() != s.TableEntries*s.EntryBits {
+		t.Fatal("TableBits mismatch")
+	}
+}
+
+func TestThroughputStatement(t *testing.T) {
+	if got := ThroughputStatement(0.01, 0); !strings.Contains(got, "zero throughput overhead") {
+		t.Errorf("retries=0: %q", got)
+	}
+	got := ThroughputStatement(0.012, 6)
+	if !strings.Contains(got, "1.2%") || !strings.Contains(got, "6 retries") {
+		t.Errorf("retries=6: %q", got)
+	}
+}

@@ -1,0 +1,32 @@
+package nn
+
+import "fmt"
+
+// CloneForInference returns a network whose layers share this network's
+// parameters but carry their own forward-pass caches, so multiple goroutines
+// can run inference concurrently against one set of weights.
+func (n *Network) CloneForInference() *Network {
+	out := &Network{Name: n.Name, InShape: append([]int(nil), n.InShape...)}
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			out.Layers = append(out.Layers, &Dense{In: v.In, Out: v.Out, Weight: v.Weight, Bias: v.Bias})
+		case *Conv2D:
+			out.Layers = append(out.Layers, &Conv2D{InC: v.InC, OutC: v.OutC, KH: v.KH, KW: v.KW,
+				Stride: v.Stride, Pad: v.Pad, Weight: v.Weight, Bias: v.Bias})
+		case *ReLU:
+			out.Layers = append(out.Layers, &ReLU{})
+		case *MaxPool2D:
+			out.Layers = append(out.Layers, &MaxPool2D{Size: v.Size})
+		case *AvgPool2D:
+			out.Layers = append(out.Layers, &AvgPool2D{Size: v.Size})
+		case *Sigmoid:
+			out.Layers = append(out.Layers, &Sigmoid{})
+		case *Flatten:
+			out.Layers = append(out.Layers, &Flatten{})
+		default:
+			panic(fmt.Sprintf("nn: cannot clone layer %s", l.Name()))
+		}
+	}
+	return out
+}

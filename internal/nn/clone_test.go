@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+func TestCloneForInferenceSharesWeights(t *testing.T) {
+	net := NewCNN1(1)
+	clone := net.CloneForInference()
+	if len(clone.Layers) != len(net.Layers) {
+		t.Fatalf("layer count %d vs %d", len(clone.Layers), len(net.Layers))
+	}
+	// Parameters are shared by pointer: mutating the original must be
+	// visible through the clone.
+	orig := net.Layers[0].(*Conv2D)
+	cl := clone.Layers[0].(*Conv2D)
+	if orig.Weight != cl.Weight {
+		t.Fatal("clone must share parameter storage")
+	}
+	x := NewTensor(1, 28, 28)
+	x.Data[400] = 1
+	a, b := net.Forward(x), clone.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("clone must compute identical outputs")
+		}
+	}
+}
+
+// TestCloneConcurrentForward runs many clones in parallel; under `go test
+// -race` this validates that per-clone caches keep inference thread safe.
+func TestCloneConcurrentForward(t *testing.T) {
+	net := NewMLP2(2)
+	want := net.Forward(testInput()).Data
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			clone := net.CloneForInference()
+			rng := rand.New(rand.NewPCG(seed, 1))
+			for i := 0; i < 20; i++ {
+				// Interleave a different input to dirty the caches.
+				noise := NewTensor(1, 28, 28)
+				for j := range noise.Data {
+					noise.Data[j] = rng.Float64()
+				}
+				clone.Forward(noise)
+				got := clone.Forward(testInput())
+				for j := range got.Data {
+					if got.Data[j] != want[j] {
+						errs <- "concurrent clone output diverged"
+						return
+					}
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func testInput() *Tensor {
+	x := NewTensor(1, 28, 28)
+	for i := 0; i < 784; i += 13 {
+		x.Data[i] = 0.7
+	}
+	return x
+}
+
+func TestClonePanicsOnUnknownLayer(t *testing.T) {
+	net := &Network{Name: "x", Layers: []Layer{fakeLayer{}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown layer type")
+		}
+	}()
+	net.CloneForInference()
+}
+
+type fakeLayer struct{}
+
+func (fakeLayer) Forward(x *Tensor) *Tensor  { return x }
+func (fakeLayer) Backward(g *Tensor) *Tensor { return g }
+func (fakeLayer) Params() []*Param           { return nil }
+func (fakeLayer) OutShape(in []int) []int    { return in }
+func (fakeLayer) Name() string               { return "fake" }

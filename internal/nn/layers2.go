@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sigmoid is the logistic activation; ISAAC tiles include dedicated sigmoid
+// units (paper Section II-B2), so networks with sigmoid outputs map onto
+// the same accelerator.
+type Sigmoid struct {
+	lastOut *Tensor
+}
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (s *Sigmoid) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *Tensor) *Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *Tensor) *Tensor {
+	din := grad.Clone()
+	for i, y := range s.lastOut.Data {
+		din.Data[i] *= y * (1 - y)
+	}
+	return din
+}
+
+// AvgPool2D is non-overlapping average pooling over CHW tensors.
+type AvgPool2D struct {
+	Size   int
+	lastIn []int // input shape for backward
+}
+
+// Name implements Layer.
+func (m *AvgPool2D) Name() string { return fmt.Sprintf("avgpool(%d)", m.Size) }
+
+// Params implements Layer.
+func (m *AvgPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (m *AvgPool2D) OutShape(in []int) []int {
+	return []int{in[0], in[1] / m.Size, in[2] / m.Size}
+}
+
+// Forward implements Layer.
+func (m *AvgPool2D) Forward(x *Tensor) *Tensor {
+	m.lastIn = x.Shape
+	os := m.OutShape(x.Shape)
+	out := NewTensor(os...)
+	_, h, w := x.chw()
+	inv := 1 / float64(m.Size*m.Size)
+	i := 0
+	for c := 0; c < os[0]; c++ {
+		for oy := 0; oy < os[1]; oy++ {
+			for ox := 0; ox < os[2]; ox++ {
+				sum := 0.0
+				for ky := 0; ky < m.Size; ky++ {
+					for kx := 0; kx < m.Size; kx++ {
+						sum += x.Data[(c*h+oy*m.Size+ky)*w+ox*m.Size+kx]
+					}
+				}
+				out.Data[i] = sum * inv
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *AvgPool2D) Backward(grad *Tensor) *Tensor {
+	din := NewTensor(m.lastIn...)
+	_, h, w := din.chw()
+	os := grad.Shape
+	inv := 1 / float64(m.Size*m.Size)
+	i := 0
+	for c := 0; c < os[0]; c++ {
+		for oy := 0; oy < os[1]; oy++ {
+			for ox := 0; ox < os[2]; ox++ {
+				g := grad.Data[i] * inv
+				i++
+				for ky := 0; ky < m.Size; ky++ {
+					for kx := 0; kx < m.Size; kx++ {
+						din.Data[(c*h+oy*m.Size+ky)*w+ox*m.Size+kx] += g
+					}
+				}
+			}
+		}
+	}
+	return din
+}

@@ -1,0 +1,83 @@
+package nn
+
+import "math/rand/v2"
+
+// The four evaluated networks of paper Table II. MLP1, MLP2 and CNN1 target
+// the 28x28 grayscale digit task; MiniAlexNet keeps AlexNet's 8-layer
+// 5-conv + 3-FC shape at a scale trainable in-repo and targets the 32x32
+// RGB object task (see DESIGN.md section 1 for the substitution rationale).
+
+// NewMLP1 is the paper's MLP1: a 3-layer perceptron with 500 and 150
+// hidden units (LeCun et al.).
+func NewMLP1(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	return &Network{
+		Name:    "MLP1",
+		InShape: []int{1, 28, 28},
+		Layers: []Layer{
+			&Flatten{},
+			NewDense(784, 500, rng), &ReLU{},
+			NewDense(500, 150, rng), &ReLU{},
+			NewDense(150, 10, rng),
+		},
+	}
+}
+
+// NewMLP2 is the paper's MLP2: a 2-layer perceptron with 800 hidden units
+// (Simard et al.).
+func NewMLP2(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 2))
+	return &Network{
+		Name:    "MLP2",
+		InShape: []int{1, 28, 28},
+		Layers: []Layer{
+			&Flatten{},
+			NewDense(784, 800, rng), &ReLU{},
+			NewDense(800, 10, rng),
+		},
+	}
+}
+
+// NewCNN1 is the paper's CNN1, the LeNet-5 shape: 6 then 16 5x5 feature
+// maps with pooling, then 120- and 84-unit fully connected layers.
+func NewCNN1(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 3))
+	return &Network{
+		Name:    "CNN1",
+		InShape: []int{1, 28, 28},
+		Layers: []Layer{
+			NewConv2D(1, 6, 5, 5, 1, 2, rng), &ReLU{}, // 6 x 28 x 28
+			&MaxPool2D{Size: 2},                        // 6 x 14 x 14
+			NewConv2D(6, 16, 5, 5, 1, 0, rng), &ReLU{}, // 16 x 10 x 10
+			&MaxPool2D{Size: 2}, // 16 x 5 x 5
+			&Flatten{},
+			NewDense(400, 120, rng), &ReLU{},
+			NewDense(120, 84, rng), &ReLU{},
+			NewDense(84, 10, rng),
+		},
+	}
+}
+
+// NewMiniAlexNet is the AlexNet stand-in: 8 weight layers (5 convolutional,
+// 3 fully connected) over 32x32 RGB inputs with numClasses outputs.
+func NewMiniAlexNet(seed uint64, numClasses int) *Network {
+	rng := rand.New(rand.NewPCG(seed, 4))
+	return &Network{
+		Name:    "MiniAlexNet",
+		InShape: []int{3, 32, 32},
+		Layers: []Layer{
+			NewConv2D(3, 16, 3, 3, 1, 1, rng), &ReLU{}, // 16 x 32 x 32
+			&MaxPool2D{Size: 2},                         // 16 x 16 x 16
+			NewConv2D(16, 32, 3, 3, 1, 1, rng), &ReLU{}, // 32 x 16 x 16
+			&MaxPool2D{Size: 2},                         // 32 x 8 x 8
+			NewConv2D(32, 48, 3, 3, 1, 1, rng), &ReLU{}, // 48 x 8 x 8
+			NewConv2D(48, 48, 3, 3, 1, 1, rng), &ReLU{}, // 48 x 8 x 8
+			NewConv2D(48, 32, 3, 3, 1, 1, rng), &ReLU{}, // 32 x 8 x 8
+			&MaxPool2D{Size: 2}, // 32 x 4 x 4
+			&Flatten{},
+			NewDense(512, 256, rng), &ReLU{},
+			NewDense(256, 128, rng), &ReLU{},
+			NewDense(128, numClasses, rng),
+		},
+	}
+}

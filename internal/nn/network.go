@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Network is a sequential stack of layers.
+type Network struct {
+	// Name labels the network in experiment tables ("MLP1", ...).
+	Name string
+	// InShape is the expected input tensor shape.
+	InShape []int
+	Layers  []Layer
+}
+
+// Forward runs a full float forward pass — the paper's "Software" baseline.
+func (n *Network) Forward(x *Tensor) *Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// ForwardWith runs the forward pass with external MVM engines substituted
+// for the layers present in the map (keyed by layer index) — the hook the
+// crossbar simulator uses to take over the arithmetic.
+func (n *Network) ForwardWith(x *Tensor, mvms map[int]MVMFunc) *Tensor {
+	for i, l := range n.Layers {
+		if mvm, ok := mvms[i]; ok {
+			il, okCast := l.(InferenceLayer)
+			if !okCast {
+				panic(fmt.Sprintf("nn: layer %d (%s) cannot host an external MVM", i, l.Name()))
+			}
+			x = il.ForwardWith(x, mvm)
+		} else {
+			x = l.Forward(x)
+		}
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through all layers.
+func (n *Network) Backward(grad *Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// Params returns all trainable parameters.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams counts scalar parameters, for Table II style reporting.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// Predict returns the argmax class of the network on an input.
+func (n *Network) Predict(x *Tensor) int {
+	return n.Forward(x).ArgMax()
+}
+
+// SoftmaxCrossEntropy computes the loss against an integer label and the
+// gradient with respect to the logits. The softmax is folded into the
+// gradient (probs - onehot), the numerically standard formulation.
+func SoftmaxCrossEntropy(logits *Tensor, label int) (loss float64, grad *Tensor) {
+	maxL := math.Inf(-1)
+	for _, v := range logits.Data {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	sum := 0.0
+	grad = NewTensor(logits.Shape...)
+	for i, v := range logits.Data {
+		e := math.Exp(v - maxL)
+		grad.Data[i] = e
+		sum += e
+	}
+	for i := range grad.Data {
+		grad.Data[i] /= sum
+	}
+	loss = -math.Log(math.Max(grad.Data[label], 1e-300))
+	grad.Data[label] -= 1
+	return loss, grad
+}
+
+// Softmax converts logits to probabilities (used for reporting only).
+func Softmax(logits *Tensor) *Tensor {
+	_, g := SoftmaxCrossEntropy(logits, 0)
+	g.Data[0] += 1
+	return g
+}
+
+// netState is the gob wire form of a trained network's parameters.
+type netState struct {
+	Name    string
+	Weights [][]float64
+}
+
+// SaveWeights serializes the network parameters to a file.
+func (n *Network) SaveWeights(path string) error {
+	st := netState{Name: n.Name}
+	for _, p := range n.Params() {
+		st.Weights = append(st.Weights, p.W)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return fmt.Errorf("nn: encoding %s: %w", n.Name, err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadWeights restores parameters saved by SaveWeights into a structurally
+// identical network.
+func (n *Network) LoadWeights(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var st netState
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decoding %s: %w", path, err)
+	}
+	params := n.Params()
+	if len(st.Weights) != len(params) {
+		return fmt.Errorf("nn: %s has %d parameter arrays, file has %d", n.Name, len(params), len(st.Weights))
+	}
+	for i, p := range params {
+		if len(st.Weights[i]) != len(p.W) {
+			return fmt.Errorf("nn: parameter %d size %d, file has %d", i, len(p.W), len(st.Weights[i]))
+		}
+		copy(p.W, st.Weights[i])
+	}
+	return nil
+}

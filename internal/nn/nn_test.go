@@ -1,0 +1,466 @@
+package nn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestTensorBasics(t *testing.T) {
+	x := NewTensor(2, 3)
+	if x.Len() != 6 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	y := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	z := y.Clone()
+	z.Data[0] = 99
+	if y.Data[0] != 1 {
+		t.Fatal("Clone must deep copy")
+	}
+	r := y.Reshape(6)
+	if len(r.Shape) != 1 || r.Shape[0] != 6 {
+		t.Fatal("Reshape failed")
+	}
+	r.Data[0] = 42
+	if y.Data[0] != 42 {
+		t.Fatal("Reshape must share data")
+	}
+}
+
+func TestTensorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTensor(0) },
+		func() { FromSlice([]float64{1}, 3) },
+		func() { NewTensor(4).Reshape(5) },
+		func() { NewTensor(4).At(0, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTensorCHWIndexing(t *testing.T) {
+	x := NewTensor(2, 3, 4)
+	x.SetAt(1, 2, 3, 7)
+	if x.At(1, 2, 3) != 7 {
+		t.Fatal("CHW round trip failed")
+	}
+	if x.Data[1*12+2*4+3] != 7 {
+		t.Fatal("CHW layout wrong")
+	}
+}
+
+func TestArgMaxTopK(t *testing.T) {
+	x := FromSlice([]float64{0.1, 0.9, 0.3, 0.7}, 4)
+	if x.ArgMax() != 1 {
+		t.Fatalf("ArgMax = %d", x.ArgMax())
+	}
+	top := x.TopK(3)
+	if top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := x.TopK(10); len(got) != 4 {
+		t.Fatalf("TopK clamps to length, got %d", len(got))
+	}
+}
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := NewDense(2, 2, rand.New(rand.NewPCG(1, 1)))
+	copy(d.Weight.W, []float64{1, 2, 3, 4})
+	copy(d.Bias.W, []float64{10, 20})
+	y := d.Forward(FromSlice([]float64{1, 1}, 2))
+	if y.Data[0] != 13 || y.Data[1] != 27 {
+		t.Fatalf("y = %v", y.Data)
+	}
+	if d.WeightAt(1, 0) != 3 {
+		t.Fatalf("WeightAt = %g", d.WeightAt(1, 0))
+	}
+}
+
+func TestDenseForwardWithExternalMVM(t *testing.T) {
+	d := NewDense(3, 2, rand.New(rand.NewPCG(1, 1)))
+	copy(d.Bias.W, []float64{1, 2})
+	called := false
+	y := d.ForwardWith(FromSlice([]float64{1, 2, 3}, 3), func(x []float64) []float64 {
+		called = true
+		return []float64{100, 200}
+	})
+	if !called || y.Data[0] != 101 || y.Data[1] != 202 {
+		t.Fatalf("external MVM not honored: %v", y.Data)
+	}
+}
+
+// numericGradCheck verifies analytic gradients against central differences.
+func numericGradCheck(t *testing.T, layers []Layer, inShape []int, seed uint64) {
+	t.Helper()
+	net := &Network{Name: "gradcheck", InShape: inShape, Layers: layers}
+	rng := rand.New(rand.NewPCG(seed, 77))
+	x := NewTensor(inShape...)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	label := 0
+	lossAt := func() float64 {
+		l, _ := SoftmaxCrossEntropy(net.Forward(x), label)
+		return l
+	}
+	// Analytic gradients.
+	for _, p := range net.Params() {
+		clear(p.Grad)
+	}
+	logits := net.Forward(x)
+	_, g := SoftmaxCrossEntropy(logits, label)
+	net.Backward(g)
+	const eps = 1e-5
+	for pi, p := range net.Params() {
+		for _, i := range []int{0, len(p.W) / 2, len(p.W) - 1} {
+			orig := p.W[i]
+			p.W[i] = orig + eps
+			up := lossAt()
+			p.W[i] = orig - eps
+			down := lossAt()
+			p.W[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-p.Grad[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Errorf("param %d idx %d: analytic %g vs numeric %g", pi, i, p.Grad[i], numeric)
+			}
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	numericGradCheck(t, []Layer{NewDense(6, 5, rng), &ReLU{}, NewDense(5, 3, rng)}, []int{6}, 1)
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	numericGradCheck(t, []Layer{
+		NewConv2D(2, 3, 3, 3, 1, 1, rng), &ReLU{},
+		&MaxPool2D{Size: 2}, &Flatten{},
+		NewDense(3*3*3, 4, rng),
+	}, []int{2, 6, 6}, 2)
+}
+
+func TestConvStrideAndPadGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	numericGradCheck(t, []Layer{
+		NewConv2D(1, 2, 3, 3, 2, 0, rng), &Flatten{},
+		NewDense(2*2*2, 3, rng),
+	}, []int{1, 5, 5}, 3)
+}
+
+func TestConvOutShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	c := NewConv2D(3, 8, 5, 5, 1, 2, rng)
+	got := c.OutShape([]int{3, 28, 28})
+	if got[0] != 8 || got[1] != 28 || got[2] != 28 {
+		t.Fatalf("OutShape = %v", got)
+	}
+	c2 := NewConv2D(1, 4, 3, 3, 2, 0, rng)
+	got = c2.OutShape([]int{1, 7, 7})
+	if got[1] != 3 || got[2] != 3 {
+		t.Fatalf("strided OutShape = %v", got)
+	}
+}
+
+func TestConvForwardWithMatchesInternal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	c := NewConv2D(2, 4, 3, 3, 1, 1, rng)
+	x := NewTensor(2, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	want := c.Forward(x)
+	// External MVM that computes the same product.
+	got := c.ForwardWith(x, func(patch []float64) []float64 {
+		out := make([]float64, c.OutC)
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			for k, pv := range patch {
+				s += c.WeightAt(oc, k) * pv
+			}
+			out[oc] = s
+		}
+		return out
+	})
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-got.Data[i]) > 1e-12 {
+			t.Fatalf("mismatch at %d: %g vs %g", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestMaxPoolForward(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 1, 2, 3,
+		1, 1, 4, 1,
+	}, 1, 4, 4)
+	m := &MaxPool2D{Size: 2}
+	y := m.Forward(x)
+	want := []float64{4, 8, 9, 4}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("pool = %v", y.Data)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	y := r.Forward(FromSlice([]float64{-1, 0, 2}, 3))
+	if y.Data[0] != 0 || y.Data[2] != 2 {
+		t.Fatalf("relu = %v", y.Data)
+	}
+	g := r.Backward(FromSlice([]float64{5, 5, 5}, 3))
+	if g.Data[0] != 0 || g.Data[2] != 5 {
+		t.Fatalf("relu grad = %v", g.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits := FromSlice([]float64{1, 1, 1}, 3)
+	loss, grad := SoftmaxCrossEntropy(logits, 1)
+	if math.Abs(loss-math.Log(3)) > 1e-12 {
+		t.Fatalf("uniform loss = %g", loss)
+	}
+	if math.Abs(grad.Data[1]-(1.0/3-1)) > 1e-12 || math.Abs(grad.Data[0]-1.0/3) > 1e-12 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+	// Gradients sum to zero.
+	s := grad.Data[0] + grad.Data[1] + grad.Data[2]
+	if math.Abs(s) > 1e-12 {
+		t.Fatalf("grad sum = %g", s)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	logits := FromSlice([]float64{1000, 1001, 999}, 3)
+	loss, _ := SoftmaxCrossEntropy(logits, 1)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("unstable loss %g", loss)
+	}
+	p := Softmax(logits)
+	sum := 0.0
+	for _, v := range p.Data {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %g", sum)
+	}
+}
+
+func TestModelShapes(t *testing.T) {
+	cases := []struct {
+		net    *Network
+		in     []int
+		out    int
+		minPar int
+	}{
+		{NewMLP1(1), []int{1, 28, 28}, 10, 400_000},
+		{NewMLP2(1), []int{1, 28, 28}, 10, 600_000},
+		{NewCNN1(1), []int{1, 28, 28}, 10, 40_000},
+		{NewMiniAlexNet(1, 40), []int{3, 32, 32}, 40, 150_000},
+	}
+	for _, c := range cases {
+		x := NewTensor(c.in...)
+		y := c.net.Forward(x)
+		if y.Len() != c.out {
+			t.Errorf("%s: output %d, want %d", c.net.Name, y.Len(), c.out)
+		}
+		if p := c.net.NumParams(); p < c.minPar {
+			t.Errorf("%s: %d params, expected at least %d", c.net.Name, p, c.minPar)
+		}
+	}
+}
+
+func TestMiniAlexNetIsEightWeightLayers(t *testing.T) {
+	net := NewMiniAlexNet(1, 40)
+	convs, denses := 0, 0
+	for _, l := range net.Layers {
+		switch l.(type) {
+		case *Conv2D:
+			convs++
+		case *Dense:
+			denses++
+		}
+	}
+	if convs != 5 || denses != 3 {
+		t.Fatalf("MiniAlexNet has %d conv + %d fc, want 5 + 3 (AlexNet shape)", convs, denses)
+	}
+}
+
+// TestTrainLearnsToy verifies SGD actually learns a separable problem.
+func TestTrainLearnsToy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	net := &Network{
+		Name:    "toy",
+		InShape: []int{2},
+		Layers:  []Layer{NewDense(2, 16, rng), &ReLU{}, NewDense(16, 2, rng)},
+	}
+	var train []Example
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		label := 0
+		if x[0]*x[0]+x[1]*x[1] > 1.2 {
+			label = 1
+		}
+		train = append(train, Example{Input: FromSlice(x, 2), Label: label})
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 30
+	cfg.LR = 0.1
+	Train(net, train, cfg)
+	if miss := Evaluate(net, train); miss > 0.12 {
+		t.Fatalf("toy problem misclassification %.3f after training", miss)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	build := func() (*Network, []Example) {
+		rng := rand.New(rand.NewPCG(7, 7))
+		net := &Network{Name: "det", InShape: []int{4},
+			Layers: []Layer{NewDense(4, 8, rng), &ReLU{}, NewDense(8, 3, rng)}}
+		var exs []Example
+		for i := 0; i < 60; i++ {
+			x := make([]float64, 4)
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			exs = append(exs, Example{Input: FromSlice(x, 4), Label: i % 3})
+		}
+		return net, exs
+	}
+	n1, e1 := build()
+	n2, e2 := build()
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	l1 := Train(n1, e1, cfg)
+	l2 := Train(n2, e2, cfg)
+	if l1 != l2 {
+		t.Fatalf("training not deterministic: %g vs %g", l1, l2)
+	}
+}
+
+func TestEvaluateTopK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	net := &Network{Name: "e", InShape: []int{3},
+		Layers: []Layer{NewDense(3, 5, rng)}}
+	exs := []Example{{Input: FromSlice([]float64{1, 0, 0}, 3), Label: 2}}
+	top1 := EvaluateTopK(net, exs, 1)
+	top5 := EvaluateTopK(net, exs, 5)
+	if top5 != 0 {
+		t.Fatalf("top-5 over 5 classes must always hit, got %g", top5)
+	}
+	if top1 != 0 && top1 != 1 {
+		t.Fatalf("top-1 = %g", top1)
+	}
+	if Evaluate(net, nil) != 0 || EvaluateTopK(net, nil, 3) != 0 {
+		t.Fatal("empty sets must return 0")
+	}
+}
+
+func TestSaveLoadWeights(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/w.gob"
+	a := NewMLP2(3)
+	if err := a.SaveWeights(path); err != nil {
+		t.Fatal(err)
+	}
+	b := NewMLP2(99) // different init
+	if err := b.LoadWeights(path); err != nil {
+		t.Fatal(err)
+	}
+	x := NewTensor(1, 28, 28)
+	x.Data[100] = 1
+	ya, yb := a.Forward(x), b.Forward(x)
+	for i := range ya.Data {
+		if ya.Data[i] != yb.Data[i] {
+			t.Fatal("loaded network disagrees with saved one")
+		}
+	}
+	// Structural mismatch must error.
+	c := NewMLP1(1)
+	if err := c.LoadWeights(path); err == nil {
+		t.Fatal("loading MLP2 weights into MLP1 must fail")
+	}
+	if err := c.LoadWeights(dir + "/missing.gob"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestForwardWithPanicsOnNonMVMLayer(t *testing.T) {
+	net := NewMLP2(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net.ForwardWith(NewTensor(1, 28, 28), map[int]MVMFunc{0: func(x []float64) []float64 { return nil }})
+}
+
+func TestSigmoidForwardBackward(t *testing.T) {
+	s := &Sigmoid{}
+	y := s.Forward(FromSlice([]float64{0, 100, -100}, 3))
+	if math.Abs(y.Data[0]-0.5) > 1e-12 || y.Data[1] < 0.999 || y.Data[2] > 0.001 {
+		t.Fatalf("sigmoid = %v", y.Data)
+	}
+	g := s.Backward(FromSlice([]float64{1, 1, 1}, 3))
+	if math.Abs(g.Data[0]-0.25) > 1e-12 {
+		t.Fatalf("sigmoid grad at 0 = %g, want 0.25", g.Data[0])
+	}
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 14))
+	numericGradCheck(t, []Layer{NewDense(5, 4, rng), &Sigmoid{}, NewDense(4, 3, rng)}, []int{5}, 4)
+}
+
+func TestAvgPoolForward(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 3, 5, 7,
+		5, 7, 9, 11,
+		2, 2, 4, 4,
+		2, 2, 4, 4,
+	}, 1, 4, 4)
+	m := &AvgPool2D{Size: 2}
+	y := m.Forward(x)
+	want := []float64{4, 8, 2, 4}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("avgpool = %v", y.Data)
+		}
+	}
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 15))
+	numericGradCheck(t, []Layer{
+		NewConv2D(1, 2, 3, 3, 1, 1, rng), &AvgPool2D{Size: 2}, &Flatten{},
+		NewDense(2*3*3, 3, rng),
+	}, []int{1, 6, 6}, 5)
+}
+
+func TestCloneNewLayers(t *testing.T) {
+	rng := rand.New(rand.NewPCG(16, 16))
+	net := &Network{Name: "c", InShape: []int{1, 4, 4}, Layers: []Layer{
+		NewConv2D(1, 2, 3, 3, 1, 1, rng), &Sigmoid{}, &AvgPool2D{Size: 2}, &Flatten{},
+		NewDense(8, 2, rng),
+	}}
+	x := NewTensor(1, 4, 4)
+	x.Data[5] = 1
+	a, b := net.Forward(x), net.CloneForInference().Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("clone with sigmoid/avgpool diverged")
+		}
+	}
+}

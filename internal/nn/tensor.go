@@ -1,0 +1,114 @@
+// Package nn is a compact neural-network substrate: tensors, the layer types
+// the paper's workloads need (dense, convolution, max pooling, ReLU),
+// softmax cross-entropy training with SGD+momentum, and constructors for the
+// four evaluated networks of paper Table II (MLP1, MLP2, CNN1, and the
+// AlexNet-shaped MiniAlexNet). It replaces the paper's TensorFlow training
+// step; inference layers additionally accept an external matrix-vector
+// multiply so the accelerator simulator can take over their arithmetic.
+package nn
+
+import "fmt"
+
+// Tensor is a dense float64 tensor with row-major (outermost-first) layout.
+// Convolutional activations use CHW order.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("nn: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	t := NewTensor(shape...)
+	if len(data) != len(t.Data) {
+		panic(fmt.Sprintf("nn: %d values for shape %v", len(data), shape))
+	}
+	copy(t.Data, data)
+	return t
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	return FromSlice(t.Data, t.Shape...)
+}
+
+// Reshape returns a view with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("nn: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at a 3-D CHW index (for conv activations).
+func (t *Tensor) At(c, h, w int) float64 {
+	_, hh, ww := t.chw()
+	return t.Data[(c*hh+h)*ww+w]
+}
+
+// SetAt stores the element at a 3-D CHW index.
+func (t *Tensor) SetAt(c, h, w int, v float64) {
+	_, hh, ww := t.chw()
+	t.Data[(c*hh+h)*ww+w] = v
+}
+
+func (t *Tensor) chw() (c, h, w int) {
+	if len(t.Shape) != 3 {
+		panic(fmt.Sprintf("nn: shape %v is not CHW", t.Shape))
+	}
+	return t.Shape[0], t.Shape[1], t.Shape[2]
+}
+
+// ArgMax returns the index of the largest element — the predicted class of
+// a logit vector.
+func (t *Tensor) ArgMax() int {
+	best := 0
+	for i, v := range t.Data {
+		if v > t.Data[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest elements in descending order
+// (used for top-5 misclassification on the ILSVRC stand-in).
+func (t *Tensor) TopK(k int) []int {
+	if k > len(t.Data) {
+		k = len(t.Data)
+	}
+	idx := make([]int, 0, k)
+	used := make([]bool, len(t.Data))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, v := range t.Data {
+			if used[i] {
+				continue
+			}
+			if best < 0 || v > t.Data[best] {
+				best = i
+			}
+		}
+		used[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}

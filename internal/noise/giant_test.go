@@ -1,0 +1,118 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestInjectGiantProneRate(t *testing.T) {
+	p := DefaultDeviceParams()
+	p.GiantProneProb = 0.01
+	rng := stats.NewRNG(17)
+	total, neg := 0, 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		cells := InjectGiantProne(rng, 100, 128, p)
+		total += len(cells)
+		for _, c := range cells {
+			if c.Row < 0 || c.Row >= 100 || c.Col < 0 || c.Col >= 128 {
+				t.Fatalf("cell out of bounds: %+v", c)
+			}
+			if c.Neg {
+				neg++
+			}
+		}
+	}
+	mean := float64(total) / trials
+	want := 0.01 * 100 * 128
+	if math.Abs(mean-want) > 0.15*want {
+		t.Fatalf("mean prone cells %g, want ~%g", mean, want)
+	}
+	negFrac := float64(neg) / float64(total)
+	if math.Abs(negFrac-(1-p.GiantHighFrac)) > 0.05 {
+		t.Fatalf("negative fraction %.3f, want ~%.3f", negFrac, 1-p.GiantHighFrac)
+	}
+}
+
+func TestInjectGiantProneZero(t *testing.T) {
+	p := DefaultDeviceParams()
+	p.GiantProneProb = 0
+	if cells := InjectGiantProne(stats.NewRNG(1), 10, 10, p); cells != nil {
+		t.Fatal("zero prone probability must inject nothing")
+	}
+}
+
+// TestGiantMagnitudeScalesWithLevel: a giant event on a high-conductance
+// cell shifts the current by more steps — the mechanism behind the paper's
+// multi-bit-position errors at high cell densities.
+func TestGiantMagnitudeScalesWithLevel(t *testing.T) {
+	for _, bits := range []int{2, 4} {
+		p := DefaultDeviceParams()
+		p.BitsPerCell = bits
+		s, err := NewRowSampler(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := p.NumLevels() - 1
+		if s.GiantMagnitude(top) <= s.GiantMagnitude(1) {
+			t.Fatalf("bits=%d: magnitude must grow with level", bits)
+		}
+		// The top level's absolute magnitude in steps grows with density:
+		// same device current, finer quantization.
+		if bits == 4 {
+			p2 := DefaultDeviceParams()
+			p2.BitsPerCell = 2
+			s2, _ := NewRowSampler(p2)
+			if s.GiantMagnitude(top) <= s2.GiantMagnitude(3) {
+				t.Fatal("4-bit top magnitude must exceed 2-bit top magnitude in steps")
+			}
+		}
+	}
+}
+
+func TestAddDiscreteBuckets(t *testing.T) {
+	var sp StepProbs
+	sp.AddDiscrete(1.0, 0.5) // clean +1
+	if sp[0] < 0.49 || sp[2] > 0.01 {
+		t.Fatalf("clean +1: %v", sp)
+	}
+	sp = StepProbs{}
+	sp.AddDiscrete(-1.0, 0.5)
+	if sp[1] < 0.49 {
+		t.Fatalf("clean -1: %v", sp)
+	}
+	sp = StepProbs{}
+	sp.AddDiscrete(2.2, 1.0) // mostly >= 2
+	if sp[2] < 0.9 {
+		t.Fatalf("+2.2 should land in the >=2 bucket: %v", sp)
+	}
+	sp = StepProbs{}
+	sp.AddDiscrete(1.4, 1.0) // straddles 1.5: mass in both buckets
+	if sp[0] < 0.4 || sp[2] < 0.1 {
+		t.Fatalf("+1.4 should straddle: %v", sp)
+	}
+	sp = StepProbs{}
+	sp.AddDiscrete(0.1, 1.0) // sub-threshold: ignored
+	if sp.Total() != 0 {
+		t.Fatalf("tiny magnitude must be ignored: %v", sp)
+	}
+	sp = StepProbs{}
+	sp.AddDiscrete(1.0, 0) // zero probability: ignored
+	if sp.Total() != 0 {
+		t.Fatal("zero probability must be ignored")
+	}
+}
+
+func TestSampleDeviationMatchesSampleError(t *testing.T) {
+	s := newTestSampler(t, nil)
+	a := stats.NewRNG(5)
+	b := stats.NewRNG(5)
+	counts := []int{20, 30, 10, 5}
+	for i := 0; i < 200; i++ {
+		if got := int(math.Round(s.SampleDeviation(a, counts))); got != s.SampleError(b, counts) {
+			t.Fatal("SampleError must be the rounded SampleDeviation")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultDeviceParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mod := func(f func(*DeviceParams)) DeviceParams {
+		p := DefaultDeviceParams()
+		f(&p)
+		return p
+	}
+	bad := []DeviceParams{
+		mod(func(p *DeviceParams) { p.RLo = 0 }),
+		mod(func(p *DeviceParams) { p.RHi = p.RLo }),
+		mod(func(p *DeviceParams) { p.VHi = 0 }),
+		mod(func(p *DeviceParams) { p.BitsPerCell = 0 }),
+		mod(func(p *DeviceParams) { p.BitsPerCell = 9 }),
+		mod(func(p *DeviceParams) { p.DeltaRLoFrac = 0 }),
+		mod(func(p *DeviceParams) { p.DeltaRLoFrac = 0.6 }),
+		mod(func(p *DeviceParams) { p.PRTN = 1.5 }),
+		mod(func(p *DeviceParams) { p.CompensationFactor = -0.1 }),
+		mod(func(p *DeviceParams) { p.FailureRate = 0.9 }),
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestLevelConductances(t *testing.T) {
+	p := DefaultDeviceParams()
+	p.BitsPerCell = 2
+	ls := p.LevelConductances()
+	if len(ls) != 4 {
+		t.Fatalf("levels = %d", len(ls))
+	}
+	if math.Abs(ls[0]-1/p.RHi) > 1e-15 {
+		t.Errorf("level 0 = %g, want GMin", ls[0])
+	}
+	if math.Abs(ls[3]-1/p.RLo) > 1e-15 {
+		t.Errorf("top level = %g, want GMax", ls[3])
+	}
+	for i := 1; i < len(ls); i++ {
+		if d := ls[i] - ls[i-1]; math.Abs(d-p.DeltaG()) > 1e-15 {
+			t.Errorf("nonuniform step at %d: %g", i, d)
+		}
+	}
+}
+
+func TestNumLevels(t *testing.T) {
+	p := DefaultDeviceParams()
+	for bits, want := range map[int]int{1: 2, 2: 4, 3: 8, 4: 16, 5: 32} {
+		p.BitsPerCell = bits
+		if got := p.NumLevels(); got != want {
+			t.Errorf("bits=%d: levels=%d, want %d", bits, got, want)
+		}
+	}
+}
+
+// TestIelminiAnchors checks the model reproduces the paper's derived RTN
+// amplitudes: 2.8% at RLo = 2 kΩ and ~50% at RHi = 5 MΩ (Section VII-B).
+func TestIelminiAnchors(t *testing.T) {
+	p := DefaultDeviceParams()
+	if got := p.DeltaROverR(p.RLo); math.Abs(got-0.028) > 1e-9 {
+		t.Errorf("DeltaR/R(RLo) = %g, want 0.028", got)
+	}
+	if got := p.DeltaROverR(p.RHi); got < 0.49 || got > 0.50 {
+		t.Errorf("DeltaR/R(RHi) = %g, want ~0.50", got)
+	}
+}
+
+// TestIelminiShape checks the qualitative Ielmini behaviour: amplitude
+// grows monotonically with resistance and saturates.
+func TestIelminiShape(t *testing.T) {
+	p := DefaultDeviceParams()
+	prev := 0.0
+	for _, r := range []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8} {
+		d := p.DeltaROverR(r)
+		if d <= prev {
+			t.Fatalf("DeltaR/R not increasing at R=%g", r)
+		}
+		if d >= p.DeltaRSat {
+			t.Fatalf("DeltaR/R exceeded saturation at R=%g", r)
+		}
+		prev = d
+	}
+	if p.DeltaROverR(0) != 0 || p.DeltaROverR(-5) != 0 {
+		t.Error("nonpositive resistance must give zero deviation")
+	}
+}
+
+// TestTrapRadiusPhysical checks the calibrated trap radius is consistent
+// with the filament geometry: sub-filament at RLo, nanometer scale.
+func TestTrapRadiusPhysical(t *testing.T) {
+	p := DefaultDeviceParams()
+	rt := p.TrapRadius()
+	rf := p.FilamentRadius(p.RLo)
+	if rt <= 0 || rt >= rf {
+		t.Fatalf("trap radius %g must be positive and below the RLo filament radius %g", rt, rf)
+	}
+	if rt > 100e-9 {
+		t.Fatalf("trap radius %g not nanoscale", rt)
+	}
+	if !math.IsInf(p.FilamentRadius(0), 1) {
+		t.Error("zero resistance must give infinite filament radius")
+	}
+}
+
+func TestRTNCurrentExcessScaling(t *testing.T) {
+	p := DefaultDeviceParams()
+	// The top level (RLo) has a small relative deviation but the largest
+	// absolute excess; level 0 (RHi) has a 50% deviation of almost nothing.
+	hi := p.RTNCurrentExcess(p.GMax())
+	lo := p.RTNCurrentExcess(p.GMin())
+	if hi <= lo {
+		t.Fatalf("absolute excess must grow with conductance: %g vs %g", hi, lo)
+	}
+	if p.RTNCurrentExcess(0) != 0 {
+		t.Error("zero conductance must give zero excess")
+	}
+}
+
+func TestPRTNFromDwellTimes(t *testing.T) {
+	// tauOFF (normal) several times tauON (error): occupancy well below 1/2.
+	got := PRTNFromDwellTimes(1, 3)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("PRTN = %g, want 0.25", got)
+	}
+	if PRTNFromDwellTimes(0, 3) != 0 || PRTNFromDwellTimes(1, 0) != 0 {
+		t.Error("degenerate dwell times must give zero")
+	}
+}
+
+func TestNoiseSigmas(t *testing.T) {
+	p := DefaultDeviceParams()
+	// Thermal noise grows with conductance (falls with R).
+	if p.ThermalNoiseSigma(2e3) <= p.ThermalNoiseSigma(5e6) {
+		t.Error("thermal noise must be larger for smaller R")
+	}
+	// Shot noise grows with current.
+	if p.ShotNoiseSigma(1e-3) <= p.ShotNoiseSigma(1e-6) {
+		t.Error("shot noise must grow with current")
+	}
+	if p.ShotNoiseSigma(0) != 0 {
+		t.Error("zero current must give zero shot noise")
+	}
+	// Both are far below one ADC step for a full row: RTN dominates
+	// (Section IV observes this).
+	di := p.VHi * p.DeltaG()
+	rowShot := p.ShotNoiseSigma(128 * p.VHi * p.GMax())
+	if rowShot > di/4 {
+		t.Errorf("shot noise %g should be well under the ADC step %g", rowShot, di)
+	}
+	rowThermal := math.Sqrt(128) * p.ThermalNoiseSigma(p.RLo)
+	if rowThermal > di/20 {
+		t.Errorf("thermal noise %g should be negligible vs step %g", rowThermal, di)
+	}
+}

@@ -1,0 +1,319 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/stats"
+)
+
+// stepFloor discards levels whose RTN excess is too small to ever matter
+// (level 0 sits at 5 MΩ and contributes microsteps).
+const stepFloor = 1e-6
+
+// RowSampler draws the quantization error of one physical-row read. It
+// aggregates the per-level cell populations of the row into a single
+// binomial RTN term plus a Gaussian term for programming, thermal, and shot
+// noise — the same model the analytic prediction of Section V-B5 uses, so
+// the errors the simulator injects match the probabilities the data-aware
+// code construction optimizes for.
+type RowSampler struct {
+	params DeviceParams
+	// stepExcess[k] is the current excess, in ADC steps, of one level-k
+	// cell while in its RTN error state.
+	stepExcess []float64
+	// compSteps[k] is the programming-time RTN offset applied to one
+	// level-k cell, in steps (clamped: a cell cannot be programmed below
+	// the minimum conductance).
+	compSteps []float64
+	// gSteps[k] is the level conductance in units of DeltaG.
+	gSteps []float64
+	// progVar[k], thermVar[k] are per-cell noise variances in steps^2.
+	progVar  []float64
+	thermVar []float64
+	// shotVarPerStep converts row current (in steps) to shot variance.
+	shotVarPerStep float64
+	// invSqrtK scales the zero-mean RTN fluctuation for the ADC's
+	// temporal averaging window (1/sqrt(RTNAveraging)).
+	invSqrtK float64
+	// giantMag[k] is the step magnitude of a giant RTN event on a level-k
+	// cell; giant events are not attenuated by averaging.
+	giantMag []float64
+}
+
+// NewRowSampler precomputes the per-level terms for a device configuration.
+func NewRowSampler(p DeviceParams) (*RowSampler, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	levels := p.LevelConductances()
+	dg := p.DeltaG()
+	di := p.VHi * dg // ADC current step
+	s := &RowSampler{
+		params:     p,
+		stepExcess: make([]float64, len(levels)),
+		compSteps:  make([]float64, len(levels)),
+		gSteps:     make([]float64, len(levels)),
+		progVar:    make([]float64, len(levels)),
+		thermVar:   make([]float64, len(levels)),
+		giantMag:   make([]float64, len(levels)),
+	}
+	for k, g := range levels {
+		excess := p.RTNCurrentExcess(g) / di
+		s.stepExcess[k] = excess
+		// Full Hu-style mean compensation (Section IV); a cell cannot be
+		// programmed below GMin, bounding the offset.
+		comp := p.PRTN * excess
+		if maxComp := (g - p.GMin()) / dg; comp > maxComp {
+			comp = maxComp
+		}
+		s.compSteps[k] = comp
+		s.gSteps[k] = g / dg
+		// Programming error: uniform within +/- ProgErrFrac of the target
+		// conductance, capped at the program-verify LSB tolerance;
+		// variance tol^2/3.
+		pe := p.ProgErrFrac * g / dg
+		if p.ProgVerifyLSB > 0 && pe > p.ProgVerifyLSB {
+			pe = p.ProgVerifyLSB
+		}
+		s.progVar[k] = pe * pe / 3
+		th := p.ThermalNoiseSigma(1/g) / di
+		s.thermVar[k] = th * th
+		// A giant event drops R by GiantDeltaR: current rises by
+		// V*g*d/(1-d) (resistance-domain drop).
+		s.giantMag[k] = g / dg * p.GiantDeltaR / (1 - p.GiantDeltaR)
+	}
+	// Shot variance in steps^2 is 2qfI/di^2 with I = curSteps*di.
+	s.shotVarPerStep = 2 * electronCharge * p.SampleFreq / di
+	s.invSqrtK = 1 / math.Sqrt(float64(p.RTNAveraging))
+	return s, nil
+}
+
+// Params returns the device configuration the sampler was built for.
+func (s *RowSampler) Params() DeviceParams { return s.params }
+
+// aggregate reduces the per-level active-cell counts to the effective
+// single-binomial model: population n, mean RTN step sbar, the residual
+// mean shift left after the programming-time compensation, the static
+// (programming) and dynamic (thermal+shot) Gaussian variances, and the
+// row current in steps.
+func (s *RowSampler) aggregate(counts []int) (n int, sbar, residMean, statVar, dynVar float64) {
+	var stepSum, meanExcess, comp, curSteps float64
+	for k, c := range counts {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if s.stepExcess[k] > stepFloor {
+			n += c
+			stepSum += fc * s.stepExcess[k]
+			meanExcess += fc * s.params.PRTN * s.stepExcess[k]
+		}
+		comp += fc * s.compSteps[k]
+		statVar += fc * s.progVar[k]
+		dynVar += fc * s.thermVar[k]
+		curSteps += fc * s.gSteps[k]
+	}
+	dynVar += s.shotVarPerStep * curSteps
+	if n > 0 {
+		sbar = stepSum / float64(n)
+	}
+	return n, sbar, meanExcess - comp, statVar, dynVar
+}
+
+// SampleError draws one signed quantization error (in ADC steps) for a row
+// read with the given active-cell counts per level. counts must have
+// NumLevels entries. The zero-mean RTN fluctuation and the per-conversion
+// thermal/shot noise are attenuated by the ADC's temporal averaging; the
+// residual mean shift and the static programming error are not.
+func (s *RowSampler) SampleError(rng *rand.Rand, counts []int) int {
+	return int(math.Round(s.SampleDeviation(rng, counts)))
+}
+
+// SampleDeviation draws the continuous current deviation (in steps) of one
+// row read, before quantization. The accelerator adds the discrete
+// contributions of giant-prone and stuck cells on top of this core before
+// rounding.
+func (s *RowSampler) SampleDeviation(rng *rand.Rand, counts []int) float64 {
+	n, sbar, residMean, statVar, dynVar := s.aggregate(counts)
+	dev := residMean
+	p := s.params.PRTN
+	if n > 0 && sbar > 0 && p > 0 {
+		m := stats.SampleBinomial(rng, n, p)
+		dev += (float64(m) - float64(n)*p) * sbar * s.invSqrtK
+	}
+	if v := statVar + dynVar*s.invSqrtK*s.invSqrtK; v > 0 {
+		dev += rng.NormFloat64() * math.Sqrt(v)
+	}
+	return dev
+}
+
+// GiantMagnitude returns the current excess, in ADC steps, of a giant-prone
+// cell programmed to the given level while it occupies its error state.
+func (s *RowSampler) GiantMagnitude(level int) float64 {
+	return s.giantMag[level]
+}
+
+// StepProbs holds the per-read probabilities of small quantization errors:
+// P(+1), P(-1), P(>=+2), P(<=-2), indexed to match core.RowErr.StepProb.
+type StepProbs [4]float64
+
+// Total returns the probability of any error.
+func (sp StepProbs) Total() float64 { return sp[0] + sp[1] + sp[2] + sp[3] }
+
+// PredictStepProbs computes the analytic error probabilities for a row with
+// the given active-cell counts, following Section V-B5: the error-free
+// current offset (residual after compensation) is compared against the
+// quantization boundaries and the crossing probability evaluated with a
+// binomial CDF over the RTN cell population.
+func (s *RowSampler) PredictStepProbs(counts []int) StepProbs {
+	n, sbar, residMean, _, _ := s.aggregate(counts)
+	var sp StepProbs
+	if n == 0 {
+		return sp
+	}
+	p := s.params.PRTN
+	if p <= 0 || sbar <= 0 {
+		return sp
+	}
+	np := float64(n) * p
+	scale := sbar * s.invSqrtK
+	// dev(m) = (m - np)*sbar/sqrt(K) + residMean.
+	// P(dev > t): smallest m crossing t.
+	above := func(t float64) float64 {
+		m := int(math.Floor(np+(t-residMean)/scale)) + 1
+		return stats.BinomSF(m-1, n, p)
+	}
+	// P(dev < -t): largest m below.
+	below := func(t float64) float64 {
+		m := int(math.Ceil(np-(t+residMean)/scale)) - 1
+		if m < 0 {
+			return 0
+		}
+		return stats.BinomCDF(m, n, p)
+	}
+	hi1, hi2 := above(0.5), above(1.5)
+	lo1, lo2 := below(0.5), below(1.5)
+	sp[0] += hi1 - hi2
+	sp[1] += lo1 - lo2
+	sp[2] += hi2
+	sp[3] += lo2
+	return sp
+}
+
+// WorstCaseRowCounts returns the all-ones-input cell population of a row
+// given its programmed level histogram — the worst-case susceptibility the
+// paper uses for syndrome allocation (every cell active).
+func WorstCaseRowCounts(levelHistogram []int) []int {
+	out := make([]int, len(levelHistogram))
+	copy(out, levelHistogram)
+	return out
+}
+
+// discreteJitter is the assumed residual Gaussian jitter (in steps) used to
+// blur a discrete error magnitude across the quantization boundaries when
+// ranking syndromes: a 1.3-step event sometimes quantizes to 2, and a
+// 0.4-step event sometimes crosses into 1.
+const discreteJitter = 0.15
+
+// AddDiscrete folds one independent discrete error source into the step
+// probabilities: an event of signed step magnitude mag occurring with
+// probability p, blurred by the residual read jitter (first-order
+// approximation, adequate for syndrome ranking).
+func (sp *StepProbs) AddDiscrete(mag float64, p float64) {
+	if p <= 0 {
+		return
+	}
+	a := math.Abs(mag)
+	if a < 0.2 {
+		return
+	}
+	gt := func(t float64) float64 { // P(a + jitter > t)
+		return 0.5 * (1 + math.Erf((a-t)/(discreteJitter*math.Sqrt2)))
+	}
+	p1 := gt(0.5) - gt(1.5) // quantizes to +/-1
+	p2 := gt(1.5)           // quantizes to magnitude >= 2
+	if mag >= 0 {
+		sp[0] += p * p1
+		sp[2] += p * p2
+	} else {
+		sp[1] += p * p1
+		sp[3] += p * p2
+	}
+}
+
+// GiantCell is one member of the giant-RTN-prone population: a fixed,
+// characterizable defect of the fabricated array.
+type GiantCell struct {
+	Row, Col int
+	// Neg is true for the minority of cells whose error state decreases
+	// the current.
+	Neg bool
+}
+
+// InjectGiantProne draws the giant-RTN-prone population for a rows x cols
+// array, analogous to InjectStuck: each cell is prone independently with
+// p.GiantProneProb, with sign split per GiantHighFrac.
+func InjectGiantProne(rng *rand.Rand, rows, cols int, p DeviceParams) []GiantCell {
+	if p.GiantProneProb <= 0 {
+		return nil
+	}
+	var out []GiantCell
+	total := rows * cols
+	idx := -1
+	lnq := math.Log1p(-p.GiantProneProb)
+	for {
+		u := rng.Float64()
+		skip := int(math.Floor(math.Log(1-u) / lnq))
+		idx += skip + 1
+		if idx >= total {
+			return out
+		}
+		out = append(out, GiantCell{
+			Row: idx / cols,
+			Col: idx % cols,
+			Neg: rng.Float64() >= p.GiantHighFrac,
+		})
+	}
+}
+
+// StuckCell records a hard fault: the cell at (Row, Col) reads as Level
+// regardless of what is programmed (yield or endurance failure,
+// Section II-C5/6).
+type StuckCell struct {
+	Row, Col int
+	Level    uint8
+}
+
+// InjectStuck draws the stuck-at fault population for a rows x cols array:
+// each cell fails independently with p.FailureRate and sticks at a uniform
+// random level.
+func InjectStuck(rng *rand.Rand, rows, cols int, p DeviceParams) []StuckCell {
+	if p.FailureRate <= 0 {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("noise: invalid params: %v", err))
+	}
+	var out []StuckCell
+	k := p.NumLevels()
+	// Geometric skipping: jump straight between failures instead of
+	// flipping a coin per cell.
+	total := rows * cols
+	idx := -1
+	lnq := math.Log1p(-p.FailureRate)
+	for {
+		u := rng.Float64()
+		skip := int(math.Floor(math.Log(1-u) / lnq))
+		idx += skip + 1
+		if idx >= total {
+			return out
+		}
+		out = append(out, StuckCell{
+			Row:   idx / cols,
+			Col:   idx % cols,
+			Level: uint8(rng.IntN(k)),
+		})
+	}
+}

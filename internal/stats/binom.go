@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// BinomPMF returns P(X = k) for X ~ Binomial(n, p).
+func BinomPMF(k, n int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return math.Exp(lg - lk - lnk + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// BinomCDF returns P(X <= k) for X ~ Binomial(n, p), computed through the
+// regularized incomplete beta function: P(X <= k) = I_{1-p}(n-k, k+1).
+// This is the binomial CDF the paper's row error-rate prediction
+// (Section V-B5) is built on.
+func BinomCDF(k, n int, p float64) float64 {
+	switch {
+	case k < 0:
+		return 0
+	case k >= n:
+		return 1
+	case p <= 0:
+		return 1
+	case p >= 1:
+		return 0
+	}
+	return RegIncBeta(float64(n-k), float64(k+1), 1-p)
+}
+
+// BinomSF returns the survival function P(X > k) = 1 - CDF(k), computed
+// directly for accuracy in the small-probability tail.
+func BinomSF(k, n int, p float64) float64 {
+	switch {
+	case k < 0:
+		return 1
+	case k >= n:
+		return 0
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return 1
+	}
+	return RegIncBeta(float64(k+1), float64(n-k), p)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the Lentz continued-fraction expansion (Numerical Recipes 6.4).
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	la, _ := math.Lgamma(a + b)
+	lb, _ := math.Lgamma(a)
+	lc, _ := math.Lgamma(b)
+	front := math.Exp(la - lb - lc + a*math.Log(x) + b*math.Log(1-x))
+	// The continued fraction converges rapidly for x <= (a+1)/(a+b+2);
+	// otherwise use the symmetry relation. The inclusive bound guarantees
+	// the recursion terminates: the reflected argument 1-x then falls
+	// strictly below the reflected threshold.
+	if x <= (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - RegIncBeta(b, a, 1-x)
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-15
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// SampleBinomial draws from Binomial(n, p). Small expected counts use CDF
+// inversion; large ones use a normal approximation with continuity
+// correction, which is accurate to well under the quantization granularity
+// of the simulated ADCs.
+func SampleBinomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - SampleBinomial(rng, n, 1-p)
+	}
+	np := float64(n) * p
+	if np < 12 || n < 30 {
+		return binomialInversion(rng, n, p)
+	}
+	sigma := math.Sqrt(np * (1 - p))
+	k := int(math.Round(np + sigma*rng.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// binomialInversion walks the CDF using the pmf recurrence
+// pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p). Expected cost O(np).
+func binomialInversion(rng *rand.Rand, n int, p float64) int {
+	u := rng.Float64()
+	q := 1 - p
+	ratio := p / q
+	pmf := math.Pow(q, float64(n))
+	if pmf == 0 {
+		// Underflow guard for large n with moderate p: fall back to
+		// counting Bernoulli trials, which cannot underflow.
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	cdf := pmf
+	k := 0
+	for u > cdf && k < n {
+		pmf *= float64(n-k) / float64(k+1) * ratio
+		k++
+		cdf += pmf
+	}
+	return k
+}

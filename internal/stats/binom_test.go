@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomPMFSmallCases(t *testing.T) {
+	// Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+	want := []float64{0.0625, 0.25, 0.375, 0.25, 0.0625}
+	for k, w := range want {
+		if got := BinomPMF(k, 4, 0.5); math.Abs(got-w) > 1e-12 {
+			t.Errorf("PMF(%d;4,0.5) = %g, want %g", k, got, w)
+		}
+	}
+}
+
+func TestBinomPMFEdges(t *testing.T) {
+	if BinomPMF(-1, 5, 0.3) != 0 || BinomPMF(6, 5, 0.3) != 0 {
+		t.Error("out-of-range k must give 0")
+	}
+	if BinomPMF(0, 5, 0) != 1 || BinomPMF(1, 5, 0) != 0 {
+		t.Error("p=0 must concentrate at k=0")
+	}
+	if BinomPMF(5, 5, 1) != 1 || BinomPMF(4, 5, 1) != 0 {
+		t.Error("p=1 must concentrate at k=n")
+	}
+}
+
+func TestBinomCDFMatchesSummation(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {50, 0.1}, {128, 0.27}, {7, 0.9}} {
+		cum := 0.0
+		for k := 0; k < tc.n; k++ {
+			cum += BinomPMF(k, tc.n, tc.p)
+			got := BinomCDF(k, tc.n, tc.p)
+			if math.Abs(got-cum) > 1e-9 {
+				t.Fatalf("CDF(%d;%d,%g) = %g, want %g", k, tc.n, tc.p, got, cum)
+			}
+		}
+	}
+}
+
+func TestBinomCDFEdges(t *testing.T) {
+	if BinomCDF(-1, 10, 0.5) != 0 {
+		t.Error("CDF below support must be 0")
+	}
+	if BinomCDF(10, 10, 0.5) != 1 {
+		t.Error("CDF at n must be 1")
+	}
+	if BinomCDF(3, 10, 0) != 1 {
+		t.Error("p=0: CDF(k>=0) must be 1")
+	}
+	if BinomCDF(3, 10, 1) != 0 {
+		t.Error("p=1: CDF(k<n) must be 0")
+	}
+}
+
+func TestBinomSFComplement(t *testing.T) {
+	for k := 0; k <= 20; k++ {
+		s := BinomSF(k, 20, 0.35)
+		c := BinomCDF(k, 20, 0.35)
+		if math.Abs(s+c-1) > 1e-9 {
+			t.Fatalf("SF+CDF at k=%d = %g", k, s+c)
+		}
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%g(1,1) = %g", x, got)
+		}
+	}
+	// I_0.5(a,a) = 0.5 by symmetry.
+	for _, a := range []float64{2, 5, 17} {
+		if got := RegIncBeta(a, a, 0.5); math.Abs(got-0.5) > 1e-10 {
+			t.Errorf("I_0.5(%g,%g) = %g", a, a, got)
+		}
+	}
+	if RegIncBeta(3, 4, 0) != 0 || RegIncBeta(3, 4, 1) != 1 {
+		t.Error("bounds must be exact")
+	}
+}
+
+func TestSampleBinomialMoments(t *testing.T) {
+	rng := NewRNG(99)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{16, 0.25}, {128, 0.27}, {40, 0.8}, {200, 0.02}} {
+		var s Summary
+		for i := 0; i < 20000; i++ {
+			s.Add(float64(SampleBinomial(rng, tc.n, tc.p)))
+		}
+		wantMean := float64(tc.n) * tc.p
+		wantStd := math.Sqrt(wantMean * (1 - tc.p))
+		if math.Abs(s.Mean()-wantMean) > 4*wantStd/math.Sqrt(20000) {
+			t.Errorf("n=%d p=%g: mean %g, want %g", tc.n, tc.p, s.Mean(), wantMean)
+		}
+		if math.Abs(s.Std()-wantStd) > 0.1*wantStd {
+			t.Errorf("n=%d p=%g: std %g, want %g", tc.n, tc.p, s.Std(), wantStd)
+		}
+	}
+}
+
+func TestSampleBinomialEdges(t *testing.T) {
+	rng := NewRNG(1)
+	if SampleBinomial(rng, 0, 0.5) != 0 || SampleBinomial(rng, 10, 0) != 0 {
+		t.Error("degenerate cases must be 0")
+	}
+	if SampleBinomial(rng, 10, 1) != 10 {
+		t.Error("p=1 must return n")
+	}
+}
+
+// Property: samples always lie in [0, n].
+func TestSampleBinomialRangeQuick(t *testing.T) {
+	rng := NewRNG(7)
+	f := func(n8 uint8, pRaw uint16) bool {
+		n := int(n8)
+		p := float64(pRaw) / 65535
+		k := SampleBinomial(rng, n, p)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(6)
+	same := true
+	a = NewRNG(5)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestSubRNGIndependentStreams(t *testing.T) {
+	a := SubRNG(1, 0)
+	b := SubRNG(1, 1)
+	collisions := 0
+	for i := 0; i < 50; i++ {
+		if a.Uint64() == b.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("streams 0 and 1 collided %d times", collisions)
+	}
+	// Determinism across construction.
+	c, d := SubRNG(9, 42), SubRNG(9, 42)
+	for i := 0; i < 20; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("SubRNG must be deterministic")
+		}
+	}
+}
+
+// Property: CDF is monotone in k and complementary to SF.
+func TestBinomCDFMonotoneQuick(t *testing.T) {
+	f := func(n8 uint8, pRaw uint16, k8 uint8) bool {
+		n := int(n8%64) + 1
+		p := float64(pRaw) / 65535
+		k := int(k8) % n
+		c1 := BinomCDF(k, n, p)
+		c2 := BinomCDF(k+1, n, p)
+		if c2 < c1-1e-12 {
+			return false
+		}
+		return c1 >= -1e-12 && c1 <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RegIncBeta satisfies the reflection identity
+// I_x(a,b) + I_{1-x}(b,a) = 1.
+func TestRegIncBetaReflectionQuick(t *testing.T) {
+	f := func(aRaw, bRaw, xRaw uint16) bool {
+		a := 0.5 + float64(aRaw%1000)/10
+		b := 0.5 + float64(bRaw%1000)/10
+		x := float64(xRaw) / 65535
+		lhs := RegIncBeta(a, b, x) + RegIncBeta(b, a, 1-x)
+		return math.Abs(lhs-1) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

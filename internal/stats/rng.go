@@ -1,0 +1,34 @@
+// Package stats provides the deterministic random-number plumbing and the
+// probability machinery shared by the simulator: PCG-based RNG streams,
+// Gaussian and binomial samplers, a regularized-incomplete-beta binomial CDF,
+// and the row error-rate prediction model of Section V-B5 of the paper.
+package stats
+
+import "math/rand/v2"
+
+// streamSalt decorrelates derived RNG streams; it is an arbitrary odd
+// constant and must never change, or recorded experiment seeds would no
+// longer reproduce.
+const streamSalt = 0x9e3779b97f4a7c15
+
+// NewRNG returns a deterministic PCG random source for the given seed.
+// Two RNGs built from the same seed produce identical streams.
+func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^streamSalt))
+}
+
+// SubRNG derives an independent deterministic stream from a base seed and a
+// stream index. It is used to give each Monte-Carlo worker, image, or array
+// its own stream so that parallel runs are order-independent.
+func SubRNG(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, mix(stream)))
+}
+
+// mix is the splitmix64 finalizer; it spreads small stream indices across
+// the full 64-bit space so PCG sequences do not overlap.
+func mix(x uint64) uint64 {
+	x += streamSalt
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

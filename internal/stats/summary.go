@@ -1,0 +1,111 @@
+package stats
+
+import "math"
+
+// Summary holds streaming first- and second-moment statistics plus extrema.
+// The zero value is ready to use.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	haveSample bool
+}
+
+// Add folds one observation into the summary (Welford update).
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.haveSample || x < s.min {
+		s.min = x
+	}
+	if !s.haveSample || x > s.max {
+		s.max = x
+	}
+	s.haveSample = true
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the unbiased sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Merge folds another summary into this one (parallel Welford merge), so
+// per-worker summaries can be combined deterministically.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	mean := s.mean + d*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// Counter tallies successes out of trials and reports a rate with a normal
+// approximation confidence half-width; used for misclassification rates.
+type Counter struct {
+	Hits, Trials int
+}
+
+// AddOutcome records one trial.
+func (c *Counter) AddOutcome(hit bool) {
+	c.Trials++
+	if hit {
+		c.Hits++
+	}
+}
+
+// Rate returns Hits/Trials, or 0 for an empty counter.
+func (c *Counter) Rate() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Trials)
+}
+
+// HalfWidth95 returns the 95% normal-approximation confidence half-width
+// of the rate.
+func (c *Counter) HalfWidth95() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	p := c.Rate()
+	return 1.96 * math.Sqrt(p*(1-p)/float64(c.Trials))
+}
+
+// Merge adds another counter's tallies.
+func (c *Counter) Merge(o Counter) {
+	c.Hits += o.Hits
+	c.Trials += o.Trials
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %g", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %g", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary must be all zeros")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	rng := NewRNG(11)
+	var all, a, b Summary
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 1
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 || math.Abs(a.Var()-all.Var()) > 1e-9 {
+		t.Fatalf("merge mismatch: mean %g vs %g, var %g vs %g", a.Mean(), all.Mean(), a.Var(), all.Var())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged extrema mismatch")
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(3)
+	b.Merge(&a)
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Fatal("merge into empty must copy")
+	}
+	var c Summary
+	b.Merge(&c)
+	if b.N() != 1 {
+		t.Fatal("merging empty must be a no-op")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Rate() != 0 || c.HalfWidth95() != 0 {
+		t.Fatal("empty counter must be zero")
+	}
+	for i := 0; i < 100; i++ {
+		c.AddOutcome(i < 25)
+	}
+	if c.Rate() != 0.25 {
+		t.Fatalf("rate = %g", c.Rate())
+	}
+	hw := c.HalfWidth95()
+	want := 1.96 * math.Sqrt(0.25*0.75/100)
+	if math.Abs(hw-want) > 1e-12 {
+		t.Fatalf("half width = %g, want %g", hw, want)
+	}
+	var d Counter
+	d.AddOutcome(true)
+	c.Merge(d)
+	if c.Trials != 101 || c.Hits != 26 {
+		t.Fatalf("merge gave %d/%d", c.Hits, c.Trials)
+	}
+}
