@@ -5,7 +5,10 @@
 package mnn
 
 import (
+	"context"
+	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"repro/internal/accel"
@@ -14,6 +17,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/nn"
 	"repro/internal/noise"
+	"repro/internal/serve"
 	"repro/internal/stats"
 )
 
@@ -282,6 +286,43 @@ func BenchmarkAblations(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeBatch measures end-to-end scheduler throughput: a 16-image
+// batch fanned across the session pool, at 1, 4, and GOMAXPROCS workers.
+// The reported images/sec is the serving-layer capacity of one replica.
+func BenchmarkServeBatch(b *testing.B) {
+	w := benchWorkload(b)
+	cfg := accel.DefaultConfig(accel.SchemeABN(9))
+	cfg.Device.BitsPerCell = 2
+	eng, err := accel.Map(w.Net, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 16
+	inputs := make([]*nn.Tensor, batch)
+	for i := range inputs {
+		inputs[i] = w.Test[i%len(w.Test)].Input
+	}
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sch, err := serve.NewScheduler(eng, serve.Config{Workers: workers, QueueDepth: 2 * batch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sch.Close(context.Background())
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sch.PredictBatch(ctx, inputs, uint64(i)*batch+1, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "images/sec")
+		})
 	}
 }
 

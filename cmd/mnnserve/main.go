@@ -1,0 +1,136 @@
+// Command mnnserve serves noisy-crossbar inference over HTTP: it trains (or
+// restores from the weight cache) one of the Table II workloads, maps it
+// onto the simulated accelerator once, and answers classification requests
+// from a fixed pool of evaluation sessions with per-request ECC telemetry.
+//
+//	mnnserve -workload MLP1 -scheme ABN-9 -bits 2 -addr :8420
+//
+// Endpoints:
+//
+//	POST /v1/predict  — {"image": [...]} or {"images": [[...], ...]};
+//	                    returns class, top-k, and per-image ECU counts
+//	GET  /healthz     — readiness + mapped configuration
+//	GET  /metrics     — Prometheus text format
+//
+// SIGINT/SIGTERM drain the admission queue before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/expt"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mnnserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mnnserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8420", "listen address")
+	workload := fs.String("workload", "MLP1", "network to serve (MLP1|MLP2|CNN1)")
+	scheme := fs.String("scheme", "ABN-9", "protection scheme (NoECC|Static16|Static128|ABN-<bits>)")
+	bits := fs.Int("bits", 2, "bits per cell")
+	stuck := fs.Float64("stuck", 0, "stuck-cell failure rate (Figure 11 uses 0.001)")
+	retries := fs.Int("retries", 6, "ECU re-reads on detected-uncorrectable errors")
+	workers := fs.Int("workers", 0, "session-pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "max queue wait before 503")
+	topK := fs.Int("topk", 3, "default ranked classes per result")
+	trainN := fs.Int("train", 4000, "training examples (when the cache misses)")
+	epochs := fs.Int("epochs", 5, "training epochs (when the cache misses)")
+	seed := fs.Uint64("seed", 1, "mapping/fault-injection seed")
+	cache := fs.String("cache", "testdata/weights", "trained-weight cache directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sch, err := accel.ParseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+
+	opt := expt.DefaultTrainOptions()
+	opt.Seed = *seed + 41
+	opt.Train = *trainN
+	opt.Epochs = *epochs
+	opt.CacheDir = *cache
+	opt.Log = os.Stderr
+	workloads, err := expt.DigitWorkloads(opt)
+	if err != nil {
+		return err
+	}
+	var w expt.Workload
+	for _, cand := range workloads {
+		if strings.EqualFold(cand.Name, *workload) {
+			w = cand
+		}
+	}
+	if w.Net == nil {
+		return fmt.Errorf("unknown workload %q (want MLP1|MLP2|CNN1)", *workload)
+	}
+
+	acfg := accel.DefaultConfig(sch)
+	acfg.Device.BitsPerCell = *bits
+	acfg.Device.FailureRate = *stuck
+	acfg.Retries = *retries
+	acfg.Seed = *seed
+	fmt.Fprintf(os.Stderr, "mapping %s under %s at %d bits/cell...\n", w.Name, sch.Name, *bits)
+	eng, err := accel.Map(w.Net, acfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mapped: %d physical rows, %d coded groups\n",
+		eng.PhysicalRows, eng.NumGroups())
+
+	srv, err := serve.NewServer(eng, serve.Model{Name: w.Name, InShape: w.Net.InShape}, serve.Config{
+		Workers: *workers, QueueDepth: *queue, QueueTimeout: *queueTimeout, TopK: *topK,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "serving %s on %s (%d workers, queue %d)\n",
+			w.Name, *addr, srv.Scheduler().Workers(), srv.Scheduler().QueueDepth())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "signal received, draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Stop the listener and wait for in-flight handlers first (the workers
+	// are still running, so those handlers complete), then drain whatever
+	// is left in the admission queue.
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "drained, bye")
+	return nil
+}

@@ -40,6 +40,7 @@ func run(args []string) error {
 	trainN := fs.Int("train", 4000, "training examples per dataset")
 	epochs := fs.Int("epochs", 5, "training epochs")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines per cell (0 = GOMAXPROCS)")
 	bits := fs.String("bits", "1,2,3,4,5", "comma-separated bits-per-cell sweep")
 	outDir := fs.String("out", "", "directory for CSV outputs (optional)")
 	cache := fs.String("cache", "testdata/weights", "trained-weight cache directory")
@@ -55,6 +56,7 @@ func run(args []string) error {
 	opt := expt.DefaultSweepOptions()
 	opt.Images = *images
 	opt.Seed = *seed
+	opt.Workers = *workers
 	opt.Train.Seed = *seed + 41
 	opt.Train.Train = *trainN
 	opt.Train.Epochs = *epochs

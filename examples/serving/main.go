@@ -1,0 +1,115 @@
+// serving stands up the batching inference server in-process and exercises
+// its whole API the way a deployment would: classify a single image, fan a
+// batch across the session pool, check readiness, scrape Prometheus
+// metrics, and drain gracefully. The same server runs standalone as
+// cmd/mnnserve.
+//
+// Run: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	mnn "repro"
+)
+
+func main() {
+	fmt.Println("training a small digit classifier and mapping it under ABN-9...")
+	ds := mnn.SynthDigits(42, 1500, 50)
+	model := mnn.NewMLP2(1)
+	cfg := mnn.DefaultTrainConfig()
+	cfg.Epochs = 2
+	cfg.Log = os.Stderr
+	mnn.Train(model, ds.Train, cfg)
+
+	acfg := mnn.DefaultConfig(mnn.SchemeABN(9))
+	acfg.Device.BitsPerCell = 2
+	acfg.Device.FailureRate = 0.001 // Figure 11's stuck-cell rate
+	eng, err := mnn.Map(model, acfg)
+	if err != nil {
+		panic(err)
+	}
+
+	srv, err := mnn.NewServer(eng, mnn.ServeModel{Name: model.Name, InShape: model.InShape},
+		mnn.ServeConfig{Workers: 4, QueueDepth: 16})
+	if err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go http.Serve(ln, srv)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// Readiness, as a load balancer would probe it.
+	fmt.Println("\nGET /healthz:")
+	get(base + "/healthz")
+
+	// One image, pinned to a reproducible noise stream.
+	img := ds.Test[0]
+	body, _ := json.Marshal(map[string]any{"image": img.Input.Data, "top_k": 3, "seed": 7})
+	fmt.Printf("\nPOST /v1/predict (single image, true label %d):\n", img.Label)
+	post(base+"/v1/predict", body)
+
+	// A batch, fanned across the 4 workers.
+	batch := make([][]float64, 6)
+	labels := make([]int, 6)
+	for i := range batch {
+		batch[i] = ds.Test[i].Input.Data
+		labels[i] = ds.Test[i].Label
+	}
+	body, _ = json.Marshal(map[string]any{"images": batch, "top_k": 1})
+	fmt.Printf("\nPOST /v1/predict (batch of %d, true labels %v):\n", len(batch), labels)
+	post(base+"/v1/predict", body)
+
+	// The operator's view: ECC activity accumulated across all requests.
+	fmt.Println("\nGET /metrics (ECC excerpt):")
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if strings.HasPrefix(line, "mnn_ecc_") || strings.HasPrefix(line, "mnn_images_total") {
+			fmt.Println(" ", line)
+		}
+	}
+
+	fmt.Println("\ndraining...")
+	if err := srv.Shutdown(context.Background()); err != nil {
+		panic(err)
+	}
+	ln.Close()
+	fmt.Println("done")
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	fmt.Printf("  %s %s", resp.Status, b)
+}
+
+func post(url string, body []byte) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	fmt.Printf("  %s %s", resp.Status, b)
+}

@@ -3,6 +3,7 @@ package accel
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"repro/internal/fixed"
@@ -533,5 +534,80 @@ func TestStorageOverheadAccounting(t *testing.T) {
 	}
 	if static16-noecc < 0.2 {
 		t.Fatalf("Static16 incremental overhead %.3f too small", static16-noecc)
+	}
+}
+
+// TestSessionDrainStats: DrainStats must hand back exactly what accumulated
+// since the previous drain and leave the session clean.
+func TestSessionDrainStats(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	net := &nn.Network{Name: "t", InShape: []int{8},
+		Layers: []nn.Layer{nn.NewDense(8, 6, rng), &nn.ReLU{}, nn.NewDense(6, 3, rng)}}
+	eng, err := Map(net, DefaultConfig(SchemeABN(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := nn.FromSlice([]float64{0.2, 0.8, 0.1, 0.4, 0.9, 0.5, 0.3, 0.7}, 8)
+	sess := eng.NewSession(1)
+	sess.Forward(x)
+	first := sess.DrainStats()
+	if first.RowReads == 0 {
+		t.Fatal("drain returned empty stats after a forward pass")
+	}
+	if sess.Stats != (Stats{}) {
+		t.Fatalf("drain left residue: %+v", sess.Stats)
+	}
+	sess.Forward(x)
+	second := sess.DrainStats()
+	if second.RowReads != first.RowReads {
+		t.Fatalf("identical passes must cost identical row reads: %d vs %d",
+			first.RowReads, second.RowReads)
+	}
+}
+
+// TestSharedStatsConcurrent: concurrent Add/Snapshot must tally exactly
+// (run under -race this also certifies the locking).
+func TestSharedStatsConcurrent(t *testing.T) {
+	var ss SharedStats
+	var wg sync.WaitGroup
+	const goroutines, rounds = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ss.Add(Stats{RowReads: 2, Corrected: 1})
+				_ = ss.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	got := ss.Snapshot()
+	if got.RowReads != 2*goroutines*rounds || got.Corrected != goroutines*rounds {
+		t.Fatalf("lost updates: %+v", got)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for name, wantKind := range map[string]SchemeKind{
+		"NoECC": KindNone, "noecc": KindNone, "Static16": KindStatic,
+		"static128": KindStatic, "ABN-9": KindABN, "abn-7": KindABN,
+	} {
+		s, err := ParseScheme(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if s.Kind != wantKind {
+			t.Errorf("%s: kind %v, want %v", name, s.Kind, wantKind)
+		}
+	}
+	if s, _ := ParseScheme("ABN-10"); s.CheckBits != 10 {
+		t.Errorf("ABN-10 check bits %d", s.CheckBits)
+	}
+	for _, bad := range []string{"", "ABN-", "ABN-3", "ABN-99", "hamming", "abn-x"} {
+		if _, err := ParseScheme(bad); err == nil {
+			t.Errorf("%q must not parse", bad)
+		}
 	}
 }

@@ -107,6 +107,15 @@ func (s *Session) Reseed(stream uint64) {
 	s.rng = stats.SubRNG(s.engine.cfg.Seed, stream)
 }
 
+// DrainStats returns the statistics accumulated since the last drain and
+// resets them, so a serving worker can attribute ECU activity to individual
+// requests. It must be called from the goroutine that owns the session.
+func (s *Session) DrainStats() Stats {
+	st := s.Stats
+	s.Stats = Stats{}
+	return st
+}
+
 // Forward runs one noisy inference pass.
 func (s *Session) Forward(x *nn.Tensor) *nn.Tensor {
 	return s.net.ForwardWith(x, s.mvms)

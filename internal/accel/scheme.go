@@ -10,6 +10,8 @@ package accel
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/noise"
@@ -78,6 +80,32 @@ func SchemeABN(checkBits int) Scheme {
 		CheckBits: checkBits,
 		B:         3,
 	}
+}
+
+// ParseScheme resolves an evaluation-scheme name ("NoECC", "Static16",
+// "Static128", "ABN-7" … "ABN-10") to its configuration, so commands can
+// take the protection level as a flag.
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToLower(name) {
+	case "noecc", "none":
+		return SchemeNoECC(), nil
+	case "static16":
+		return SchemeStatic16(), nil
+	case "static128":
+		return SchemeStatic128(), nil
+	}
+	if rest, ok := strings.CutPrefix(strings.ToLower(name), "abn-"); ok {
+		bits, err := strconv.Atoi(rest)
+		if err != nil {
+			return Scheme{}, fmt.Errorf("accel: bad ABN check-bit count %q", rest)
+		}
+		s := SchemeABN(bits)
+		if err := s.Validate(); err != nil {
+			return Scheme{}, err
+		}
+		return s, nil
+	}
+	return Scheme{}, fmt.Errorf("accel: unknown scheme %q (want NoECC|Static16|Static128|ABN-<bits>)", name)
 }
 
 // Validate checks the scheme is internally consistent.

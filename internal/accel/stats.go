@@ -1,0 +1,60 @@
+package accel
+
+import "sync"
+
+// Stats tallies the ECU and error-injection activity of a simulation run.
+type Stats struct {
+	// RowReads counts simulated physical-row ADC conversions.
+	RowReads uint64
+	// RowErrors counts reads whose quantized output deviated from ideal.
+	RowErrors uint64
+	// Clean, Corrected, Detected count ECU outcomes per reduced group
+	// read (Figure 9 pipeline results).
+	Clean, Corrected, Detected uint64
+	// Retries counts re-reads triggered by detected-uncorrectable errors.
+	Retries uint64
+	// Residual counts decodes whose remainder was nonzero — errors that
+	// slipped past (or were reverted by) the ECU.
+	Residual uint64
+}
+
+// Merge adds another stats block.
+func (s *Stats) Merge(o Stats) {
+	s.RowReads += o.RowReads
+	s.RowErrors += o.RowErrors
+	s.Clean += o.Clean
+	s.Corrected += o.Corrected
+	s.Detected += o.Detected
+	s.Retries += o.Retries
+	s.Residual += o.Residual
+}
+
+// RowErrorRate returns the fraction of row reads that were erroneous.
+func (s *Stats) RowErrorRate() float64 {
+	if s.RowReads == 0 {
+		return 0
+	}
+	return float64(s.RowErrors) / float64(s.RowReads)
+}
+
+// SharedStats is a mutex-guarded Stats accumulator safe for concurrent use,
+// so serving workers can fold per-request tallies into one cumulative block
+// that a metrics scrape snapshots without stopping the pool.
+type SharedStats struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+// Add merges one stats block into the accumulator.
+func (ss *SharedStats) Add(o Stats) {
+	ss.mu.Lock()
+	ss.s.Merge(o)
+	ss.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy of the accumulated stats.
+func (ss *SharedStats) Snapshot() Stats {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s
+}

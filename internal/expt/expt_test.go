@@ -324,3 +324,38 @@ func TestWorkerCountInvariance(t *testing.T) {
 		t.Fatalf("row errors differ: %d vs %d", a.Stats.RowErrors, b.Stats.RowErrors)
 	}
 }
+
+// TestEvaluateSchemeWorkerCountInvariance is the determinism regression the
+// serving layer relies on: because sessions are reseeded per image id, the
+// Monte-Carlo outcome is a pure function of (engine, seed, image) — 1 worker
+// and 8 workers must produce byte-identical miss counters and ECU tallies.
+func TestEvaluateSchemeWorkerCountInvariance(t *testing.T) {
+	w := tinyWorkload(t)
+	dev := defaultDevice(2)
+	dev.FailureRate = 0.001
+	run := func(workers int) CellResult {
+		cell, err := EvaluateScheme(w, EvalConfig{
+			Device:  dev,
+			Scheme:  accel.SchemeABN(8),
+			Images:  32,
+			Seed:    9,
+			Workers: workers,
+			TopK:    2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cell
+	}
+	one := run(1)
+	eight := run(8)
+	if one.Miss != eight.Miss {
+		t.Fatalf("miss counters differ across worker counts: %+v vs %+v", one.Miss, eight.Miss)
+	}
+	if one.MissTopK != eight.MissTopK {
+		t.Fatalf("top-k counters differ: %+v vs %+v", one.MissTopK, eight.MissTopK)
+	}
+	if one.Stats != eight.Stats {
+		t.Fatalf("ECU tallies differ: %+v vs %+v", one.Stats, eight.Stats)
+	}
+}

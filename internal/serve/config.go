@@ -1,0 +1,70 @@
+// Package serve is the deployment layer over the noisy-crossbar engine: a
+// batch scheduler that owns a fixed pool of accelerator sessions, an
+// admission queue with backpressure, and an HTTP JSON API that reports the
+// per-request ECU telemetry (corrected/detected counts, row error rates)
+// the paper frames as the deployment-time reliability contract. Sessions
+// are reseeded per request id, so a prediction is a pure function of
+// (engine, request seed) and does not depend on which worker served it or
+// on what traffic preceded it.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Config sizes the scheduler and its admission queue.
+type Config struct {
+	// Workers is the session-pool size — the number of concurrent
+	// evaluation streams against the shared mapped arrays (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth is the admission-queue capacity. A request arriving with
+	// the queue full is rejected immediately (HTTP 429). 0 = 4x workers.
+	QueueDepth int
+	// QueueTimeout bounds how long an admitted request may wait for a
+	// worker; a request dequeued past the deadline is rejected (HTTP 503)
+	// instead of burning crossbar reads on an answer nobody is waiting
+	// for. 0 = 2s.
+	QueueTimeout time.Duration
+	// TopK is the default number of ranked classes returned when a request
+	// does not ask for a specific k (0 = 3).
+	TopK int
+
+	// dequeueHook, when set, runs in the worker loop after each dequeue and
+	// before deadline checks (test instrumentation: lets tests hold a
+	// worker mid-job to fill the queue deterministically).
+	dequeueHook func()
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.TopK <= 0 {
+		c.TopK = 3
+	}
+	return c
+}
+
+// Validate rejects nonsensical sizings before any goroutine starts.
+func (c Config) Validate() error {
+	switch {
+	case c.Workers < 0:
+		return fmt.Errorf("serve: negative worker count %d", c.Workers)
+	case c.QueueDepth < 0:
+		return fmt.Errorf("serve: negative queue depth %d", c.QueueDepth)
+	case c.QueueTimeout < 0:
+		return fmt.Errorf("serve: negative queue timeout %v", c.QueueTimeout)
+	case c.TopK < 0:
+		return fmt.Errorf("serve: negative top-k %d", c.TopK)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/accel"
+)
+
+// Request-counter outcome labels.
+const (
+	outcomeOK         = "ok"
+	outcomeBadRequest = "bad_request"
+	outcomeQueueFull  = "queue_full"
+	outcomeTimeout    = "timeout"
+	outcomeCanceled   = "canceled"
+	outcomeError      = "error"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// Metrics accumulates serving telemetry and renders it in the Prometheus
+// text exposition format. One mutex guards everything: scrapes and updates
+// are both rare relative to crossbar reads.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64
+	images   uint64
+	latCount []uint64 // per bucket; one extra slot for +Inf
+	latSum   float64
+	latN     uint64
+	ecc      accel.Stats
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[string]uint64),
+		latCount: make([]uint64, len(latencyBuckets)+1),
+	}
+}
+
+// observe records one finished request: its outcome, how many images it
+// carried, its wall time, and the ECU activity it caused (merged into the
+// cumulative tallies via Stats.Merge).
+func (m *Metrics) observe(outcome string, images int, dur time.Duration, st accel.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[outcome]++
+	m.images += uint64(images)
+	sec := dur.Seconds()
+	m.latSum += sec
+	m.latN++
+	idx := len(latencyBuckets)
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			idx = i
+			break
+		}
+	}
+	m.latCount[idx]++
+	m.ecc.Merge(st)
+}
+
+// ECCSnapshot returns the cumulative ECU tallies.
+func (m *Metrics) ECCSnapshot() accel.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ecc
+}
+
+// WritePrometheus renders every metric. queueDepth and workers are sampled
+// live by the caller (they belong to the scheduler, not the accumulator).
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, workers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP mnn_requests_total Predict requests by outcome.\n")
+	fmt.Fprintf(w, "# TYPE mnn_requests_total counter\n")
+	outcomes := make([]string, 0, len(m.requests))
+	for o := range m.requests {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "mnn_requests_total{outcome=%q} %d\n", o, m.requests[o])
+	}
+
+	fmt.Fprintf(w, "# HELP mnn_images_total Images classified.\n")
+	fmt.Fprintf(w, "# TYPE mnn_images_total counter\n")
+	fmt.Fprintf(w, "mnn_images_total %d\n", m.images)
+
+	fmt.Fprintf(w, "# HELP mnn_queue_depth Requests waiting in the admission queue.\n")
+	fmt.Fprintf(w, "# TYPE mnn_queue_depth gauge\n")
+	fmt.Fprintf(w, "mnn_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintf(w, "# HELP mnn_workers Session-pool size.\n")
+	fmt.Fprintf(w, "# TYPE mnn_workers gauge\n")
+	fmt.Fprintf(w, "mnn_workers %d\n", workers)
+
+	fmt.Fprintf(w, "# HELP mnn_request_seconds Request wall time.\n")
+	fmt.Fprintf(w, "# TYPE mnn_request_seconds histogram\n")
+	cum := uint64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.latCount[i]
+		fmt.Fprintf(w, "mnn_request_seconds_bucket{le=%q} %d\n", formatFloat(ub), cum)
+	}
+	fmt.Fprintf(w, "mnn_request_seconds_bucket{le=\"+Inf\"} %d\n", m.latN)
+	fmt.Fprintf(w, "mnn_request_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "mnn_request_seconds_count %d\n", m.latN)
+
+	fmt.Fprintf(w, "# HELP mnn_ecc_reads_total Coded group reads by ECU outcome.\n")
+	fmt.Fprintf(w, "# TYPE mnn_ecc_reads_total counter\n")
+	fmt.Fprintf(w, "mnn_ecc_reads_total{status=\"clean\"} %d\n", m.ecc.Clean)
+	fmt.Fprintf(w, "mnn_ecc_reads_total{status=\"corrected\"} %d\n", m.ecc.Corrected)
+	fmt.Fprintf(w, "mnn_ecc_reads_total{status=\"detected\"} %d\n", m.ecc.Detected)
+
+	fmt.Fprintf(w, "# HELP mnn_ecc_retries_total Re-reads after detected-uncorrectable errors.\n")
+	fmt.Fprintf(w, "# TYPE mnn_ecc_retries_total counter\n")
+	fmt.Fprintf(w, "mnn_ecc_retries_total %d\n", m.ecc.Retries)
+
+	fmt.Fprintf(w, "# HELP mnn_ecc_residual_total Decodes with nonzero remainder (errors past the ECU).\n")
+	fmt.Fprintf(w, "# TYPE mnn_ecc_residual_total counter\n")
+	fmt.Fprintf(w, "mnn_ecc_residual_total %d\n", m.ecc.Residual)
+
+	fmt.Fprintf(w, "# HELP mnn_row_reads_total Physical-row ADC conversions.\n")
+	fmt.Fprintf(w, "# TYPE mnn_row_reads_total counter\n")
+	fmt.Fprintf(w, "mnn_row_reads_total %d\n", m.ecc.RowReads)
+
+	fmt.Fprintf(w, "# HELP mnn_row_errors_total Row reads whose quantized output deviated from ideal.\n")
+	fmt.Fprintf(w, "# TYPE mnn_row_errors_total counter\n")
+	fmt.Fprintf(w, "mnn_row_errors_total %d\n", m.ecc.RowErrors)
+}
+
+// formatFloat renders a bucket bound the way Prometheus expects (no
+// exponent for these magnitudes).
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

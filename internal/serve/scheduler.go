@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/nn"
+)
+
+// Admission and lifecycle errors. The HTTP layer maps ErrQueueFull to 429
+// and ErrQueueTimeout/ErrClosed to 503.
+var (
+	ErrQueueFull    = errors.New("serve: admission queue full")
+	ErrQueueTimeout = errors.New("serve: request timed out waiting for a worker")
+	ErrClosed       = errors.New("serve: scheduler closed")
+)
+
+// Prediction is the outcome of one image inference, including the ECU
+// activity it alone caused.
+type Prediction struct {
+	// Class is the argmax class under the noisy hardware.
+	Class int
+	// TopK are the highest-scoring classes in descending order.
+	TopK []int
+	// Seed is the noise-stream id the session was reseeded with; replaying
+	// the same seed against the same engine reproduces this result exactly.
+	Seed uint64
+	// Stats are the ECU and row-error tallies of this request only.
+	Stats accel.Stats
+	// QueueWait is how long the request sat in the admission queue.
+	QueueWait time.Duration
+	// Infer is the worker-side evaluation time.
+	Infer time.Duration
+}
+
+type jobResult struct {
+	pred Prediction
+	err  error
+}
+
+// job is one queued image. resp is buffered so a worker never blocks on a
+// caller that gave up.
+type job struct {
+	ctx      context.Context
+	input    *nn.Tensor
+	seed     uint64
+	topK     int
+	enqueued time.Time
+	resp     chan jobResult
+}
+
+// autoSeedBase offsets scheduler-assigned stream ids away from the low
+// range clients typically use for explicit, reproducible seeds.
+const autoSeedBase = uint64(1) << 32
+
+// Scheduler owns a fixed pool of accel.Session workers fed by a bounded
+// admission queue. Each worker reseeds its session per request id, so
+// results are independent of placement and arrival order.
+type Scheduler struct {
+	cfg      Config
+	eng      *accel.Engine
+	queue    chan *job
+	wg       sync.WaitGroup
+	mu       sync.RWMutex // guards closed vs. in-flight queue sends
+	closed   bool
+	autoSeed atomic.Uint64
+}
+
+// NewScheduler starts the worker pool over a mapped engine.
+func NewScheduler(eng *accel.Engine, cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Scheduler{cfg: cfg, eng: eng, queue: make(chan *job, cfg.QueueDepth)}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(uint64(i))
+	}
+	return s, nil
+}
+
+// Engine returns the mapped engine the pool evaluates against.
+func (s *Scheduler) Engine() *accel.Engine { return s.eng }
+
+// Workers returns the resolved session-pool size.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// QueueLen returns the current admission-queue depth (metrics gauge).
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// QueueDepth returns the admission-queue capacity.
+func (s *Scheduler) QueueDepth() int { return s.cfg.QueueDepth }
+
+// Predict runs one image through the pool: admit (ErrQueueFull on
+// backpressure), wait for a worker, evaluate. seed selects the noise
+// stream; 0 asks the scheduler to assign a fresh one. topK 0 uses the
+// configured default.
+func (s *Scheduler) Predict(ctx context.Context, input *nn.Tensor, seed uint64, topK int) (Prediction, error) {
+	j, err := s.submit(ctx, input, seed, topK)
+	if err != nil {
+		return Prediction{}, err
+	}
+	select {
+	case r := <-j.resp:
+		return r.pred, r.err
+	case <-ctx.Done():
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// PredictBatch fans a batch across the pool and gathers results in input
+// order. Entry i uses noise stream baseSeed+i (baseSeed 0 = assign). If any
+// entry is refused admission the whole batch fails with that error, after
+// the already-admitted entries finish.
+func (s *Scheduler) PredictBatch(ctx context.Context, inputs []*nn.Tensor, baseSeed uint64, topK int) ([]Prediction, error) {
+	jobs := make([]*job, 0, len(inputs))
+	var admitErr error
+	for i, in := range inputs {
+		var seed uint64
+		if baseSeed != 0 {
+			seed = baseSeed + uint64(i)
+		}
+		j, err := s.submit(ctx, in, seed, topK)
+		if err != nil {
+			admitErr = err
+			break
+		}
+		jobs = append(jobs, j)
+	}
+	out := make([]Prediction, 0, len(jobs))
+	firstErr := admitErr
+	for _, j := range jobs {
+		select {
+		case r := <-j.resp:
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+			out = append(out, r.pred)
+		case <-ctx.Done():
+			// Remaining responses land in buffered channels and are
+			// garbage collected; the workers are not blocked.
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// submit admits one job or reports backpressure without blocking.
+func (s *Scheduler) submit(ctx context.Context, input *nn.Tensor, seed uint64, topK int) (*job, error) {
+	if seed == 0 {
+		seed = autoSeedBase + s.autoSeed.Add(1)
+	}
+	j := &job{ctx: ctx, input: input, seed: seed, topK: topK,
+		enqueued: time.Now(), resp: make(chan jobResult, 1)}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		return j, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// worker is one evaluation stream: it owns a session and serves queued jobs
+// until the queue is closed and drained.
+func (s *Scheduler) worker(id uint64) {
+	defer s.wg.Done()
+	sess := s.eng.NewSession(id)
+	for j := range s.queue {
+		if s.cfg.dequeueHook != nil {
+			s.cfg.dequeueHook()
+		}
+		start := time.Now()
+		wait := start.Sub(j.enqueued)
+		if j.ctx != nil && j.ctx.Err() != nil {
+			j.resp <- jobResult{err: j.ctx.Err()}
+			continue
+		}
+		if wait > s.cfg.QueueTimeout {
+			j.resp <- jobResult{err: ErrQueueTimeout}
+			continue
+		}
+		pred, err := s.evaluate(sess, j)
+		if err == nil {
+			pred.QueueWait = wait
+			pred.Infer = time.Since(start)
+		}
+		j.resp <- jobResult{pred: pred, err: err}
+	}
+}
+
+// evaluate runs one inference on the worker's session, converting panics
+// (malformed tensors reaching the MVM layer) into errors so one bad request
+// cannot take the pool down.
+func (s *Scheduler) evaluate(sess *accel.Session, j *job) (pred Prediction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: inference failed: %v", r)
+		}
+	}()
+	sess.Reseed(j.seed)
+	sess.DrainStats()
+	logits := sess.Forward(j.input)
+	k := j.topK
+	if k <= 0 {
+		k = s.cfg.TopK
+	}
+	topk := logits.TopK(k)
+	return Prediction{Class: topk[0], TopK: topk, Seed: j.seed, Stats: sess.DrainStats()}, nil
+}
+
+// Close stops admission, drains the queue (every admitted request is still
+// answered), and waits for the workers, or gives up when ctx expires.
+func (s *Scheduler) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

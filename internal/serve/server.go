@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/nn"
+)
+
+// maxBodyBytes bounds a predict request body (a MiniAlexNet batch of a few
+// hundred images fits comfortably).
+const maxBodyBytes = 64 << 20
+
+// Model names the served network and fixes the input contract.
+type Model struct {
+	// Name labels the workload in /healthz and responses ("MLP1", ...).
+	Name string
+	// InShape is the tensor shape every image must flatten to.
+	InShape []int
+}
+
+// Server is the HTTP front end: POST /v1/predict, GET /healthz,
+// GET /metrics.
+type Server struct {
+	sched   *Scheduler
+	metrics *Metrics
+	model   Model
+	inLen   int
+	mux     *http.ServeMux
+	ready   atomic.Bool
+}
+
+// NewServer builds the scheduler pool over a mapped engine and wires the
+// routes.
+func NewServer(eng *accel.Engine, model Model, cfg Config) (*Server, error) {
+	sched, err := NewScheduler(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	inLen := 1
+	for _, d := range model.InShape {
+		inLen *= d
+	}
+	if len(model.InShape) == 0 || inLen <= 0 {
+		return nil, fmt.Errorf("serve: model %q has no input shape", model.Name)
+	}
+	s := &Server{sched: sched, metrics: newMetrics(), model: model, inLen: inLen, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.ready.Store(true)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Scheduler exposes the pool (benchmarks and telemetry).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Metrics exposes the telemetry accumulator.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown marks the server not-ready (health checks start failing, so load
+// balancers stop routing here), then drains the admission queue: every
+// admitted request is answered before the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	return s.sched.Close(ctx)
+}
+
+// predictRequest is the POST /v1/predict body. Exactly one of Image or
+// Images must be set.
+type predictRequest struct {
+	// Image is one flattened image (row-major, CHW for conv inputs).
+	Image []float64 `json:"image,omitempty"`
+	// Images is a batch, fanned across the worker pool.
+	Images [][]float64 `json:"images,omitempty"`
+	// TopK asks for that many ranked classes (0 = server default).
+	TopK int `json:"top_k,omitempty"`
+	// Seed pins the noise stream of the first image (entry i uses Seed+i);
+	// 0 or absent lets the server assign fresh streams.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// eccJSON is the per-request slice of accel.Stats.
+type eccJSON struct {
+	RowReads  uint64 `json:"row_reads"`
+	RowErrors uint64 `json:"row_errors"`
+	Clean     uint64 `json:"clean"`
+	Corrected uint64 `json:"corrected"`
+	Detected  uint64 `json:"detected"`
+	Retries   uint64 `json:"retries"`
+	Residual  uint64 `json:"residual"`
+}
+
+type resultJSON struct {
+	Class int     `json:"class"`
+	TopK  []int   `json:"top_k"`
+	Seed  uint64  `json:"seed"`
+	ECC   eccJSON `json:"ecc"`
+}
+
+type predictResponse struct {
+	Workload  string       `json:"workload"`
+	Scheme    string       `json:"scheme"`
+	Results   []resultJSON `json:"results"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	var req predictRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, start, http.StatusBadRequest, outcomeBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	images := req.Images
+	if len(req.Image) > 0 {
+		images = append([][]float64{req.Image}, images...)
+	}
+	if len(images) == 0 {
+		s.fail(w, start, http.StatusBadRequest, outcomeBadRequest, `need "image" or "images"`)
+		return
+	}
+	inputs := make([]*nn.Tensor, len(images))
+	for i, im := range images {
+		if len(im) != s.inLen {
+			s.fail(w, start, http.StatusBadRequest, outcomeBadRequest,
+				fmt.Sprintf("image %d has %d values, want %d for shape %v", i, len(im), s.inLen, s.model.InShape))
+			return
+		}
+		inputs[i] = nn.FromSlice(im, s.model.InShape...)
+	}
+
+	preds, err := s.sched.PredictBatch(r.Context(), inputs, req.Seed, req.TopK)
+	if err != nil {
+		status, outcome := classifyErr(err)
+		s.fail(w, start, status, outcome, err.Error())
+		return
+	}
+
+	resp := predictResponse{
+		Workload: s.model.Name,
+		Scheme:   s.sched.Engine().Config().Scheme.Name,
+		Results:  make([]resultJSON, len(preds)),
+	}
+	var total accel.Stats
+	for i, p := range preds {
+		total.Merge(p.Stats)
+		resp.Results[i] = resultJSON{
+			Class: p.Class, TopK: p.TopK, Seed: p.Seed,
+			ECC: eccJSON{
+				RowReads: p.Stats.RowReads, RowErrors: p.Stats.RowErrors,
+				Clean: p.Stats.Clean, Corrected: p.Stats.Corrected,
+				Detected: p.Stats.Detected, Retries: p.Stats.Retries,
+				Residual: p.Stats.Residual,
+			},
+		}
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	s.metrics.observe(outcomeOK, len(preds), elapsed, total)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// fail records the outcome and writes the error status.
+func (s *Server) fail(w http.ResponseWriter, start time.Time, status int, outcome, msg string) {
+	s.metrics.observe(outcome, 0, time.Since(start), accel.Stats{})
+	http.Error(w, msg, status)
+}
+
+// classifyErr maps scheduler errors to HTTP semantics: backpressure is the
+// client's cue to retry with jitter (429), a queue-deadline miss or a
+// draining pool is a service condition (503).
+func classifyErr(err error) (status int, outcome string) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, outcomeQueueFull
+	case errors.Is(err, ErrQueueTimeout):
+		return http.StatusServiceUnavailable, outcomeTimeout
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, outcomeError
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, outcomeCanceled
+	default:
+		return http.StatusInternalServerError, outcomeError
+	}
+}
+
+// healthzResponse reports readiness and the mapped configuration.
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Bits     int    `json:"bits_per_cell"`
+	Workers  int    `json:"workers"`
+	Queue    int    `json:"queue_depth"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cfg := s.sched.Engine().Config()
+	resp := healthzResponse{
+		Status:   "ok",
+		Workload: s.model.Name,
+		Scheme:   cfg.Scheme.Name,
+		Bits:     cfg.Device.BitsPerCell,
+		Workers:  s.sched.Workers(),
+		Queue:    s.sched.QueueDepth(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !s.ready.Load() {
+		resp.Status = "draining"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, s.sched.QueueLen(), s.sched.Workers())
+}

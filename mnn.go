@@ -32,6 +32,7 @@ import (
 	"repro/internal/hwmodel"
 	"repro/internal/nn"
 	"repro/internal/noise"
+	"repro/internal/serve"
 )
 
 // Arithmetic code layer (the paper's primary contribution).
@@ -127,9 +128,36 @@ var (
 	SchemeStatic16  = accel.SchemeStatic16
 	SchemeStatic128 = accel.SchemeStatic128
 	SchemeABN       = accel.SchemeABN
+	ParseScheme     = accel.ParseScheme
 	DefaultConfig   = accel.DefaultConfig
 	Map             = accel.Map
 	MapMatrix       = accel.MapMatrix
+)
+
+// SharedStats is a concurrency-safe Stats accumulator for serving pools.
+type SharedStats = accel.SharedStats
+
+// Serving layer: a batching inference server over a mapped engine.
+type (
+	// ServeConfig sizes the scheduler pool and admission queue.
+	ServeConfig = serve.Config
+	// ServeModel names the served network and its input shape.
+	ServeModel = serve.Model
+	// Server is the HTTP front end (predict/healthz/metrics).
+	Server = serve.Server
+	// Scheduler is the session-pool batch scheduler.
+	Scheduler = serve.Scheduler
+	// Prediction is one inference outcome with its ECU telemetry.
+	Prediction = serve.Prediction
+)
+
+// Serving constructors and admission errors.
+var (
+	NewServer       = serve.NewServer
+	NewScheduler    = serve.NewScheduler
+	ErrQueueFull    = serve.ErrQueueFull
+	ErrQueueTimeout = serve.ErrQueueTimeout
+	ErrServeClosed  = serve.ErrClosed
 )
 
 // Neural-network stack and datasets.
