@@ -9,8 +9,17 @@
 //
 //	POST /v1/predict  — {"image": [...]} or {"images": [[...], ...]};
 //	                    returns class, top-k, and per-image ECU counts
-//	GET  /healthz     — readiness + mapped configuration
+//	GET  /healthz     — liveness + mapped configuration
+//	GET  /readyz      — readiness: drain state, queue headroom, breakers
 //	GET  /metrics     — Prometheus text format
+//
+// Recovery (on by default, -recovery=false for pure replayable serving)
+// watches per-layer ECU outcomes and climbs retry → remap → degrade when a
+// layer's breaker trips. -fault-steps injects a deterministic wear-out
+// campaign into the live arrays, advancing one lifetime step every
+// -fault-every served requests — a self-contained chaos drill:
+//
+//	mnnserve -workload MLP1 -fault-steps 4 -fault-every 50 -fault-stuck 0.01
 //
 // SIGINT/SIGTERM drain the admission queue before exiting.
 package main
@@ -29,6 +38,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/serve"
 )
 
@@ -55,8 +65,21 @@ func run(args []string) error {
 	epochs := fs.Int("epochs", 5, "training epochs (when the cache misses)")
 	seed := fs.Uint64("seed", 1, "mapping/fault-injection seed")
 	cache := fs.String("cache", "testdata/weights", "trained-weight cache directory")
+	recovery := fs.Bool("recovery", true, "enable the retry→remap→degrade recovery ladder")
+	tripRate := fs.Float64("trip-rate", 0.05, "detected-uncorrectable rate that opens a layer breaker")
+	retryAttempts := fs.Int("retry-attempts", 2, "rung-1 reseeded re-evaluations before escalating")
+	maxRemaps := fs.Int("max-remaps", 1, "rung-2 spare-array re-programmings per layer before degrading (-1 = degrade immediately)")
+	faultSteps := fs.Int("fault-steps", 0, "run a seeded wear-out campaign with this many lifetime steps (0 disables)")
+	faultEvery := fs.Uint64("fault-every", 50, "served requests between campaign steps")
+	faultStuck := fs.Float64("fault-stuck", 0.005, "campaign: new stuck-cell probability per cell per step")
+	faultLRS := fs.Float64("fault-lrs", 0.7, "campaign: fraction of stuck faults pinned at LRS")
+	faultDriftEvery := fs.Int("fault-drift-every", 2, "campaign: drift wave every N steps (0 disables)")
+	faultDriftRate := fs.Float64("fault-drift-rate", 0.002, "campaign: per-cell drift probability per wave")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *faultSteps > 0 && *faultEvery == 0 {
+		return fmt.Errorf("-fault-every must be >= 1 when -fault-steps is set")
 	}
 
 	sch, err := accel.ParseScheme(*scheme)
@@ -97,9 +120,18 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "mapped: %d physical rows, %d coded groups\n",
 		eng.PhysicalRows, eng.NumGroups())
 
-	srv, err := serve.NewServer(eng, serve.Model{Name: w.Name, InShape: w.Net.InShape}, serve.Config{
+	scfg := serve.Config{
 		Workers: *workers, QueueDepth: *queue, QueueTimeout: *queueTimeout, TopK: *topK,
-	})
+	}
+	if *recovery {
+		scfg.Recovery = serve.RecoveryConfig{
+			Enabled:       true,
+			Monitor:       fault.MonitorConfig{TripRate: *tripRate},
+			RetryAttempts: *retryAttempts,
+			MaxRemaps:     *maxRemaps,
+		}
+	}
+	srv, err := serve.NewServer(eng, serve.Model{Name: w.Name, InShape: w.Net.InShape}, scfg)
 	if err != nil {
 		return err
 	}
@@ -107,6 +139,20 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *faultSteps > 0 {
+		life := fault.LifetimeParams{
+			Steps: *faultSteps, StuckPerStep: *faultStuck, LRSFrac: *faultLRS,
+			DriftEvery: *faultDriftEvery, DriftRate: *faultDriftRate,
+		}
+		runner, err := fault.NewRunner(fault.LifetimeCampaign(*seed, eng.Layers(), life), eng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fault campaign armed: %d steps, one step per %d served requests\n",
+			*faultSteps, *faultEvery)
+		go driveCampaign(ctx, runner, srv.Scheduler(), *faultSteps, *faultEvery)
+	}
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "serving %s on %s (%d workers, queue %d)\n",
@@ -128,9 +174,50 @@ func run(args []string) error {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	if err := srv.Shutdown(shutCtx); err != nil {
+	sum, err := srv.Shutdown(shutCtx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v (served %d, abandoned %d)\n",
+			err, sum.Served, sum.Abandoned)
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "drained, bye")
+	fmt.Fprintf(os.Stderr, "drained, bye (served %d requests; ECC clean/corrected/detected %d/%d/%d)\n",
+		sum.Served, sum.ECC.Clean, sum.ECC.Corrected, sum.ECC.Detected)
+	rc := srv.Scheduler().RecoveryCounters()
+	if rc.Retries+rc.Remaps+rc.Degrades > 0 {
+		fmt.Fprintf(os.Stderr, "recovery ladder: %d retries, %d remaps, %d degrades\n",
+			rc.Retries, rc.Remaps, rc.Degrades)
+	}
 	return nil
+}
+
+// driveCampaign ages the live arrays on the served-request clock: every
+// `every` answered requests it advances the wear-out schedule one step, so
+// the fault arrival order is a deterministic function of load, not of wall
+// time.
+func driveCampaign(ctx context.Context, runner *fault.Runner, sched *serve.Scheduler, steps int, every uint64) {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	applied := 0
+	for runner.Remaining() > 0 {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		target := int(sched.Served() / every)
+		if target > steps {
+			target = steps
+		}
+		if target <= applied {
+			continue
+		}
+		events, err := runner.Advance(target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault campaign: %v\n", err)
+			return
+		}
+		applied = target
+		fmt.Fprintf(os.Stderr, "fault campaign: advanced to step %d/%d (%d events applied)\n",
+			applied, steps, len(events))
+	}
 }

@@ -10,7 +10,9 @@
 //	mnnsim table4  — ECU area/power and overheads (Table IV, Section VIII-B)
 //	mnnsim sec4    — row error-rate distribution summary (Section IV)
 //	mnnsim ablate  — design-choice ablations (DESIGN.md)
-//	mnnsim all     — everything above
+//	mnnsim faults  — lifetime wear-out campaign: accuracy decay per scheme
+//	                 as stuck-at and drift faults accumulate (Section III)
+//	mnnsim all     — everything above except faults
 //
 // Results print to stdout; CSVs land under -out when set.
 package main
@@ -24,6 +26,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/circuit"
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/hwmodel"
 )
 
@@ -45,12 +48,17 @@ func run(args []string) error {
 	outDir := fs.String("out", "", "directory for CSV outputs (optional)")
 	cache := fs.String("cache", "testdata/weights", "trained-weight cache directory")
 	quiet := fs.Bool("q", false, "suppress progress lines")
+	faultSteps := fs.Int("fault-steps", 4, "faults: lifetime steps in the wear-out campaign")
+	faultStuck := fs.Float64("fault-stuck", 0.001, "faults: new stuck-cell probability per cell per step")
+	faultLRS := fs.Float64("fault-lrs", 0.7, "faults: fraction of stuck faults pinned at LRS")
+	faultDriftEvery := fs.Int("fault-drift-every", 2, "faults: drift wave every N steps (0 disables)")
+	faultDriftRate := fs.Float64("fault-drift-rate", 0.002, "faults: per-cell drift probability per wave")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|all)")
+		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|faults|all)")
 	}
 
 	opt := expt.DefaultSweepOptions()
@@ -75,19 +83,27 @@ func run(args []string) error {
 	}
 	opt.Bits = bitList
 
+	life := fault.LifetimeParams{
+		Steps:        *faultSteps,
+		StuckPerStep: *faultStuck,
+		LRSFrac:      *faultLRS,
+		DriftEvery:   *faultDriftEvery,
+		DriftRate:    *faultDriftRate,
+	}
+
 	cmds := fs.Args()
 	if len(cmds) == 1 && cmds[0] == "all" {
 		cmds = []string{"fig7", "sec4", "table4", "fig10", "fig11", "fig12", "table3", "ablate"}
 	}
 	for _, cmd := range cmds {
-		if err := dispatch(cmd, opt, *outDir); err != nil {
+		if err := dispatch(cmd, opt, *outDir, life); err != nil {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 	}
 	return nil
 }
 
-func dispatch(cmd string, opt expt.SweepOptions, outDir string) error {
+func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams) error {
 	switch cmd {
 	case "fig7":
 		res, err := expt.RunFig7(circuit.DefaultConfig())
@@ -188,6 +204,31 @@ func dispatch(cmd string, opt expt.SweepOptions, outDir string) error {
 				r.Cell.Stats.Corrected, r.Cell.Stats.Detected, r.Cell.Stats.Retries)
 		}
 		return nil
+	case "faults":
+		workloads, err := expt.DigitWorkloads(opt.Train)
+		if err != nil {
+			return err
+		}
+		w := workloads[0]
+		dev := opt.Device
+		dev.BitsPerCell = 2
+		cfg := expt.FaultSweepConfig{
+			Device:   dev,
+			Schemes:  []accel.Scheme{accel.SchemeNoECC(), accel.SchemeStatic128(), accel.SchemeABN(9)},
+			Retries:  opt.Retries,
+			Images:   opt.Images,
+			Seed:     opt.Seed,
+			Workers:  opt.Workers,
+			Lifetime: life,
+		}
+		points, err := expt.RunFaultCampaign(w, cfg, opt.Progress)
+		if err != nil {
+			return err
+		}
+		expt.RenderFaults(os.Stdout, points)
+		return writeCSV(outDir, "faults.csv", func(f *os.File) error {
+			return expt.WriteFaultsCSV(f, points)
+		})
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}

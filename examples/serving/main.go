@@ -87,9 +87,11 @@ func main() {
 	}
 
 	fmt.Println("\ndraining...")
-	if err := srv.Shutdown(context.Background()); err != nil {
+	sum, err := srv.Shutdown(context.Background())
+	if err != nil {
 		panic(err)
 	}
+	fmt.Printf("served %d requests during this run\n", sum.Served)
 	ln.Close()
 	fmt.Println("done")
 }

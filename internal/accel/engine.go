@@ -3,19 +3,58 @@ package accel
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
+	"sync"
 
+	"repro/internal/crossbar"
 	"repro/internal/nn"
 	"repro/internal/stats"
 )
+
+// remapSeedStride separates the fault-injection seed of successive remap
+// epochs of one layer from every other layer's seed: layer indices occupy
+// the low bits, the epoch the high ones.
+const remapSeedStride = uint64(1) << 32
+
+// layerSlot is the serving-time indirection for one mapped layer. Sessions
+// read the current MappedMatrix through the slot so the engine can swap it
+// (Remap) or bypass it (software fallback) while traffic is in flight. The
+// RWMutex also serializes online fault injection against concurrent reads.
+type layerSlot struct {
+	mu sync.RWMutex
+	m  *MappedMatrix
+	// remaps counts how often this layer was re-programmed onto spares.
+	remaps int
+	// fallback routes the layer to the digital fixed-point path.
+	fallback bool
+	soft     *SoftMatrix
+	// rebuild re-runs the mapping with a given fault-injection seed.
+	rebuild func(seed uint64) (*MappedMatrix, error)
+	// mkSoft builds the fallback matrix lazily on first degradation.
+	mkSoft func() (*SoftMatrix, error)
+}
+
+// mvm evaluates one matrix-vector product through the slot's current path.
+func (sl *layerSlot) mvm(x []float64, rng *rand.Rand, counts []int, st *Stats) []float64 {
+	sl.mu.RLock()
+	defer sl.mu.RUnlock()
+	if sl.fallback {
+		st.SoftMVMs++
+		return sl.soft.MVM(x)
+	}
+	return sl.m.MVM(x, rng, counts, st)
+}
 
 // Engine holds a network whose dense and convolutional layers have been
 // mapped onto simulated crossbar hardware. Mapping (quantization, fault
 // injection, A search, table construction, programming) happens once;
 // Sessions then evaluate inputs concurrently against the shared arrays.
+// Per-layer slots let the engine re-program (Remap) or degrade
+// (SetFallback) individual layers while sessions keep serving.
 type Engine struct {
-	cfg    Config
-	net    *nn.Network
-	mapped map[int]*MappedMatrix
+	cfg   Config
+	net   *nn.Network
+	slots map[int]*layerSlot
 	// PhysicalRows is the total mapped word-line count (hardware-model
 	// bookkeeping).
 	PhysicalRows int
@@ -26,29 +65,40 @@ func Map(net *nn.Network, cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, net: net, mapped: make(map[int]*MappedMatrix)}
+	e := &Engine{cfg: cfg, net: net, slots: make(map[int]*layerSlot)}
 	for i, l := range net.Layers {
 		layerCfg := cfg
 		if override, ok := cfg.LayerSchemes[i]; ok {
 			layerCfg.Scheme = override
 		}
-		var m *MappedMatrix
-		var err error
+		var outDim, inDim int
+		var weightAt func(r, c int) float64
 		switch v := l.(type) {
 		case *nn.Dense:
-			m, err = MapMatrix(layerCfg, v.Out, v.In, v.WeightAt, uint64(i))
+			outDim, inDim, weightAt = v.Out, v.In, v.WeightAt
 		case *nn.Conv2D:
-			m, err = MapMatrix(layerCfg, v.OutC, v.PatchLen(), v.WeightAt, uint64(i))
+			outDim, inDim, weightAt = v.OutC, v.PatchLen(), v.WeightAt
 		default:
 			continue
 		}
+		lc, oD, iD, wA := layerCfg, outDim, inDim, weightAt
+		sl := &layerSlot{
+			rebuild: func(seed uint64) (*MappedMatrix, error) {
+				return MapMatrix(lc, oD, iD, wA, seed)
+			},
+			mkSoft: func() (*SoftMatrix, error) {
+				return NewSoftMatrix(oD, iD, lc.WeightBits, lc.InputBits, wA)
+			},
+		}
+		m, err := sl.rebuild(uint64(i))
 		if err != nil {
 			return nil, fmt.Errorf("accel: mapping layer %d (%s): %w", i, l.Name(), err)
 		}
-		e.mapped[i] = m
+		sl.m = m
+		e.slots[i] = sl
 		e.PhysicalRows += m.PhysicalRows
 	}
-	if len(e.mapped) == 0 {
+	if len(e.slots) == 0 {
 		return nil, fmt.Errorf("accel: network %s has no mappable layers", net.Name)
 	}
 	return e, nil
@@ -58,15 +108,135 @@ func Map(net *nn.Network, cfg Config) (*Engine, error) {
 func (e *Engine) Config() Config { return e.cfg }
 
 // Mapped returns the mapped matrix of a layer index (nil if unmapped).
-func (e *Engine) Mapped(layer int) *MappedMatrix { return e.mapped[layer] }
+func (e *Engine) Mapped(layer int) *MappedMatrix {
+	sl, ok := e.slots[layer]
+	if !ok {
+		return nil
+	}
+	sl.mu.RLock()
+	defer sl.mu.RUnlock()
+	return sl.m
+}
+
+// Layers returns the mapped layer indices in ascending order.
+func (e *Engine) Layers() []int {
+	out := make([]int, 0, len(e.slots))
+	for i := range e.slots {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // NumGroups returns the total coded-group count across all layers.
 func (e *Engine) NumGroups() int {
 	n := 0
-	for _, m := range e.mapped {
-		n += m.NumGroups()
+	for _, sl := range e.slots {
+		sl.mu.RLock()
+		n += sl.m.NumGroups()
+		sl.mu.RUnlock()
 	}
 	return n
+}
+
+// WithArrays calls f with the crossbar arrays of one mapped layer while
+// holding the layer's write lock, so callers (the fault campaign runner)
+// can inject stuck-at or drift faults without racing in-flight reads.
+func (e *Engine) WithArrays(layer int, f func(arrays []*crossbar.Array)) error {
+	sl, ok := e.slots[layer]
+	if !ok {
+		return fmt.Errorf("accel: layer %d is not mapped", layer)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	f(sl.m.Arrays())
+	return nil
+}
+
+// Remap re-programs one layer's weight matrix onto spare crossbar arrays:
+// the mapping pipeline (quantization, fault characterization, A search,
+// table construction, programming) reruns against a fresh fault population
+// drawn from a disjoint seed stream, modeling the controller retiring the
+// faulted arrays and moving the layer to spares. Faults injected online
+// into the retired arrays are gone; the new arrays carry only their own
+// map-time draw. The layer is unavailable to readers for the duration of
+// the reprogram (they block on the slot lock, as real reprogramming stalls
+// reads). Remap also clears the software-fallback flag: fresh hardware is
+// trusted until the monitor says otherwise.
+func (e *Engine) Remap(layer int) error {
+	sl, ok := e.slots[layer]
+	if !ok {
+		return fmt.Errorf("accel: layer %d is not mapped", layer)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	epoch := sl.remaps + 1
+	m, err := sl.rebuild(uint64(layer) + uint64(epoch)*remapSeedStride)
+	if err != nil {
+		return fmt.Errorf("accel: remapping layer %d: %w", layer, err)
+	}
+	sl.m = m
+	sl.remaps = epoch
+	sl.fallback = false
+	return nil
+}
+
+// RemapCount returns how many times a layer has been re-programmed.
+func (e *Engine) RemapCount(layer int) int {
+	sl, ok := e.slots[layer]
+	if !ok {
+		return 0
+	}
+	sl.mu.RLock()
+	defer sl.mu.RUnlock()
+	return sl.remaps
+}
+
+// SetFallback routes a layer to (or back from) the digital fixed-point
+// fallback path — the terminal rung of the recovery ladder. The fallback
+// matrix is built lazily on first use.
+func (e *Engine) SetFallback(layer int, on bool) error {
+	sl, ok := e.slots[layer]
+	if !ok {
+		return fmt.Errorf("accel: layer %d is not mapped", layer)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if on && sl.soft == nil {
+		soft, err := sl.mkSoft()
+		if err != nil {
+			return fmt.Errorf("accel: building fallback for layer %d: %w", layer, err)
+		}
+		sl.soft = soft
+	}
+	sl.fallback = on
+	return nil
+}
+
+// Fallback reports whether a layer is served by the software path.
+func (e *Engine) Fallback(layer int) bool {
+	sl, ok := e.slots[layer]
+	if !ok {
+		return false
+	}
+	sl.mu.RLock()
+	defer sl.mu.RUnlock()
+	return sl.fallback
+}
+
+// DegradedLayers returns the indices of layers in software fallback, in
+// ascending order.
+func (e *Engine) DegradedLayers() []int {
+	var out []int
+	for i, sl := range e.slots {
+		sl.mu.RLock()
+		if sl.fallback {
+			out = append(out, i)
+		}
+		sl.mu.RUnlock()
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Session is one concurrent evaluation stream: it owns an RNG, scratch
@@ -77,6 +247,7 @@ type Session struct {
 	rng    *rand.Rand
 	counts []int
 	mvms   map[int]nn.MVMFunc
+	layer  map[int]*Stats
 	// Stats accumulates ECU and row-error tallies across all inputs this
 	// session evaluated.
 	Stats Stats
@@ -89,12 +260,18 @@ func (e *Engine) NewSession(seed uint64) *Session {
 		net:    e.net.CloneForInference(),
 		rng:    stats.SubRNG(e.cfg.Seed, seed),
 		counts: make([]int, e.cfg.Device.NumLevels()),
+		layer:  make(map[int]*Stats, len(e.slots)),
 	}
-	s.mvms = make(map[int]nn.MVMFunc, len(e.mapped))
-	for idx, m := range e.mapped {
-		mm := m
+	s.mvms = make(map[int]nn.MVMFunc, len(e.slots))
+	for idx, sl := range e.slots {
+		slot := sl
+		ls := &Stats{}
+		s.layer[idx] = ls
 		s.mvms[idx] = func(x []float64) []float64 {
-			return mm.MVM(x, s.rng, s.counts, &s.Stats)
+			pre := *ls
+			out := slot.mvm(x, s.rng, s.counts, ls)
+			s.Stats.Merge(ls.Diff(pre))
+			return out
 		}
 	}
 	return s
@@ -108,12 +285,32 @@ func (s *Session) Reseed(stream uint64) {
 }
 
 // DrainStats returns the statistics accumulated since the last drain and
-// resets them, so a serving worker can attribute ECU activity to individual
-// requests. It must be called from the goroutine that owns the session.
+// resets them (per-layer tallies included), so a serving worker can
+// attribute ECU activity to individual requests. It must be called from
+// the goroutine that owns the session.
 func (s *Session) DrainStats() Stats {
 	st := s.Stats
 	s.Stats = Stats{}
+	for _, ls := range s.layer {
+		*ls = Stats{}
+	}
 	return st
+}
+
+// DrainLayerStats returns the per-layer statistics accumulated since the
+// last drain and resets them (the session totals in Stats are left alone —
+// drain those separately with DrainStats before re-use). Layers with no
+// activity are omitted. It must be called from the goroutine that owns the
+// session.
+func (s *Session) DrainLayerStats() map[int]Stats {
+	out := make(map[int]Stats, len(s.layer))
+	for idx, ls := range s.layer {
+		if *ls != (Stats{}) {
+			out[idx] = *ls
+			*ls = Stats{}
+		}
+	}
+	return out
 }
 
 // Forward runs one noisy inference pass.

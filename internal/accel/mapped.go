@@ -621,6 +621,20 @@ func (m *MappedMatrix) NumGroups() int {
 	return n
 }
 
+// Arrays returns every crossbar array backing this matrix, one per coded
+// group, so lifetime fault campaigns can inject stuck-at and drift faults
+// into the live substrate. Callers must hold the owning layer's write lock
+// (Engine.WithArrays) while mutating them.
+func (m *MappedMatrix) Arrays() []*crossbar.Array {
+	out := make([]*crossbar.Array, 0, m.NumGroups())
+	for _, ch := range m.chunks {
+		for _, g := range ch.groups {
+			out = append(out, g.arr)
+		}
+	}
+	return out
+}
+
 // Codes returns the distinct code of every group, for inspection and the
 // code-anatomy example.
 func (m *MappedMatrix) Codes() []*core.Code {

@@ -1,0 +1,58 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+)
+
+// SoftMatrix is the digital fixed-point fallback for one mapped layer: the
+// same quantization the crossbar mapping applies (signed weights, unsigned
+// bit-serial inputs), evaluated exactly in integer arithmetic with no
+// analog substrate underneath. It is the last rung of the recovery ladder —
+// when a layer's crossbars have degraded past what remapping can repair,
+// the engine serves that layer from here at quantization-only accuracy
+// loss, trading the in-situ speedup for a correct answer.
+type SoftMatrix struct {
+	outDim, inDim int
+	weights       []int64 // row-major quantized weights
+	scale         float64
+	inputBits     int
+}
+
+// NewSoftMatrix quantizes a weight matrix for the fallback path.
+func NewSoftMatrix(outDim, inDim, weightBits, inputBits int, weightAt func(r, c int) float64) (*SoftMatrix, error) {
+	if outDim < 1 || inDim < 1 {
+		return nil, fmt.Errorf("accel: empty fallback matrix %dx%d", outDim, inDim)
+	}
+	flat := make([]float64, outDim*inDim)
+	for r := 0; r < outDim; r++ {
+		for c := 0; c < inDim; c++ {
+			flat[r*inDim+c] = weightAt(r, c)
+		}
+	}
+	q := fixed.Quantize(flat, weightBits)
+	return &SoftMatrix{
+		outDim: outDim, inDim: inDim,
+		weights: q.Values, scale: q.Scale, inputBits: inputBits,
+	}, nil
+}
+
+// MVM computes the exact fixed-point product W*x and dequantizes.
+func (m *SoftMatrix) MVM(x []float64) []float64 {
+	if len(x) != m.inDim {
+		panic(fmt.Sprintf("accel: fallback input length %d, want %d", len(x), m.inDim))
+	}
+	qx := fixed.QuantizeUnsigned(x, m.inputBits)
+	out := make([]float64, m.outDim)
+	f := m.scale * qx.Scale
+	for r := 0; r < m.outDim; r++ {
+		row := m.weights[r*m.inDim : (r+1)*m.inDim]
+		var acc int64
+		for c, w := range row {
+			acc += w * int64(qx.Values[c])
+		}
+		out[r] = float64(acc) * f
+	}
+	return out
+}

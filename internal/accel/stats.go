@@ -16,6 +16,10 @@ type Stats struct {
 	// Residual counts decodes whose remainder was nonzero — errors that
 	// slipped past (or were reverted by) the ECU.
 	Residual uint64
+	// SoftMVMs counts matrix-vector products answered by the digital
+	// fixed-point fallback path instead of the crossbars (degraded mode
+	// after the recovery ladder gives up on a layer's hardware).
+	SoftMVMs uint64
 }
 
 // Merge adds another stats block.
@@ -27,6 +31,34 @@ func (s *Stats) Merge(o Stats) {
 	s.Detected += o.Detected
 	s.Retries += o.Retries
 	s.Residual += o.Residual
+	s.SoftMVMs += o.SoftMVMs
+}
+
+// Diff returns the activity accumulated since a previous snapshot.
+func (s Stats) Diff(prev Stats) Stats {
+	return Stats{
+		RowReads:  s.RowReads - prev.RowReads,
+		RowErrors: s.RowErrors - prev.RowErrors,
+		Clean:     s.Clean - prev.Clean,
+		Corrected: s.Corrected - prev.Corrected,
+		Detected:  s.Detected - prev.Detected,
+		Retries:   s.Retries - prev.Retries,
+		Residual:  s.Residual - prev.Residual,
+		SoftMVMs:  s.SoftMVMs - prev.SoftMVMs,
+	}
+}
+
+// GroupReads returns the number of ECU-visible group reads in the block.
+func (s Stats) GroupReads() uint64 { return s.Clean + s.Corrected + s.Detected }
+
+// DetectedRate returns the fraction of group reads the ECU flagged as
+// detected-but-uncorrectable — the health signal the fault monitor watches.
+func (s Stats) DetectedRate() float64 {
+	reads := s.GroupReads()
+	if reads == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(reads)
 }
 
 // RowErrorRate returns the fraction of row reads that were erroneous.

@@ -22,15 +22,26 @@ const DefaultSize = 128
 
 // Array is one physical crossbar: Rows word lines by Cols bit lines of
 // cells programmable to 2^BitsPerCell conductance levels.
+//
+// The array distinguishes the *programmed* level (what the write circuitry
+// targeted) from the *effective* level (the conductance a read actually
+// sees). The two diverge under lifetime faults: a stuck-at cell pins its
+// effective level regardless of programming, and conductance drift walks
+// the effective level away from the target until the cell is rewritten.
+// All read-path queries (masks, histograms, outputs) observe effective
+// levels.
 type Array struct {
 	Rows, Cols, BitsPerCell int
 
 	words  int       // words per row mask
 	levels [][]uint8 // [row][col] programmed level
-	// masks[row][level][word]: bit c set iff cell (row, c) is programmed to
-	// that level. Level 0 masks are omitted (they carry no signal).
+	eff    [][]uint8 // [row][col] effective level a read observes
+	// stuck maps r*Cols+c to the pinned level of a stuck-at cell.
+	stuck map[int]uint8
+	// masks[row][level][word]: bit c set iff cell (row, c) is effectively
+	// at that level. Level 0 masks are omitted (they carry no signal).
 	masks [][][]uint64
-	// hist[row][level] is the static level histogram used for worst-case
+	// hist[row][level] is the effective level histogram used for worst-case
 	// susceptibility prediction.
 	hist [][]int
 }
@@ -49,11 +60,13 @@ func NewArray(rows, cols, bitsPerCell int) *Array {
 		Rows: rows, Cols: cols, BitsPerCell: bitsPerCell,
 		words:  words,
 		levels: make([][]uint8, rows),
+		eff:    make([][]uint8, rows),
 		masks:  make([][][]uint64, rows),
 		hist:   make([][]int, rows),
 	}
 	for r := 0; r < rows; r++ {
 		a.levels[r] = make([]uint8, cols)
+		a.eff[r] = make([]uint8, cols)
 		a.masks[r] = make([][]uint64, k)
 		for l := 1; l < k; l++ {
 			a.masks[r][l] = make([]uint64, words)
@@ -71,12 +84,24 @@ func (a *Array) NumLevels() int { return 1 << a.BitsPerCell }
 // array.
 func (a *Array) MaskWords() int { return a.words }
 
-// Set programs cell (r, c) to the given level.
+// Set programs cell (r, c) to the given level: the write circuitry drives
+// the cell to the target, so any accumulated drift is erased. A stuck cell
+// accepts the programmed target but its effective level stays pinned.
 func (a *Array) Set(r, c int, level uint8) {
 	if int(level) >= a.NumLevels() {
 		panic(fmt.Sprintf("crossbar: level %d exceeds %d-bit cell", level, a.BitsPerCell))
 	}
-	old := a.levels[r][c]
+	a.levels[r][c] = level
+	if _, pinned := a.stuck[r*a.Cols+c]; pinned {
+		return
+	}
+	a.setEff(r, c, level)
+}
+
+// setEff moves the effective level of cell (r, c), maintaining the read
+// masks and histograms.
+func (a *Array) setEff(r, c int, level uint8) {
+	old := a.eff[r][c]
 	if old == level {
 		return
 	}
@@ -87,15 +112,93 @@ func (a *Array) Set(r, c int, level uint8) {
 	if level != 0 {
 		a.masks[r][level][w] |= 1 << b
 	}
-	a.levels[r][c] = level
+	a.eff[r][c] = level
 	a.hist[r][old]--
 	a.hist[r][level]++
 }
 
-// Level returns the programmed level of cell (r, c).
-func (a *Array) Level(r, c int) uint8 { return a.levels[r][c] }
+// SetStuck pins cell (r, c) at the given effective level: a stuck-at fault.
+// Subsequent Set calls record the programmed target but do not move the
+// cell until ClearStuck. Stuck-at-LRS is the top level (lowest resistance),
+// stuck-at-HRS is level 0.
+func (a *Array) SetStuck(r, c int, level uint8) {
+	if int(level) >= a.NumLevels() {
+		panic(fmt.Sprintf("crossbar: stuck level %d exceeds %d-bit cell", level, a.BitsPerCell))
+	}
+	if a.stuck == nil {
+		a.stuck = make(map[int]uint8)
+	}
+	a.stuck[r*a.Cols+c] = level
+	a.setEff(r, c, level)
+}
 
-// Histogram returns the static level histogram of row r (do not mutate).
+// ClearStuck removes a stuck-at fault from cell (r, c); the effective level
+// returns to the programmed target (modeling a repaired or replaced cell).
+func (a *Array) ClearStuck(r, c int) {
+	if _, ok := a.stuck[r*a.Cols+c]; !ok {
+		return
+	}
+	delete(a.stuck, r*a.Cols+c)
+	a.setEff(r, c, a.levels[r][c])
+}
+
+// Stuck reports the pinned level of cell (r, c), if it carries a stuck-at
+// fault.
+func (a *Array) Stuck(r, c int) (uint8, bool) {
+	lv, ok := a.stuck[r*a.Cols+c]
+	return lv, ok
+}
+
+// StuckCount returns the number of stuck-at cells in the array.
+func (a *Array) StuckCount() int { return len(a.stuck) }
+
+// DriftCell shifts the effective level of cell (r, c) by delta conductance
+// steps, clamped to the level range (time-parameterized conductance drift;
+// the programmed target is unchanged, so reprogramming restores the cell).
+// Stuck cells do not drift — the fault dominates. Reports whether the
+// effective level changed.
+func (a *Array) DriftCell(r, c, delta int) bool {
+	if _, pinned := a.stuck[r*a.Cols+c]; pinned {
+		return false
+	}
+	lv := int(a.eff[r][c]) + delta
+	if lv < 0 {
+		lv = 0
+	}
+	if lv >= a.NumLevels() {
+		lv = a.NumLevels() - 1
+	}
+	if uint8(lv) == a.eff[r][c] {
+		return false
+	}
+	a.setEff(r, c, uint8(lv))
+	return true
+}
+
+// DriftedCount returns the number of healthy (non-stuck) cells whose
+// effective level has drifted away from the programmed target.
+func (a *Array) DriftedCount() int {
+	n := 0
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			if a.eff[r][c] != a.levels[r][c] {
+				if _, pinned := a.stuck[r*a.Cols+c]; !pinned {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Level returns the effective level of cell (r, c) — what a read observes.
+func (a *Array) Level(r, c int) uint8 { return a.eff[r][c] }
+
+// Programmed returns the level the write circuitry last targeted for cell
+// (r, c), which differs from Level under stuck-at faults or drift.
+func (a *Array) Programmed(r, c int) uint8 { return a.levels[r][c] }
+
+// Histogram returns the effective level histogram of row r (do not mutate).
 func (a *Array) Histogram(r int) []int { return a.hist[r] }
 
 // ActiveCounts fills counts[level] with the number of row-r cells at each

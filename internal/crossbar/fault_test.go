@@ -1,0 +1,186 @@
+package crossbar
+
+import (
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// injectStuckSeeded applies a seeded stuck-at population to an array:
+// sampled cells alternate between stuck-at-LRS (top level) and
+// stuck-at-HRS (level 0) deterministically by position.
+func injectStuckSeeded(a *Array, seed uint64, rate float64) []int {
+	cells := noise.SampleCells(stats.SubRNG(seed, 0), a.Rows*a.Cols, rate)
+	top := uint8(a.NumLevels() - 1)
+	for i, idx := range cells {
+		lv := top
+		if i%2 == 1 {
+			lv = 0
+		}
+		a.SetStuck(idx/a.Cols, idx%a.Cols, lv)
+	}
+	return cells
+}
+
+// TestStuckInjectionDeterministicBySeed: the same seed produces the same
+// fault map on two arrays; a different seed produces a different one.
+func TestStuckInjectionDeterministicBySeed(t *testing.T) {
+	build := func(seed uint64) (*Array, []int) {
+		a := NewArray(16, 64, 2)
+		for r := 0; r < a.Rows; r++ {
+			for c := 0; c < a.Cols; c++ {
+				a.Set(r, c, uint8((r+c)%a.NumLevels()))
+			}
+		}
+		cells := injectStuckSeeded(a, seed, 0.05)
+		return a, cells
+	}
+	a1, c1 := build(7)
+	a2, c2 := build(7)
+	if len(c1) == 0 {
+		t.Fatal("5% rate over 1024 cells injected nothing")
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(c1), len(c2))
+	}
+	for r := 0; r < a1.Rows; r++ {
+		for c := 0; c < a1.Cols; c++ {
+			l1, ok1 := a1.Stuck(r, c)
+			l2, ok2 := a2.Stuck(r, c)
+			if ok1 != ok2 || l1 != l2 {
+				t.Fatalf("fault maps diverge at (%d,%d): (%d,%v) vs (%d,%v)", r, c, l1, ok1, l2, ok2)
+			}
+			if a1.Level(r, c) != a2.Level(r, c) {
+				t.Fatalf("effective levels diverge at (%d,%d)", r, c)
+			}
+		}
+	}
+	_, c3 := build(8)
+	same := len(c1) == len(c3)
+	if same {
+		for i := range c1 {
+			if c1[i] != c3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical fault maps")
+	}
+}
+
+// TestStuckSurvivesReprogramming: reprogramming rows (faulted or not) must
+// not move stuck cells, and must fully restore healthy cells.
+func TestStuckSurvivesReprogramming(t *testing.T) {
+	a := NewArray(8, 32, 2)
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			a.Set(r, c, 1)
+		}
+	}
+	a.SetStuck(3, 5, 3) // LRS
+	a.SetStuck(6, 0, 0) // HRS
+	if a.Level(3, 5) != 3 || a.Level(6, 0) != 0 {
+		t.Fatalf("stuck cells not pinned: %d, %d", a.Level(3, 5), a.Level(6, 0))
+	}
+
+	// Reprogram every cell, including the stuck ones.
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			a.Set(r, c, 2)
+		}
+	}
+	if a.Level(3, 5) != 3 || a.Level(6, 0) != 0 {
+		t.Fatal("reprogramming moved a stuck cell")
+	}
+	if a.Programmed(3, 5) != 2 {
+		t.Fatalf("programmed target not recorded under fault: %d", a.Programmed(3, 5))
+	}
+	if a.Level(0, 0) != 2 || a.Level(7, 31) != 2 {
+		t.Fatal("healthy cells did not follow reprogramming")
+	}
+	if a.StuckCount() != 2 {
+		t.Fatalf("stuck count %d, want 2", a.StuckCount())
+	}
+
+	// The read masks must agree with the effective levels: row 3 under an
+	// all-ones input sees 31 cells at level 2 plus one at level 3.
+	input := make([]uint64, a.MaskWords())
+	for i := range input {
+		input[i] = ^uint64(0)
+	}
+	if got, want := a.IdealRowOutput(3, input), 31*2+3; got != want {
+		t.Fatalf("row 3 output %d, want %d", got, want)
+	}
+
+	// Repair: the cell returns to its programmed target.
+	a.ClearStuck(3, 5)
+	if a.Level(3, 5) != 2 {
+		t.Fatalf("cleared cell reads %d, want programmed 2", a.Level(3, 5))
+	}
+}
+
+// TestDriftIsErasedByReprogramming: drift moves the effective level only;
+// rewriting the cell restores the target, and stuck cells do not drift.
+func TestDriftIsErasedByReprogramming(t *testing.T) {
+	a := NewArray(4, 16, 3)
+	a.Set(1, 2, 5)
+	if !a.DriftCell(1, 2, -2) {
+		t.Fatal("drift reported no change")
+	}
+	if a.Level(1, 2) != 3 || a.Programmed(1, 2) != 5 {
+		t.Fatalf("drifted cell: eff %d prog %d, want 3/5", a.Level(1, 2), a.Programmed(1, 2))
+	}
+	if a.DriftedCount() != 1 {
+		t.Fatalf("drifted count %d, want 1", a.DriftedCount())
+	}
+	// Clamping at the range ends.
+	a.DriftCell(1, 2, -100)
+	if a.Level(1, 2) != 0 {
+		t.Fatalf("drift did not clamp at 0: %d", a.Level(1, 2))
+	}
+	a.DriftCell(1, 2, 100)
+	if a.Level(1, 2) != uint8(a.NumLevels()-1) {
+		t.Fatalf("drift did not clamp at top: %d", a.Level(1, 2))
+	}
+	// A rewrite erases the drift.
+	a.Set(1, 2, 5)
+	if a.Level(1, 2) != 5 || a.DriftedCount() != 0 {
+		t.Fatalf("rewrite did not erase drift: eff %d drifted %d", a.Level(1, 2), a.DriftedCount())
+	}
+	// Stuck dominates drift.
+	a.SetStuck(0, 0, 7)
+	if a.DriftCell(0, 0, -3) {
+		t.Fatal("stuck cell drifted")
+	}
+	if a.Level(0, 0) != 7 {
+		t.Fatalf("stuck cell moved: %d", a.Level(0, 0))
+	}
+}
+
+// TestFaultHistogramConsistency: histograms and ActiveCounts track the
+// effective levels through fault injection and repair.
+func TestFaultHistogramConsistency(t *testing.T) {
+	a := NewArray(2, 8, 2)
+	for c := 0; c < 8; c++ {
+		a.Set(0, c, 1)
+	}
+	a.SetStuck(0, 3, 3)
+	h := a.Histogram(0)
+	if h[1] != 7 || h[3] != 1 {
+		t.Fatalf("histogram after fault: %v", h)
+	}
+	input := []uint64{0xFF}
+	counts := make([]int, a.NumLevels())
+	a.ActiveCounts(0, input, counts)
+	if counts[1] != 7 || counts[3] != 1 {
+		t.Fatalf("active counts after fault: %v", counts)
+	}
+	a.ClearStuck(0, 3)
+	a.ActiveCounts(0, input, counts)
+	if counts[1] != 8 || counts[3] != 0 {
+		t.Fatalf("active counts after repair: %v", counts)
+	}
+}

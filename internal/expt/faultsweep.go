@@ -1,0 +1,190 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/crossbar"
+	"repro/internal/fault"
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// FaultSweepConfig drives an open-loop lifetime study: a deterministic
+// wear-out campaign degrades the mapped arrays step by step while the test
+// set is re-evaluated at each step, with no recovery acting — the question
+// is how each protection scheme's accuracy decays as the device ages.
+type FaultSweepConfig struct {
+	Device   noise.DeviceParams
+	Schemes  []accel.Scheme
+	Retries  int
+	Images   int // test images evaluated per lifetime step (0 = all)
+	Seed     uint64
+	Workers  int // 0 = GOMAXPROCS
+	Lifetime fault.LifetimeParams
+}
+
+// FaultPoint is one (scheme, lifetime step) measurement.
+type FaultPoint struct {
+	Workload string
+	Scheme   string
+	Step     int
+	// StuckCells and DriftedCells are the cumulative fault population
+	// across every array of the mapped network at this step.
+	StuckCells   int
+	DriftedCells int
+	Miss         stats.Counter
+	// DetectedRate is the fraction of group reads the ECU flagged
+	// detected-but-uncorrectable at this step — the health signal the
+	// online monitor would trip on.
+	DetectedRate float64
+	Stats        accel.Stats
+}
+
+// RunFaultCampaign sweeps every scheme through the same seeded wear-out
+// schedule. Step 0 is the pristine baseline; each later step applies that
+// step's campaign events and re-measures. The campaign seed, event
+// schedule, and per-image noise streams are all deterministic, so a run is
+// exactly replayable from (workload, config).
+func RunFaultCampaign(w Workload, cfg FaultSweepConfig, prog Progress) ([]FaultPoint, error) {
+	if cfg.Lifetime.Steps <= 0 {
+		return nil, fmt.Errorf("expt: fault campaign needs Lifetime.Steps >= 1")
+	}
+	var points []FaultPoint
+	for _, sch := range cfg.Schemes {
+		acfg := accel.DefaultConfig(sch)
+		acfg.Device = cfg.Device
+		if cfg.Retries > 0 {
+			acfg.Retries = cfg.Retries
+		}
+		acfg.Seed = cfg.Seed
+		eng, err := accel.Map(w.Net, acfg)
+		if err != nil {
+			return nil, fmt.Errorf("expt: mapping %s under %s: %w", w.Name, sch.Name, err)
+		}
+		runner, err := fault.NewRunner(fault.LifetimeCampaign(cfg.Seed, eng.Layers(), cfg.Lifetime), eng)
+		if err != nil {
+			return nil, err
+		}
+		evalCfg := EvalConfig{Scheme: sch, Images: cfg.Images, Seed: cfg.Seed, Workers: cfg.Workers}
+		for step := 0; step <= cfg.Lifetime.Steps; step++ {
+			if step > 0 {
+				if _, err := runner.Advance(step); err != nil {
+					return nil, err
+				}
+			}
+			// Distinct noise-stream block per step so the Monte-Carlo
+			// draws are independent across the lifetime.
+			cell := runEval(eng, w, evalCfg, cfg.Seed*100_000+uint64(step)*1_000_000_000)
+			stuck, drifted := countFaults(eng)
+			p := FaultPoint{
+				Workload: w.Name, Scheme: sch.Name, Step: step,
+				StuckCells: stuck, DriftedCells: drifted,
+				Miss: cell.Miss, DetectedRate: cell.Stats.DetectedRate(),
+				Stats: cell.Stats,
+			}
+			points = append(points, p)
+			prog.Printf("faults %s %s step %d/%d: stuck=%d drifted=%d miss=%.4f detected=%.4f\n",
+				w.Name, sch.Name, step, cfg.Lifetime.Steps, stuck, drifted, p.Miss.Rate(), p.DetectedRate)
+		}
+	}
+	return points, nil
+}
+
+// RenderFaults prints the lifetime decay table: one row per scheme, columns
+// per lifetime step.
+func RenderFaults(w io.Writer, points []FaultPoint) {
+	if len(points) == 0 {
+		return
+	}
+	stepSet := map[int]bool{}
+	var schemes []string
+	seen := map[string]bool{}
+	byKey := map[string]FaultPoint{}
+	for _, p := range points {
+		stepSet[p.Step] = true
+		if !seen[p.Scheme] {
+			seen[p.Scheme] = true
+			schemes = append(schemes, p.Scheme)
+		}
+		byKey[fmt.Sprintf("%s/%d", p.Scheme, p.Step)] = p
+	}
+	var steps []int
+	for s := range stepSet {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+
+	fmt.Fprintf(w, "\n%s misclassification over lifetime (step 0 = pristine)\n", points[0].Workload)
+	header := fmt.Sprintf("%-11s", "scheme")
+	for _, s := range steps {
+		header += fmt.Sprintf("  step %2d", s)
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, sch := range schemes {
+		row := fmt.Sprintf("%-11s", sch)
+		for _, s := range steps {
+			if p, ok := byKey[fmt.Sprintf("%s/%d", sch, s)]; ok {
+				row += fmt.Sprintf("  %7.4f", p.Miss.Rate())
+			} else {
+				row += "      - "
+			}
+		}
+		fmt.Fprintln(w, row)
+	}
+	last := steps[len(steps)-1]
+	fmt.Fprintf(w, "\nfault population and ECU health at step %d:\n", last)
+	for _, sch := range schemes {
+		if p, ok := byKey[fmt.Sprintf("%s/%d", sch, last)]; ok {
+			fmt.Fprintf(w, "%-11s stuck=%d drifted=%d detected-rate=%.4f corrected=%d detected=%d\n",
+				sch, p.StuckCells, p.DriftedCells, p.DetectedRate,
+				p.Stats.Corrected, p.Stats.Detected)
+		}
+	}
+}
+
+// WriteFaultsCSV emits the lifetime points as CSV.
+func WriteFaultsCSV(w io.Writer, points []FaultPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "scheme", "step", "stuck_cells", "drifted_cells",
+		"miss", "halfwidth95", "detected_rate", "corrected", "detected", "retries", "residual"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Workload, p.Scheme, strconv.Itoa(p.Step),
+			strconv.Itoa(p.StuckCells), strconv.Itoa(p.DriftedCells),
+			fmt.Sprintf("%.6f", p.Miss.Rate()),
+			fmt.Sprintf("%.6f", p.Miss.HalfWidth95()),
+			fmt.Sprintf("%.6f", p.DetectedRate),
+			strconv.FormatUint(p.Stats.Corrected, 10),
+			strconv.FormatUint(p.Stats.Detected, 10),
+			strconv.FormatUint(p.Stats.Retries, 10),
+			strconv.FormatUint(p.Stats.Residual, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// countFaults sums the live stuck and drifted cell populations.
+func countFaults(eng *accel.Engine) (stuck, drifted int) {
+	for _, layer := range eng.Layers() {
+		eng.WithArrays(layer, func(arrays []*crossbar.Array) {
+			for _, a := range arrays {
+				stuck += a.StuckCount()
+				drifted += a.DriftedCount()
+			}
+		})
+	}
+	return stuck, drifted
+}

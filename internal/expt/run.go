@@ -77,6 +77,15 @@ func evaluateMapped(w Workload, acfg accel.Config, cfg EvalConfig) (CellResult, 
 	if err != nil {
 		return CellResult{}, fmt.Errorf("expt: mapping %s under %s: %w", w.Name, cfg.Scheme.Name, err)
 	}
+	return runEval(eng, w, cfg, cfg.Seed*100_000), nil
+}
+
+// runEval measures misclassification over the test subset against an
+// already-mapped engine, parallelized over images with per-worker sessions.
+// Image i uses noise stream streamBase+i, so results are independent of how
+// images are distributed across workers; lifetime sweeps vary streamBase
+// per step so every step draws fresh noise.
+func runEval(eng *accel.Engine, w Workload, cfg EvalConfig, streamBase uint64) CellResult {
 	test := clipTest(w.Test, cfg.Images)
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -97,9 +106,7 @@ func evaluateMapped(w Workload, acfg accel.Config, cfg EvalConfig) (CellResult, 
 			r := &results[wk]
 			for i := wk; i < len(test); i += workers {
 				ex := test[i]
-				// One noise stream per image: results do not depend on
-				// how images are distributed across workers.
-				sess.Reseed(cfg.Seed*100_000 + uint64(i))
+				sess.Reseed(streamBase + uint64(i))
 				logits := sess.Forward(ex.Input)
 				r.Miss.AddOutcome(logits.ArgMax() != ex.Label)
 				if cfg.TopK > 0 {
@@ -115,14 +122,14 @@ func evaluateMapped(w Workload, acfg accel.Config, cfg EvalConfig) (CellResult, 
 	}
 	wg.Wait()
 
-	out := CellResult{Workload: w.Name, Scheme: cfg.Scheme.Name, Bits: cfg.Device.BitsPerCell}
+	out := CellResult{Workload: w.Name, Scheme: cfg.Scheme.Name, Bits: eng.Config().Device.BitsPerCell}
 	for _, r := range results {
 		out.Miss.Merge(r.Miss)
 		out.MissTopK.Merge(r.MissTopK)
 		out.Drift.Merge(&r.Drift)
 		out.Stats.Merge(r.Stats)
 	}
-	return out, nil
+	return out
 }
 
 // FigureSchemes returns the seven protected configurations of Figures 10

@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/crossbar"
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// Kind is the physical fault class an Event injects.
+type Kind int
+
+const (
+	// StuckLRS pins sampled cells at the lowest-resistance (top) level —
+	// the dominant endurance failure mode of Section III.
+	StuckLRS Kind = iota
+	// StuckHRS pins sampled cells at the highest-resistance (zero) level.
+	StuckHRS
+	// Drift shifts sampled cells' effective conductance by Event.Drift
+	// levels without touching the programmed target; a re-program erases
+	// it, a stuck cell ignores it.
+	Drift
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StuckLRS:
+		return "stuck-lrs"
+	case StuckHRS:
+		return "stuck-hrs"
+	case Drift:
+		return "drift"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault injection: at lifetime step Step, sample
+// each cell of layer Layer's arrays with probability Rate and apply Kind.
+type Event struct {
+	Step  int
+	Layer int
+	Kind  Kind
+	// Rate is the per-cell Bernoulli probability of this event hitting.
+	Rate float64
+	// Drift is the signed level shift for Kind == Drift (ignored
+	// otherwise).
+	Drift int
+}
+
+// Campaign is a deterministic fault schedule: the same Seed and Events
+// produce bit-identical fault populations regardless of request timing,
+// worker count, or how often layers were remapped in between — each
+// event's cell sample is keyed by its position in the schedule, not by any
+// shared RNG state.
+type Campaign struct {
+	Seed   uint64
+	Events []Event
+}
+
+// Validate checks the schedule is well-formed and replayable.
+func (c Campaign) Validate() error {
+	last := -1 << 62
+	for i, ev := range c.Events {
+		if ev.Rate < 0 || ev.Rate > 1 {
+			return fmt.Errorf("fault: event %d rate %g outside [0,1]", i, ev.Rate)
+		}
+		if ev.Step < last {
+			return fmt.Errorf("fault: event %d at step %d after step %d — events must be step-sorted", i, ev.Step, last)
+		}
+		last = ev.Step
+		if ev.Kind == Drift && ev.Drift == 0 {
+			return fmt.Errorf("fault: event %d is a zero drift", i)
+		}
+		if ev.Kind != StuckLRS && ev.Kind != StuckHRS && ev.Kind != Drift {
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// Injector is the surface the runner needs from the accelerator — the
+// accel.Engine satisfies it.
+type Injector interface {
+	Layers() []int
+	WithArrays(layer int, f func(arrays []*crossbar.Array)) error
+}
+
+// Runner walks a campaign's events over an injector as lifetime advances.
+type Runner struct {
+	camp Campaign
+	inj  Injector
+	next int // index of the first unapplied event
+}
+
+// NewRunner validates the campaign and prepares a runner positioned before
+// the first event.
+func NewRunner(camp Campaign, inj Injector) (*Runner, error) {
+	if err := camp.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{camp: camp, inj: inj}, nil
+}
+
+// Remaining returns how many events have not yet been applied.
+func (r *Runner) Remaining() int { return len(r.camp.Events) - r.next }
+
+// Advance applies every event scheduled at or before the given lifetime
+// step, returning the events applied. Steps are a logical wear clock (for
+// the server, ticks of served requests; for open-loop experiments, the
+// sweep index) so campaigns replay exactly across runs with different
+// wall-clock timing.
+func (r *Runner) Advance(step int) ([]Event, error) {
+	var applied []Event
+	for r.next < len(r.camp.Events) && r.camp.Events[r.next].Step <= step {
+		idx := r.next
+		ev := r.camp.Events[idx]
+		if err := r.apply(idx, ev); err != nil {
+			return applied, err
+		}
+		applied = append(applied, ev)
+		r.next++
+	}
+	return applied, nil
+}
+
+// apply injects one event. The RNG stream of each (event, array) pair is
+// derived purely from the campaign seed and the pair's schedule position,
+// so replay is exact even if earlier events targeted layers that have
+// since been remapped.
+func (r *Runner) apply(idx int, ev Event) error {
+	return r.inj.WithArrays(ev.Layer, func(arrays []*crossbar.Array) {
+		for ai, a := range arrays {
+			rng := stats.SubRNG(r.camp.Seed, uint64(idx)<<20|uint64(ai))
+			cells := noise.SampleCells(rng, a.Rows*a.Cols, ev.Rate)
+			for _, cell := range cells {
+				row, col := cell/a.Cols, cell%a.Cols
+				switch ev.Kind {
+				case StuckLRS:
+					a.SetStuck(row, col, uint8(a.NumLevels()-1))
+				case StuckHRS:
+					a.SetStuck(row, col, 0)
+				case Drift:
+					a.DriftCell(row, col, ev.Drift)
+				}
+			}
+		}
+	})
+}
+
+// LifetimeParams shapes a synthetic wear-out schedule.
+type LifetimeParams struct {
+	// Steps is the number of lifetime steps the schedule spans.
+	Steps int
+	// StuckPerStep is the per-cell probability of a new stuck fault per
+	// layer per step (split between LRS and HRS by LRSFrac).
+	StuckPerStep float64
+	// LRSFrac is the fraction of stuck faults pinned at LRS (default 0.5
+	// when the struct is zero; Section III reports stuck-at-LRS dominates
+	// real devices, so campaigns typically set it higher).
+	LRSFrac float64
+	// DriftEvery inserts a Drift event on each layer every DriftEvery
+	// steps (0 disables drift).
+	DriftEvery int
+	// DriftRate is the per-cell probability of each drift event.
+	DriftRate float64
+	// DriftDelta is the signed level shift of each drift event (default
+	// -1: conductance decays toward HRS).
+	DriftDelta int
+}
+
+// LifetimeCampaign generates a deterministic wear-out schedule over the
+// given layers: every step each layer accrues stuck-at faults, with
+// periodic drift waves layered on top.
+func LifetimeCampaign(seed uint64, layers []int, p LifetimeParams) Campaign {
+	if p.LRSFrac == 0 {
+		p.LRSFrac = 0.5
+	}
+	if p.DriftDelta == 0 {
+		p.DriftDelta = -1
+	}
+	sorted := append([]int(nil), layers...)
+	sort.Ints(sorted)
+	var events []Event
+	for step := 1; step <= p.Steps; step++ {
+		for _, layer := range sorted {
+			if p.StuckPerStep > 0 {
+				events = append(events,
+					Event{Step: step, Layer: layer, Kind: StuckLRS, Rate: p.StuckPerStep * p.LRSFrac},
+					Event{Step: step, Layer: layer, Kind: StuckHRS, Rate: p.StuckPerStep * (1 - p.LRSFrac)},
+				)
+			}
+			if p.DriftEvery > 0 && step%p.DriftEvery == 0 && p.DriftRate > 0 {
+				events = append(events, Event{
+					Step: step, Layer: layer, Kind: Drift,
+					Rate: p.DriftRate, Drift: p.DriftDelta,
+				})
+			}
+		}
+	}
+	return Campaign{Seed: seed, Events: events}
+}

@@ -1,0 +1,260 @@
+package fault
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/crossbar"
+	"repro/internal/nn"
+)
+
+func testEngine(t *testing.T) *accel.Engine {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(31, 31))
+	net := &nn.Network{Name: "fault", InShape: []int{12},
+		Layers: []nn.Layer{nn.NewDense(12, 10, rng), &nn.ReLU{}, nn.NewDense(10, 4, rng)}}
+	cfg := accel.DefaultConfig(accel.SchemeABN(8))
+	cfg.Device.BitsPerCell = 2
+	cfg.Device.PRTN = 0
+	cfg.Device.ProgErrFrac = 0
+	cfg.Device.SampleFreq = 0
+	cfg.Device.GiantProneProb = 0
+	cfg.Device.FailureRate = 0
+	eng, err := accel.Map(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// faultMap flattens every array's stuck and drift population for equality
+// checks.
+func faultMap(t *testing.T, eng *accel.Engine) map[int][]uint8 {
+	t.Helper()
+	out := make(map[int][]uint8)
+	for _, layer := range eng.Layers() {
+		err := eng.WithArrays(layer, func(arrays []*crossbar.Array) {
+			for ai, a := range arrays {
+				key := layer<<16 | ai
+				levels := make([]uint8, 0, a.Rows*a.Cols)
+				for r := 0; r < a.Rows; r++ {
+					for c := 0; c < a.Cols; c++ {
+						levels = append(levels, a.Level(r, c))
+					}
+				}
+				out[key] = levels
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestCampaignReplayExact: the same campaign against two identical engines
+// produces bit-identical effective levels, step by step — and replays
+// identically even when advanced with different step granularity.
+func TestCampaignReplayExact(t *testing.T) {
+	engA, engB := testEngine(t), testEngine(t)
+	camp := LifetimeCampaign(99, engA.Layers(), LifetimeParams{
+		Steps: 6, StuckPerStep: 0.002, LRSFrac: 0.7,
+		DriftEvery: 2, DriftRate: 0.01,
+	})
+	if len(camp.Events) == 0 {
+		t.Fatal("empty campaign")
+	}
+	ra, err := NewRunner(camp, engA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRunner(camp, engB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A advances one step at a time; B jumps straight to the end.
+	total := 0
+	for step := 1; step <= 6; step++ {
+		applied, err := ra.Advance(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(applied)
+	}
+	if total != len(camp.Events) {
+		t.Fatalf("applied %d of %d events", total, len(camp.Events))
+	}
+	if ra.Remaining() != 0 {
+		t.Fatalf("%d events remaining after final step", ra.Remaining())
+	}
+	if _, err := rb.Advance(6); err != nil {
+		t.Fatal(err)
+	}
+	ma, mb := faultMap(t, engA), faultMap(t, engB)
+	if len(ma) != len(mb) {
+		t.Fatalf("array counts differ: %d vs %d", len(ma), len(mb))
+	}
+	for key, la := range ma {
+		lb := mb[key]
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("array %x cell %d: %d vs %d", key, i, la[i], lb[i])
+			}
+		}
+	}
+
+	// A different seed must produce a different fault population.
+	engC := testEngine(t)
+	campC := camp
+	campC.Seed = 100
+	rc, err := NewRunner(campC, engC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Advance(6); err != nil {
+		t.Fatal(err)
+	}
+	mc := faultMap(t, engC)
+	same := true
+	for key, la := range ma {
+		lc := mc[key]
+		for i := range la {
+			if la[i] != lc[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 99 and 100 produced identical fault populations")
+	}
+}
+
+// TestCampaignValidation: malformed schedules are rejected up front.
+func TestCampaignValidation(t *testing.T) {
+	bad := []Campaign{
+		{Events: []Event{{Step: 1, Kind: StuckLRS, Rate: 1.5}}},
+		{Events: []Event{{Step: 2, Kind: StuckLRS, Rate: 0.1}, {Step: 1, Kind: StuckLRS, Rate: 0.1}}},
+		{Events: []Event{{Step: 1, Kind: Drift, Rate: 0.1, Drift: 0}}},
+		{Events: []Event{{Step: 1, Kind: Kind(9), Rate: 0.1}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("campaign %d validated", i)
+		}
+	}
+	if _, err := NewRunner(bad[0], testEngine(t)); err == nil {
+		t.Fatal("NewRunner accepted an invalid campaign")
+	}
+}
+
+// TestMonitorTripAndReset: sustained detected reads open the breaker once
+// MinReads is met; Reset closes it and clears the window.
+func TestMonitorTripAndReset(t *testing.T) {
+	mon, err := NewMonitor(MonitorConfig{Window: 1000, MinReads: 100, TripRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := map[int]accel.Stats{3: {Clean: 50}}
+	if open := mon.Observe(clean); open != nil {
+		t.Fatalf("clean traffic opened breaker: %v", open)
+	}
+	// 10% detected rate, but below MinReads — must stay closed.
+	if open := mon.Observe(map[int]accel.Stats{3: {Clean: 36, Detected: 4}}); open != nil {
+		t.Fatalf("breaker tripped below MinReads: %v", open)
+	}
+	// Push past MinReads with the same rate — must trip.
+	open := mon.Observe(map[int]accel.Stats{3: {Clean: 90, Detected: 10}})
+	if len(open) != 1 || open[0] != 3 {
+		t.Fatalf("breaker did not trip: %v", open)
+	}
+	if mon.State(3) != BreakerOpen || mon.OpenCount() != 1 {
+		t.Fatal("state inconsistent after trip")
+	}
+	snap := mon.Snapshot()
+	if len(snap) != 1 || snap[0].Layer != 3 || snap[0].Trips != 1 || snap[0].State != BreakerOpen {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	mon.Reset(3)
+	if mon.State(3) != BreakerClosed || mon.OpenCount() != 0 {
+		t.Fatal("Reset did not close the breaker")
+	}
+	// The window restarted: the same sub-MinReads burst must not re-trip.
+	if open := mon.Observe(map[int]accel.Stats{3: {Clean: 36, Detected: 4}}); open != nil {
+		t.Fatalf("breaker re-tripped on a fresh window: %v", open)
+	}
+}
+
+// TestMonitorWindowDecay: a long clean history must not keep the rate
+// diluted forever — after decay, a fresh fault burst still trips.
+func TestMonitorWindowDecay(t *testing.T) {
+	mon, err := NewMonitor(MonitorConfig{Window: 1000, MinReads: 100, TripRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100k clean reads; without forgetting, 10k detections at 50% rate
+	// would still be under a lifetime-average 5% threshold.
+	for i := 0; i < 100; i++ {
+		mon.Observe(map[int]accel.Stats{0: {Clean: 1000}})
+	}
+	tripped := false
+	for i := 0; i < 10 && !tripped; i++ {
+		open := mon.Observe(map[int]accel.Stats{0: {Clean: 500, Detected: 500}})
+		tripped = len(open) > 0
+	}
+	if !tripped {
+		t.Fatal("windowed monitor behaved like a lifetime average")
+	}
+}
+
+// TestMonitorDefaults: zero-value config resolves to usable defaults.
+func TestMonitorDefaults(t *testing.T) {
+	mon, err := NewMonitor(MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mon.Config()
+	if cfg.Window == 0 || cfg.MinReads == 0 || cfg.TripRate == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if _, err := NewMonitor(MonitorConfig{TripRate: 2}); err == nil {
+		t.Fatal("TripRate 2 accepted")
+	}
+}
+
+// TestCampaignDegradesECU: a wear-out campaign visibly shifts the ECU
+// outcome mix on a quiet engine, and the monitor trips on it — the
+// end-to-end open-loop story.
+func TestCampaignDegradesECU(t *testing.T) {
+	eng := testEngine(t)
+	camp := LifetimeCampaign(7, eng.Layers(), LifetimeParams{Steps: 1, StuckPerStep: 0.05, LRSFrac: 0.7})
+	run, err := NewRunner(camp, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(MonitorConfig{Window: 4096, MinReads: 64, TripRate: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := eng.NewSession(1)
+	x := nn.FromSlice(make([]float64, 12), 12)
+	for i := range x.Data {
+		x.Data[i] = float64(i%5) / 5
+	}
+	var open []int
+	for i := 0; i < 50 && len(open) == 0; i++ {
+		sess.Predict(x)
+		open = mon.Observe(sess.DrainLayerStats())
+		sess.DrainStats()
+	}
+	if len(open) == 0 {
+		t.Fatal("5% stuck cells never tripped the monitor")
+	}
+}

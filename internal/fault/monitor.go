@@ -1,0 +1,200 @@
+// Package fault models the lifetime-reliability side of the memristive
+// accelerator: seeded stuck-at and drift fault campaigns injected into live
+// crossbar arrays, and an ECU-driven health monitor whose per-layer circuit
+// breaker feeds the serving recovery ladder (retry, remap, degrade).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/accel"
+)
+
+// BreakerState is the per-layer circuit-breaker position.
+type BreakerState int
+
+const (
+	// BreakerClosed means the layer is healthy: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen means the detected-uncorrectable rate crossed the trip
+	// threshold: the recovery ladder should act before trusting the layer.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	if s == BreakerOpen {
+		return "open"
+	}
+	return "closed"
+}
+
+// MonitorConfig tunes the per-layer health windows.
+type MonitorConfig struct {
+	// Window is the sliding group-read window size per layer; once a
+	// layer's tally exceeds it, the window halves (exponential forgetting)
+	// so old history cannot mask a fresh fault burst. Default 4096.
+	Window uint64
+	// MinReads is the minimum group reads before a layer may trip, so a
+	// single unlucky read on a cold layer does not open the breaker.
+	// Default 256.
+	MinReads uint64
+	// TripRate is the detected-uncorrectable rate (Detected / group reads
+	// in window) at which the breaker opens. Default 0.05.
+	TripRate float64
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Window == 0 {
+		c.Window = 4096
+	}
+	if c.MinReads == 0 {
+		c.MinReads = 256
+	}
+	if c.TripRate == 0 {
+		c.TripRate = 0.05
+	}
+	return c
+}
+
+// Validate rejects nonsensical monitor settings.
+func (c MonitorConfig) Validate() error {
+	if c.TripRate < 0 || c.TripRate > 1 {
+		return fmt.Errorf("fault: trip rate %g outside [0,1]", c.TripRate)
+	}
+	if c.MinReads > c.Window && c.Window != 0 {
+		return fmt.Errorf("fault: MinReads %d exceeds Window %d", c.MinReads, c.Window)
+	}
+	return nil
+}
+
+// layerWindow is one layer's decayed ECU tally.
+type layerWindow struct {
+	reads    uint64 // Clean + Corrected + Detected seen in window
+	detected uint64
+	state    BreakerState
+	trips    uint64 // lifetime count of Closed -> Open transitions
+}
+
+// LayerHealth is a monitor snapshot row.
+type LayerHealth struct {
+	Layer        int
+	State        BreakerState
+	DetectedRate float64
+	WindowReads  uint64
+	Trips        uint64
+}
+
+// Monitor watches per-layer ECU outcomes and trips a circuit breaker when a
+// layer's detected-uncorrectable rate crosses the threshold. It is safe for
+// concurrent use by serving workers.
+type Monitor struct {
+	cfg MonitorConfig
+
+	mu     sync.Mutex
+	layers map[int]*layerWindow
+}
+
+// NewMonitor builds a health monitor (zero-value config fields take
+// defaults).
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{cfg: cfg, layers: make(map[int]*layerWindow)}, nil
+}
+
+// Config returns the resolved monitor configuration.
+func (m *Monitor) Config() MonitorConfig { return m.cfg }
+
+// Observe folds one request's per-layer ECU stats into the windows and
+// returns the layers whose breaker is now open (nil when all healthy).
+func (m *Monitor) Observe(perLayer map[int]accel.Stats) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var open []int
+	for layer, st := range perLayer {
+		lw := m.layers[layer]
+		if lw == nil {
+			lw = &layerWindow{}
+			m.layers[layer] = lw
+		}
+		lw.reads += st.GroupReads()
+		lw.detected += st.Detected
+		// Exponential forgetting: halve the window once it overflows so
+		// the rate tracks recent behavior, not lifetime averages.
+		for lw.reads > m.cfg.Window {
+			lw.reads /= 2
+			lw.detected /= 2
+		}
+		if lw.state == BreakerClosed && lw.reads >= m.cfg.MinReads {
+			if float64(lw.detected) > m.cfg.TripRate*float64(lw.reads) {
+				lw.state = BreakerOpen
+				lw.trips++
+			}
+		}
+	}
+	for layer, lw := range m.layers {
+		if lw.state == BreakerOpen {
+			open = append(open, layer)
+		}
+	}
+	sort.Ints(open)
+	return open
+}
+
+// State returns a layer's current breaker position.
+func (m *Monitor) State(layer int) BreakerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lw := m.layers[layer]; lw != nil {
+		return lw.state
+	}
+	return BreakerClosed
+}
+
+// Reset closes a layer's breaker and clears its window, called after a
+// recovery action (retry validated the layer, or it was remapped or moved
+// to the software path) so the layer re-earns trust from scratch.
+func (m *Monitor) Reset(layer int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lw := m.layers[layer]; lw != nil {
+		lw.reads, lw.detected = 0, 0
+		lw.state = BreakerClosed
+	}
+}
+
+// OpenCount returns how many layers currently have an open breaker.
+func (m *Monitor) OpenCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, lw := range m.layers {
+		if lw.state == BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns per-layer health rows sorted by layer index.
+func (m *Monitor) Snapshot() []LayerHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LayerHealth, 0, len(m.layers))
+	for layer, lw := range m.layers {
+		rate := 0.0
+		if lw.reads > 0 {
+			rate = float64(lw.detected) / float64(lw.reads)
+		}
+		out = append(out, LayerHealth{
+			Layer: layer, State: lw.state, DetectedRate: rate,
+			WindowReads: lw.reads, Trips: lw.trips,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Layer < out[j].Layer })
+	return out
+}

@@ -252,9 +252,42 @@ type GiantCell struct {
 	Neg bool
 }
 
+// SampleCells draws the indices of cells hit by an independent
+// per-cell event of probability p over a population of n cells, in
+// ascending order, using geometric skipping (jump straight between hits
+// instead of flipping a coin per cell). It is the shared sampler behind
+// stuck-at, giant-RTN, and lifetime fault injection; identical (rng, n, p)
+// inputs reproduce identical hit sets.
+func SampleCells(rng *rand.Rand, n int, p float64) []int {
+	if p <= 0 || n <= 0 {
+		return nil
+	}
+	if p >= 1 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+	idx := -1
+	lnq := math.Log1p(-p)
+	for {
+		u := rng.Float64()
+		skip := int(math.Floor(math.Log(1-u) / lnq))
+		idx += skip + 1
+		if idx >= n || idx < 0 {
+			return out
+		}
+		out = append(out, idx)
+	}
+}
+
 // InjectGiantProne draws the giant-RTN-prone population for a rows x cols
 // array, analogous to InjectStuck: each cell is prone independently with
-// p.GiantProneProb, with sign split per GiantHighFrac.
+// p.GiantProneProb, with sign split per GiantHighFrac. The skip and sign
+// draws stay interleaved exactly as released — recorded experiment seeds
+// must keep reproducing — so this does not share SampleCells.
 func InjectGiantProne(rng *rand.Rand, rows, cols int, p DeviceParams) []GiantCell {
 	if p.GiantProneProb <= 0 {
 		return nil

@@ -30,6 +30,10 @@ type Config struct {
 	// TopK is the default number of ranked classes returned when a request
 	// does not ask for a specific k (0 = 3).
 	TopK int
+	// Recovery wires the ECU-driven health monitor and the
+	// retry → remap → degrade ladder into the pool. Disabled by default:
+	// with it off, a prediction stays a pure function of (engine, seed).
+	Recovery RecoveryConfig
 
 	// dequeueHook, when set, runs in the worker loop after each dequeue and
 	// before deadline checks (test instrumentation: lets tests hold a
@@ -66,5 +70,5 @@ func (c Config) Validate() error {
 	case c.TopK < 0:
 		return fmt.Errorf("serve: negative top-k %d", c.TopK)
 	}
-	return nil
+	return c.Recovery.Validate()
 }

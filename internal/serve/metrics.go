@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/accel"
+	"repro/internal/fault"
 )
 
 // Request-counter outcome labels.
@@ -74,9 +75,18 @@ func (m *Metrics) ECCSnapshot() accel.Stats {
 	return m.ecc
 }
 
-// WritePrometheus renders every metric. queueDepth and workers are sampled
-// live by the caller (they belong to the scheduler, not the accumulator).
-func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, workers int) {
+// GaugeView carries the live values a scrape samples from the scheduler
+// and engine (they belong there, not in the accumulator).
+type GaugeView struct {
+	QueueDepth     int
+	Workers        int
+	Health         []fault.LayerHealth // nil when recovery is disabled
+	DegradedLayers []int
+	Recovery       RecoveryCounters
+}
+
+// WritePrometheus renders every metric.
+func (m *Metrics) WritePrometheus(w io.Writer, g GaugeView) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -97,11 +107,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, workers int) {
 
 	fmt.Fprintf(w, "# HELP mnn_queue_depth Requests waiting in the admission queue.\n")
 	fmt.Fprintf(w, "# TYPE mnn_queue_depth gauge\n")
-	fmt.Fprintf(w, "mnn_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "mnn_queue_depth %d\n", g.QueueDepth)
 
 	fmt.Fprintf(w, "# HELP mnn_workers Session-pool size.\n")
 	fmt.Fprintf(w, "# TYPE mnn_workers gauge\n")
-	fmt.Fprintf(w, "mnn_workers %d\n", workers)
+	fmt.Fprintf(w, "mnn_workers %d\n", g.Workers)
 
 	fmt.Fprintf(w, "# HELP mnn_request_seconds Request wall time.\n")
 	fmt.Fprintf(w, "# TYPE mnn_request_seconds histogram\n")
@@ -135,6 +145,35 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, workers int) {
 	fmt.Fprintf(w, "# HELP mnn_row_errors_total Row reads whose quantized output deviated from ideal.\n")
 	fmt.Fprintf(w, "# TYPE mnn_row_errors_total counter\n")
 	fmt.Fprintf(w, "mnn_row_errors_total %d\n", m.ecc.RowErrors)
+
+	fmt.Fprintf(w, "# HELP mnn_soft_mvms_total Matrix-vector products answered by the software fallback.\n")
+	fmt.Fprintf(w, "# TYPE mnn_soft_mvms_total counter\n")
+	fmt.Fprintf(w, "mnn_soft_mvms_total %d\n", m.ecc.SoftMVMs)
+
+	if g.Health != nil {
+		fmt.Fprintf(w, "# HELP mnn_breaker_open Per-layer health-breaker state (1 = open).\n")
+		fmt.Fprintf(w, "# TYPE mnn_breaker_open gauge\n")
+		fmt.Fprintf(w, "# HELP mnn_breaker_trips_total Lifetime breaker trips per layer.\n")
+		fmt.Fprintf(w, "# TYPE mnn_breaker_trips_total counter\n")
+		for _, h := range g.Health {
+			open := 0
+			if h.State == fault.BreakerOpen {
+				open = 1
+			}
+			fmt.Fprintf(w, "mnn_breaker_open{layer=\"%d\"} %d\n", h.Layer, open)
+			fmt.Fprintf(w, "mnn_breaker_trips_total{layer=\"%d\"} %d\n", h.Layer, h.Trips)
+		}
+
+		fmt.Fprintf(w, "# HELP mnn_recovery_actions_total Recovery-ladder transitions by rung.\n")
+		fmt.Fprintf(w, "# TYPE mnn_recovery_actions_total counter\n")
+		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"retry\"} %d\n", g.Recovery.Retries)
+		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"remap\"} %d\n", g.Recovery.Remaps)
+		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"degrade\"} %d\n", g.Recovery.Degrades)
+	}
+
+	fmt.Fprintf(w, "# HELP mnn_degraded_layers Layers currently served from the software fallback.\n")
+	fmt.Fprintf(w, "# TYPE mnn_degraded_layers gauge\n")
+	fmt.Fprintf(w, "mnn_degraded_layers %d\n", len(g.DegradedLayers))
 }
 
 // formatFloat renders a bucket bound the way Prometheus expects (no

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// retrySeedStride separates recovery-retry noise streams from the request's
+// own stream and from other attempts (client seeds and scheduler auto-seeds
+// live far below bit 56).
+const retrySeedStride = uint64(1) << 56
+
+// RecoveryConfig wires the ECU-driven health monitor and the
+// retry → remap → degrade ladder into the scheduler. The zero value
+// disables recovery entirely, preserving the pure
+// prediction = f(engine, seed) contract.
+type RecoveryConfig struct {
+	// Enabled turns the ladder on.
+	Enabled bool
+	// Monitor tunes the per-layer breaker (zero fields take fault
+	// defaults).
+	Monitor fault.MonitorConfig
+	// RetryAttempts bounds rung 1: re-evaluations with a reseeded session
+	// before concluding the fault is persistent. Default 2.
+	RetryAttempts int
+	// RetryBackoff is the base pause before each retry, jittered
+	// uniformly up to 2x, so a burst of tripped workers does not hammer a
+	// struggling layer in lockstep. Default 2ms; negative disables.
+	RetryBackoff time.Duration
+	// MaxRemaps bounds rung 2: how many times a layer may be
+	// re-programmed onto spare arrays over its lifetime before the ladder
+	// stops trusting crossbars and degrades it to the software path.
+	// Default 1; negative means never remap (degrade immediately).
+	MaxRemaps int
+}
+
+func (c RecoveryConfig) withDefaults() RecoveryConfig {
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.MaxRemaps == 0 {
+		c.MaxRemaps = 1
+	}
+	return c
+}
+
+// Validate rejects nonsensical ladder settings.
+func (c RecoveryConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.RetryAttempts < 0 {
+		return fmt.Errorf("serve: negative retry attempts %d", c.RetryAttempts)
+	}
+	return c.Monitor.Validate()
+}
+
+// RecoveryCounters are the lifetime ladder-transition tallies.
+type RecoveryCounters struct {
+	// Retries counts rung-1 re-evaluations.
+	Retries uint64
+	// Remaps counts rung-2 layer re-programmings.
+	Remaps uint64
+	// Degrades counts rung-3 transitions to the software path.
+	Degrades uint64
+}
+
+// recoveryState is the scheduler's ladder bookkeeping.
+type recoveryState struct {
+	cfg RecoveryConfig
+	mon *fault.Monitor
+
+	retries  atomic.Uint64
+	remaps   atomic.Uint64
+	degrades atomic.Uint64
+}
+
+func newRecoveryState(cfg RecoveryConfig) (*recoveryState, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled {
+		return nil, nil
+	}
+	cfg = cfg.withDefaults()
+	mon, err := fault.NewMonitor(cfg.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	return &recoveryState{cfg: cfg, mon: mon}, nil
+}
+
+// recover runs the ladder for one request whose traffic tripped the given
+// layers. It returns a replacement prediction evaluated on recovered (or
+// degraded) hardware; the original result is never returned once the
+// breaker is open, because its answer was computed through a layer the
+// monitor no longer trusts.
+func (s *Scheduler) recover(w *workerState, j *job, open []int) (Prediction, error) {
+	rec := s.rec
+	var retries int
+
+	// Rung 1 — retry: a giant-RTN burst or an unlucky noise draw is
+	// transient; a reseeded re-evaluation that comes back clean on every
+	// suspect layer closes the breaker with no hardware action.
+	for attempt := 1; attempt <= rec.cfg.RetryAttempts; attempt++ {
+		rec.retries.Add(1)
+		retries = attempt
+		s.backoff(attempt, j.seed)
+		pred, perLayer, err := s.evaluateSeed(w, j, j.seed+uint64(attempt)*retrySeedStride)
+		if err != nil {
+			return Prediction{}, err
+		}
+		suspect := false
+		for _, layer := range open {
+			if st, ok := perLayer[layer]; !ok || st.DetectedRate() > rec.cfg.Monitor.TripRate {
+				suspect = true
+				break
+			}
+		}
+		if !suspect {
+			for _, layer := range open {
+				rec.mon.Reset(layer)
+			}
+			pred.LadderRetries = retries
+			pred.Seed = j.seed + uint64(attempt)*retrySeedStride
+			return pred, nil
+		}
+	}
+
+	// Rungs 2 and 3 — the fault is persistent: re-program the layer onto
+	// spares, or if its remap budget is spent, degrade it to the software
+	// fixed-point path.
+	var remapped []int
+	for _, layer := range open {
+		action, err := s.escalate(layer)
+		if err != nil {
+			return Prediction{}, err
+		}
+		if action == actionRemap {
+			remapped = append(remapped, layer)
+		}
+	}
+
+	// Final evaluation on the recovered substrate, back on the request's
+	// own seed so the response stays replayable against the new hardware
+	// state.
+	pred, _, err := s.evaluateSeed(w, j, j.seed)
+	if err != nil {
+		return Prediction{}, err
+	}
+	pred.LadderRetries = retries
+	pred.Remapped = remapped
+	return pred, nil
+}
+
+type escalation int
+
+const (
+	actionNone escalation = iota
+	actionRemap
+	actionDegrade
+)
+
+// escalate applies rung 2 or 3 to one layer. The scheduler-wide mutex plus
+// a breaker re-check make the action exactly-once when several workers trip
+// on the same layer concurrently.
+func (s *Scheduler) escalate(layer int) (escalation, error) {
+	s.escMu.Lock()
+	defer s.escMu.Unlock()
+	if s.rec.mon.State(layer) != fault.BreakerOpen {
+		return actionNone, nil // another worker already recovered it
+	}
+	defer s.rec.mon.Reset(layer)
+	if s.rec.cfg.MaxRemaps >= 0 && s.eng.RemapCount(layer) < s.rec.cfg.MaxRemaps && !s.eng.Fallback(layer) {
+		if err := s.eng.Remap(layer); err != nil {
+			return actionNone, fmt.Errorf("serve: recovery remap: %w", err)
+		}
+		s.rec.remaps.Add(1)
+		return actionRemap, nil
+	}
+	if err := s.eng.SetFallback(layer, true); err != nil {
+		return actionNone, fmt.Errorf("serve: recovery degrade: %w", err)
+	}
+	s.rec.degrades.Add(1)
+	return actionDegrade, nil
+}
+
+// backoff sleeps the jittered retry pause. The jitter RNG is derived from
+// the request seed and attempt, so sleep lengths never consume shared RNG
+// state (and tests with RetryBackoff < 0 skip sleeping entirely).
+func (s *Scheduler) backoff(attempt int, seed uint64) {
+	base := s.rec.cfg.RetryBackoff
+	if base <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewPCG(seed, uint64(attempt)))
+	time.Sleep(base + time.Duration(rng.Int64N(int64(base))))
+}
+
+// RecoveryCounters returns the lifetime ladder tallies (zero when recovery
+// is disabled).
+func (s *Scheduler) RecoveryCounters() RecoveryCounters {
+	if s.rec == nil {
+		return RecoveryCounters{}
+	}
+	return RecoveryCounters{
+		Retries:  s.rec.retries.Load(),
+		Remaps:   s.rec.remaps.Load(),
+		Degrades: s.rec.degrades.Load(),
+	}
+}
+
+// Health returns the monitor's per-layer snapshot (nil when recovery is
+// disabled).
+func (s *Scheduler) Health() []fault.LayerHealth {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.mon.Snapshot()
+}
+
+// Monitor exposes the health monitor (nil when recovery is disabled); fault
+// campaigns and tests use it to inspect or force breaker state.
+func (s *Scheduler) Monitor() *fault.Monitor {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.mon
+}

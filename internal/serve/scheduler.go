@@ -36,6 +36,16 @@ type Prediction struct {
 	QueueWait time.Duration
 	// Infer is the worker-side evaluation time.
 	Infer time.Duration
+	// LadderRetries is how many recovery re-evaluations this request
+	// consumed (rung 1 of the ladder).
+	LadderRetries int
+	// Remapped lists layers re-programmed onto spare arrays while
+	// recovering this request (rung 2).
+	Remapped []int
+	// Degraded lists the layers this answer was served from the software
+	// fixed-point fallback instead of crossbars — the accuracy-loss
+	// warning of rung 3.
+	Degraded []int
 }
 
 type jobResult struct {
@@ -58,9 +68,16 @@ type job struct {
 // range clients typically use for explicit, reproducible seeds.
 const autoSeedBase = uint64(1) << 32
 
+// workerState is one worker's owned session.
+type workerState struct {
+	sess *accel.Session
+}
+
 // Scheduler owns a fixed pool of accel.Session workers fed by a bounded
 // admission queue. Each worker reseeds its session per request id, so
-// results are independent of placement and arrival order.
+// results are independent of placement and arrival order. With recovery
+// enabled, workers also feed per-layer ECU outcomes to a health monitor
+// and climb the retry → remap → degrade ladder when a breaker trips.
 type Scheduler struct {
 	cfg      Config
 	eng      *accel.Engine
@@ -69,6 +86,13 @@ type Scheduler struct {
 	mu       sync.RWMutex // guards closed vs. in-flight queue sends
 	closed   bool
 	autoSeed atomic.Uint64
+
+	rec   *recoveryState
+	escMu sync.Mutex // serializes ladder escalations across workers
+
+	served   atomic.Uint64 // requests answered (success or error)
+	inflight atomic.Int64  // dequeued but not yet answered
+	ecc      accel.SharedStats
 }
 
 // NewScheduler starts the worker pool over a mapped engine.
@@ -77,7 +101,14 @@ func NewScheduler(eng *accel.Engine, cfg Config) (*Scheduler, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	s := &Scheduler{cfg: cfg, eng: eng, queue: make(chan *job, cfg.QueueDepth)}
+	rec, err := newRecoveryState(cfg.Recovery)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		cfg.Recovery = rec.cfg
+	}
+	s := &Scheduler{cfg: cfg, eng: eng, queue: make(chan *job, cfg.QueueDepth), rec: rec}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(uint64(i))
@@ -96,6 +127,10 @@ func (s *Scheduler) QueueLen() int { return len(s.queue) }
 
 // QueueDepth returns the admission-queue capacity.
 func (s *Scheduler) QueueDepth() int { return s.cfg.QueueDepth }
+
+// Served returns how many requests have been answered so far — the logical
+// wear clock fault campaigns advance on.
+func (s *Scheduler) Served() uint64 { return s.served.Load() }
 
 // Predict runs one image through the pool: admit (ErrQueueFull on
 // backpressure), wait for a worker, evaluate. seed selects the noise
@@ -180,40 +215,71 @@ func (s *Scheduler) submit(ctx context.Context, input *nn.Tensor, seed uint64, t
 // until the queue is closed and drained.
 func (s *Scheduler) worker(id uint64) {
 	defer s.wg.Done()
-	sess := s.eng.NewSession(id)
+	w := &workerState{sess: s.eng.NewSession(id)}
 	for j := range s.queue {
+		s.inflight.Add(1)
 		if s.cfg.dequeueHook != nil {
 			s.cfg.dequeueHook()
 		}
 		start := time.Now()
 		wait := start.Sub(j.enqueued)
 		if j.ctx != nil && j.ctx.Err() != nil {
-			j.resp <- jobResult{err: j.ctx.Err()}
+			s.answer(j, jobResult{err: j.ctx.Err()})
 			continue
 		}
 		if wait > s.cfg.QueueTimeout {
-			j.resp <- jobResult{err: ErrQueueTimeout}
+			s.answer(j, jobResult{err: ErrQueueTimeout})
 			continue
 		}
-		pred, err := s.evaluate(sess, j)
+		pred, err := s.serveJob(w, j)
 		if err == nil {
 			pred.QueueWait = wait
 			pred.Infer = time.Since(start)
+			s.ecc.Add(pred.Stats)
 		}
-		j.resp <- jobResult{pred: pred, err: err}
+		s.answer(j, jobResult{pred: pred, err: err})
 	}
 }
 
-// evaluate runs one inference on the worker's session, converting panics
-// (malformed tensors reaching the MVM layer) into errors so one bad request
-// cannot take the pool down.
-func (s *Scheduler) evaluate(sess *accel.Session, j *job) (pred Prediction, err error) {
+// answer delivers one result and updates the drain accounting.
+func (s *Scheduler) answer(j *job, r jobResult) {
+	j.resp <- r
+	s.served.Add(1)
+	s.inflight.Add(-1)
+}
+
+// serveJob evaluates one request and, when recovery is enabled, feeds the
+// health monitor and climbs the ladder if this request's ECU outcomes
+// tripped a breaker.
+func (s *Scheduler) serveJob(w *workerState, j *job) (Prediction, error) {
+	pred, perLayer, err := s.evaluateSeed(w, j, j.seed)
+	if err != nil || s.rec == nil {
+		return pred, err
+	}
+	if open := s.rec.mon.Observe(perLayer); len(open) > 0 {
+		pred, err = s.recover(w, j, open)
+		if err != nil {
+			return pred, err
+		}
+	}
+	if pred.Stats.SoftMVMs > 0 {
+		pred.Degraded = s.eng.DegradedLayers()
+	}
+	return pred, nil
+}
+
+// evaluateSeed runs one inference on the worker's session under an explicit
+// noise stream, converting panics (malformed tensors reaching the MVM
+// layer) into errors so one bad request cannot take the pool down. It
+// returns the request's own stats, total and per layer.
+func (s *Scheduler) evaluateSeed(w *workerState, j *job, seed uint64) (pred Prediction, perLayer map[int]accel.Stats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: inference failed: %v", r)
 		}
 	}()
-	sess.Reseed(j.seed)
+	sess := w.sess
+	sess.Reseed(seed)
 	sess.DrainStats()
 	logits := sess.Forward(j.input)
 	k := j.topK
@@ -221,12 +287,28 @@ func (s *Scheduler) evaluate(sess *accel.Session, j *job) (pred Prediction, err 
 		k = s.cfg.TopK
 	}
 	topk := logits.TopK(k)
-	return Prediction{Class: topk[0], TopK: topk, Seed: j.seed, Stats: sess.DrainStats()}, nil
+	perLayer = sess.DrainLayerStats()
+	return Prediction{Class: topk[0], TopK: topk, Seed: seed, Stats: sess.DrainStats()}, perLayer, nil
+}
+
+// DrainSummary reports what a Close drained — and what it had to abandon
+// when its deadline fired first.
+type DrainSummary struct {
+	// Served is the lifetime count of answered requests.
+	Served uint64
+	// Abandoned is how many admitted requests were still queued or in
+	// flight when the drain deadline expired (0 on a clean drain).
+	Abandoned int
+	// ECC is the cumulative ECU activity of every successfully answered
+	// request.
+	ECC accel.Stats
 }
 
 // Close stops admission, drains the queue (every admitted request is still
-// answered), and waits for the workers, or gives up when ctx expires.
-func (s *Scheduler) Close(ctx context.Context) error {
+// answered), and waits for the workers. When ctx expires mid-drain it
+// returns ctx's error together with a partial summary counting the
+// requests left behind, so operators still see what the pool did.
+func (s *Scheduler) Close(ctx context.Context) (DrainSummary, error) {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -240,8 +322,13 @@ func (s *Scheduler) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return DrainSummary{Served: s.served.Load(), ECC: s.ecc.Snapshot()}, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		abandoned := s.QueueLen() + int(s.inflight.Load())
+		return DrainSummary{
+			Served:    s.served.Load(),
+			Abandoned: abandoned,
+			ECC:       s.ecc.Snapshot(),
+		}, ctx.Err()
 	}
 }

@@ -205,7 +205,10 @@ func TestGracefulDrain(t *testing.T) {
 	waitFor(t, func() bool { return s.QueueLen() == n-1 })
 
 	closed := make(chan error, 1)
-	go func() { closed <- s.Close(ctx) }()
+	go func() {
+		_, err := s.Close(ctx)
+		closed <- err
+	}()
 	close(gate)
 	if err := <-closed; err != nil {
 		t.Fatalf("close: %v", err)
@@ -218,8 +221,77 @@ func TestGracefulDrain(t *testing.T) {
 	if _, err := s.Predict(ctx, testInput(9), 9, 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("want ErrClosed after drain, got %v", err)
 	}
-	if err := s.Close(ctx); err != nil {
+	sum, err := s.Close(ctx)
+	if err != nil {
 		t.Fatalf("second close: %v", err)
+	}
+	if sum.Served < n || sum.Abandoned != 0 || sum.ECC.RowReads == 0 {
+		t.Fatalf("drain summary %+v", sum)
+	}
+}
+
+// TestCloseDeadlinePartialDrain: when the drain deadline fires with work
+// still queued, Close reports what it served and what it abandoned instead
+// of returning empty-handed.
+func TestCloseDeadlinePartialDrain(t *testing.T) {
+	eng, _ := testEngine(t, 0)
+	s, entered, gate := blockingScheduler(t, eng, 8, time.Hour)
+	ctx := context.Background()
+
+	// One served request establishes nonzero drain stats: the worker
+	// parks on the gate, we hand it a single release token.
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Predict(ctx, testInput(1), 1, 0)
+		first <- err
+	}()
+	<-entered
+	gate <- struct{}{}
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the worker on a second job and queue two more behind it.
+	results := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func(seed uint64) {
+			_, err := s.Predict(ctx, testInput(seed), seed, 0)
+			results <- err
+		}(uint64(i + 2))
+	}
+	<-entered
+	waitFor(t, func() bool { return s.QueueLen() == 2 })
+
+	expired, cancel := context.WithCancel(ctx)
+	cancel()
+	sum, err := s.Close(expired)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if sum.Served != 1 {
+		t.Fatalf("partial summary served %d, want 1", sum.Served)
+	}
+	if sum.Abandoned != 3 { // 1 in flight + 2 queued
+		t.Fatalf("partial summary abandoned %d, want 3", sum.Abandoned)
+	}
+	if sum.ECC.RowReads == 0 {
+		t.Fatal("partial summary lost the ECC tallies")
+	}
+
+	// Release the worker: the abandoned jobs still drain, and a full
+	// Close now reports a clean summary.
+	close(gate)
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("admitted request dropped: %v", err)
+		}
+	}
+	sum, err = s.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Served != 4 || sum.Abandoned != 0 {
+		t.Fatalf("final summary %+v", sum)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/accel"
+	"repro/internal/fault"
 	"repro/internal/nn"
 )
 
@@ -25,8 +26,8 @@ type Model struct {
 	InShape []int
 }
 
-// Server is the HTTP front end: POST /v1/predict, GET /healthz,
-// GET /metrics.
+// Server is the HTTP front end: POST /v1/predict, GET /healthz (liveness),
+// GET /readyz (readiness), GET /metrics.
 type Server struct {
 	sched   *Scheduler
 	metrics *Metrics
@@ -53,6 +54,7 @@ func NewServer(eng *accel.Engine, model Model, cfg Config) (*Server, error) {
 	s := &Server{sched: sched, metrics: newMetrics(), model: model, inLen: inLen, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.ready.Store(true)
 	return s, nil
@@ -69,8 +71,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Shutdown marks the server not-ready (health checks start failing, so load
 // balancers stop routing here), then drains the admission queue: every
-// admitted request is answered before the workers exit.
-func (s *Server) Shutdown(ctx context.Context) error {
+// admitted request is answered before the workers exit. The summary is
+// partial but still meaningful when ctx expires mid-drain.
+func (s *Server) Shutdown(ctx context.Context) (DrainSummary, error) {
 	s.ready.Store(false)
 	return s.sched.Close(ctx)
 }
@@ -98,6 +101,7 @@ type eccJSON struct {
 	Detected  uint64 `json:"detected"`
 	Retries   uint64 `json:"retries"`
 	Residual  uint64 `json:"residual"`
+	SoftMVMs  uint64 `json:"soft_mvms,omitempty"`
 }
 
 type resultJSON struct {
@@ -105,13 +109,22 @@ type resultJSON struct {
 	TopK  []int   `json:"top_k"`
 	Seed  uint64  `json:"seed"`
 	ECC   eccJSON `json:"ecc"`
+	// Recovery-ladder metadata: how many retries this answer consumed,
+	// which layers were re-programmed on its behalf, and which layers it
+	// was served from the software fallback (degraded accuracy).
+	LadderRetries int   `json:"ladder_retries,omitempty"`
+	Remapped      []int `json:"remapped_layers,omitempty"`
+	Degraded      []int `json:"degraded_layers,omitempty"`
 }
 
 type predictResponse struct {
-	Workload  string       `json:"workload"`
-	Scheme    string       `json:"scheme"`
-	Results   []resultJSON `json:"results"`
-	ElapsedMS float64      `json:"elapsed_ms"`
+	Workload string       `json:"workload"`
+	Scheme   string       `json:"scheme"`
+	Results  []resultJSON `json:"results"`
+	// Degraded warns that at least one answer came from the software
+	// fallback path at reduced fidelity.
+	Degraded  bool    `json:"degraded,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -159,14 +172,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var total accel.Stats
 	for i, p := range preds {
 		total.Merge(p.Stats)
+		if len(p.Degraded) > 0 {
+			resp.Degraded = true
+		}
 		resp.Results[i] = resultJSON{
 			Class: p.Class, TopK: p.TopK, Seed: p.Seed,
 			ECC: eccJSON{
 				RowReads: p.Stats.RowReads, RowErrors: p.Stats.RowErrors,
 				Clean: p.Stats.Clean, Corrected: p.Stats.Corrected,
 				Detected: p.Stats.Detected, Retries: p.Stats.Retries,
-				Residual: p.Stats.Residual,
+				Residual: p.Stats.Residual, SoftMVMs: p.Stats.SoftMVMs,
 			},
+			LadderRetries: p.LadderRetries,
+			Remapped:      p.Remapped,
+			Degraded:      p.Degraded,
 		}
 	}
 	elapsed := time.Since(start)
@@ -200,7 +219,7 @@ func classifyErr(err error) (status int, outcome string) {
 	}
 }
 
-// healthzResponse reports readiness and the mapped configuration.
+// healthzResponse reports liveness and the mapped configuration.
 type healthzResponse struct {
 	Status   string `json:"status"`
 	Workload string `json:"workload"`
@@ -228,7 +247,52 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// readyzResponse reports whether this instance should receive traffic,
+// and why not when it shouldn't.
+type readyzResponse struct {
+	Ready bool `json:"ready"`
+	// Draining is true once shutdown began.
+	Draining bool `json:"draining,omitempty"`
+	// QueueLen / QueueDepth expose admission backpressure; a wedged-full
+	// queue makes the instance not ready so load balancers route around
+	// it instead of collecting 429s.
+	QueueLen   int `json:"queue_len"`
+	QueueDepth int `json:"queue_depth"`
+	// BreakerOpen lists layers whose health breaker is currently open —
+	// the instance still answers (the ladder is working), but operators
+	// see the degradation cause here.
+	BreakerOpen []int `json:"breaker_open_layers,omitempty"`
+	// DegradedLayers lists layers served from the software fallback.
+	DegradedLayers []int `json:"degraded_layers,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := readyzResponse{
+		Draining:       !s.ready.Load(),
+		QueueLen:       s.sched.QueueLen(),
+		QueueDepth:     s.sched.QueueDepth(),
+		DegradedLayers: s.sched.Engine().DegradedLayers(),
+	}
+	for _, h := range s.sched.Health() {
+		if h.State == fault.BreakerOpen {
+			resp.BreakerOpen = append(resp.BreakerOpen, h.Layer)
+		}
+	}
+	resp.Ready = !resp.Draining && resp.QueueLen < resp.QueueDepth
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.sched.QueueLen(), s.sched.Workers())
+	s.metrics.WritePrometheus(w, GaugeView{
+		QueueDepth:     s.sched.QueueLen(),
+		Workers:        s.sched.Workers(),
+		Health:         s.sched.Health(),
+		DegradedLayers: s.sched.Engine().DegradedLayers(),
+		Recovery:       s.sched.RecoveryCounters(),
+	})
 }

@@ -140,7 +140,7 @@ func TestFloodReturns429(t *testing.T) {
 			t.Fatalf("admitted request: status %d", c)
 		}
 	}
-	if err := srv.Shutdown(context.Background()); err != nil {
+	if _, err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// The rejection must be visible on the metrics endpoint.
@@ -197,13 +197,88 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz payload: %+v", h)
 	}
 	// After shutdown the health check must fail so load balancers drain.
-	if err := srv.Shutdown(context.Background()); err != nil {
+	if _, err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	rec = httptest.NewRecorder()
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("healthz after shutdown: %d, want 503", rec.Code)
+	}
+}
+
+// TestReadyz: ready while serving, 503 with a draining flag once shutdown
+// begins, and a full admission queue also flips readiness off.
+func TestReadyz(t *testing.T) {
+	srv := testServer(t, 0, Config{Workers: 1, QueueDepth: 4})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz: %d", rec.Code)
+	}
+	var ready readyzResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready || ready.Draining || ready.QueueDepth != 4 {
+		t.Fatalf("readyz payload: %+v", ready)
+	}
+	if _, err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after shutdown: %d, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Ready || !ready.Draining {
+		t.Fatalf("readyz payload after shutdown: %+v", ready)
+	}
+}
+
+// TestReadyzWedgedQueue: an instance whose queue is full must advertise
+// not-ready so load balancers route around it.
+func TestReadyzWedgedQueue(t *testing.T) {
+	eng, net := testEngine(t, 0)
+	const depth = 2
+	entered := make(chan struct{}, 64)
+	gate := make(chan struct{})
+	cfg := Config{Workers: 1, QueueDepth: depth, QueueTimeout: time.Hour}
+	cfg.dequeueHook = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+	srv, err := NewServer(eng, Model{Name: net.Name, InShape: net.InShape}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make(chan int, depth+1)
+	for i := 0; i <= depth; i++ {
+		go func(seed uint64) {
+			rec := postPredict(t, srv, fmt.Sprintf(`{"image": %s}`, imageJSON(seed)))
+			codes <- rec.Code
+		}(uint64(i + 1))
+	}
+	<-entered
+	waitFor(t, func() bool { return srv.Scheduler().QueueLen() == depth })
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with wedged queue: %d, want 503", rec.Code)
+	}
+
+	close(gate)
+	for i := 0; i <= depth; i++ {
+		if c := <-codes; c != http.StatusOK {
+			t.Fatalf("admitted request: %d", c)
+		}
+	}
+	if _, err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }
 
