@@ -21,6 +21,13 @@
 //
 //	mnnserve -workload MLP1 -fault-steps 4 -fault-every 50 -fault-stuck 0.01
 //
+// -scrub arms the proactive side: a background patroller walks the mapped
+// arrays during idle scheduler slots, re-programs drifted rows with
+// write-verify pulses, and spares uncorrectable rows onto -spare-rows spare
+// lines, pre-empting breaker trips before the reactive ladder fires:
+//
+//	mnnserve -workload MLP1 -scrub -scrub-interval 500ms -spare-rows 4
+//
 // SIGINT/SIGTERM drain the admission queue before exiting.
 package main
 
@@ -75,6 +82,10 @@ func run(args []string) error {
 	faultLRS := fs.Float64("fault-lrs", 0.7, "campaign: fraction of stuck faults pinned at LRS")
 	faultDriftEvery := fs.Int("fault-drift-every", 2, "campaign: drift wave every N steps (0 disables)")
 	faultDriftRate := fs.Float64("fault-drift-rate", 0.002, "campaign: per-cell drift probability per wave")
+	scrubOn := fs.Bool("scrub", false, "enable the background patrol scrubber (repairs drift, spares worn rows)")
+	scrubInterval := fs.Duration("scrub-interval", time.Second, "idle-slot patrol tick interval")
+	spareRows := fs.Int("spare-rows", 0, "spare lines per array available for patrol sparing")
+	verifyIters := fs.Int("verify-iters", 5, "max write-verify pulses per programmed cell (0 = blind programming)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,6 +123,8 @@ func run(args []string) error {
 	acfg.Device.FailureRate = *stuck
 	acfg.Retries = *retries
 	acfg.Seed = *seed
+	acfg.SpareRows = *spareRows
+	acfg.VerifyIters = *verifyIters
 	fmt.Fprintf(os.Stderr, "mapping %s under %s at %d bits/cell...\n", w.Name, sch.Name, *bits)
 	eng, err := accel.Map(w.Net, acfg)
 	if err != nil {
@@ -129,6 +142,14 @@ func run(args []string) error {
 			Monitor:       fault.MonitorConfig{TripRate: *tripRate},
 			RetryAttempts: *retryAttempts,
 			MaxRemaps:     *maxRemaps,
+		}
+	}
+	if *scrubOn {
+		scfg.Scrub = serve.ScrubConfig{
+			Enabled:     true,
+			Interval:    *scrubInterval,
+			VerifyIters: *verifyIters,
+			Seed:        *seed,
 		}
 	}
 	srv, err := serve.NewServer(eng, serve.Model{Name: w.Name, InShape: w.Net.InShape}, scfg)

@@ -12,7 +12,10 @@
 //	mnnsim ablate  — design-choice ablations (DESIGN.md)
 //	mnnsim faults  — lifetime wear-out campaign: accuracy decay per scheme
 //	                 as stuck-at and drift faults accumulate (Section III)
-//	mnnsim all     — everything above except faults
+//	mnnsim scrub   — closed-loop lifetime study: the same campaign with and
+//	                 without patrol scrubbing, comparing how long each arm
+//	                 stays inside the software accuracy band
+//	mnnsim all     — everything above except faults and scrub
 //
 // Results print to stdout; CSVs land under -out when set.
 package main
@@ -53,12 +56,16 @@ func run(args []string) error {
 	faultLRS := fs.Float64("fault-lrs", 0.7, "faults: fraction of stuck faults pinned at LRS")
 	faultDriftEvery := fs.Int("fault-drift-every", 2, "faults: drift wave every N steps (0 disables)")
 	faultDriftRate := fs.Float64("fault-drift-rate", 0.002, "faults: per-cell drift probability per wave")
+	spareRows := fs.Int("spare-rows", 8, "scrub: spare lines per array available for sparing")
+	verifyIters := fs.Int("verify-iters", 5, "scrub: max write-verify pulses per programmed cell")
+	scrubSteps := fs.Int("scrub-steps", 6, "scrub: lifetime steps in the scrub-on/off comparison")
+	scrubSlack := fs.Float64("scrub-slack", 0.05, "scrub: allowed miss-rate excess over the software baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|faults|all)")
+		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|faults|scrub|all)")
 	}
 
 	opt := expt.DefaultSweepOptions()
@@ -91,19 +98,34 @@ func run(args []string) error {
 		DriftRate:    *faultDriftRate,
 	}
 
+	scrubOpt := scrubOptions{
+		SpareRows:   *spareRows,
+		VerifyIters: *verifyIters,
+		Steps:       *scrubSteps,
+		BandSlack:   *scrubSlack,
+	}
+
 	cmds := fs.Args()
 	if len(cmds) == 1 && cmds[0] == "all" {
 		cmds = []string{"fig7", "sec4", "table4", "fig10", "fig11", "fig12", "table3", "ablate"}
 	}
 	for _, cmd := range cmds {
-		if err := dispatch(cmd, opt, *outDir, life); err != nil {
+		if err := dispatch(cmd, opt, *outDir, life, scrubOpt); err != nil {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 	}
 	return nil
 }
 
-func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams) error {
+// scrubOptions carries the scrub-subcommand knobs through dispatch.
+type scrubOptions struct {
+	SpareRows   int
+	VerifyIters int
+	Steps       int
+	BandSlack   float64
+}
+
+func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams, scrubOpt scrubOptions) error {
 	switch cmd {
 	case "fig7":
 		res, err := expt.RunFig7(circuit.DefaultConfig())
@@ -228,6 +250,34 @@ func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.Lifet
 		expt.RenderFaults(os.Stdout, points)
 		return writeCSV(outDir, "faults.csv", func(f *os.File) error {
 			return expt.WriteFaultsCSV(f, points)
+		})
+	case "scrub":
+		workloads, err := expt.DigitWorkloads(opt.Train)
+		if err != nil {
+			return err
+		}
+		w := workloads[0]
+		dev := opt.Device
+		dev.BitsPerCell = 2
+		cfg := expt.ScrubSweepConfig{
+			Device:      dev,
+			Scheme:      accel.SchemeABN(9),
+			Retries:     opt.Retries,
+			Images:      opt.Images,
+			Seed:        opt.Seed,
+			Workers:     opt.Workers,
+			Lifetime:    expt.DefaultScrubLifetime(scrubOpt.Steps),
+			SpareRows:   scrubOpt.SpareRows,
+			VerifyIters: scrubOpt.VerifyIters,
+			BandSlack:   scrubOpt.BandSlack,
+		}
+		res, err := expt.RunScrubSweep(w, cfg, opt.Progress)
+		if err != nil {
+			return err
+		}
+		expt.RenderScrub(os.Stdout, res)
+		return writeCSV(outDir, "scrub.csv", func(f *os.File) error {
+			return expt.WriteScrubCSV(f, res)
 		})
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)

@@ -153,6 +153,33 @@ func (e *Engine) WithArrays(layer int, f func(arrays []*crossbar.Array)) error {
 	return nil
 }
 
+// WithScrubTargets calls f with the coded groups of one mapped layer while
+// holding the layer's write lock, so the patrol scrubber can probe rows,
+// re-program drifted cells, and spare worn rows without racing in-flight
+// reads (or a concurrent Remap, which takes the same lock).
+func (e *Engine) WithScrubTargets(layer int, f func(targets []ScrubTarget)) error {
+	sl, ok := e.slots[layer]
+	if !ok {
+		return fmt.Errorf("accel: layer %d is not mapped", layer)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	f(sl.m.ScrubTargets())
+	return nil
+}
+
+// VerifyStats aggregates the program-verify accounting of every layer's
+// current mapping (pulses, convergence histogram, giveups).
+func (e *Engine) VerifyStats() crossbar.VerifyTally {
+	var t crossbar.VerifyTally
+	for _, sl := range e.slots {
+		sl.mu.RLock()
+		t.Merge(sl.m.VerifyStats())
+		sl.mu.RUnlock()
+	}
+	return t
+}
+
 // Remap re-programs one layer's weight matrix onto spare crossbar arrays:
 // the mapping pipeline (quantization, fault characterization, A search,
 // table construction, programming) reruns against a fresh fault population

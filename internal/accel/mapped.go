@@ -18,6 +18,11 @@ import (
 // allocation (input bits of quantized activations are roughly balanced).
 const activeProb = 0.5
 
+// verifySeedSalt separates the program-verify RNG stream from the layer's
+// fault-injection stream: both derive from (cfg.Seed, layer seed), but the
+// verify loop must not consume draws the stuck/giant injection depends on.
+const verifySeedSalt = uint64(1) << 62
+
 // stuckInfo is one stuck cell's precomputed read-time effect.
 type stuckInfo struct {
 	word  int
@@ -69,6 +74,11 @@ type MappedMatrix struct {
 	inDim   int
 	scale   float64
 	chunks  []*chunk
+	// pulseFail is the per-level single-pulse verify-miss probability the
+	// closed-loop write path draws against.
+	pulseFail []float64
+	// verify accumulates the program-verify accounting of the mapping pass.
+	verify crossbar.VerifyTally
 	// PhysicalRows is the total word-line count across all groups, the
 	// quantity the hardware model charges for ADC/driver overhead.
 	PhysicalRows int
@@ -119,8 +129,13 @@ func MapMatrix(cfg Config, outDim, inDim int, weightAt func(r, c int) float64, s
 		}
 	}
 
-	m := &MappedMatrix{cfg: cfg, sampler: sampler, outDim: outDim, inDim: inDim, scale: q.Scale}
+	m := &MappedMatrix{cfg: cfg, sampler: sampler, outDim: outDim, inDim: inDim, scale: q.Scale,
+		pulseFail: sampler.PulseFailProbs()}
 	rng := stats.SubRNG(cfg.Seed, seed)
+	// The verify loop draws pulse misses from its own stream so enabling
+	// closed-loop programming does not perturb the fault-injection draws —
+	// recorded experiment seeds keep reproducing.
+	vrng := stats.SubRNG(cfg.Seed, seed^verifySeedSalt)
 	staticCache := map[int]*core.Code{}
 
 	for lo := 0; lo < inDim; lo += cfg.ArraySize {
@@ -132,7 +147,7 @@ func MapMatrix(cfg Config, outDim, inDim int, weightAt func(r, c int) float64, s
 			for r := gLo; r < gHi; r++ {
 				outRows = append(outRows, r)
 			}
-			g, err := m.buildGroup(biased, outRows, lo, hi, rng, staticCache)
+			g, err := m.buildGroup(biased, outRows, lo, hi, rng, vrng, staticCache)
 			if err != nil {
 				return nil, err
 			}
@@ -163,7 +178,7 @@ func groupDataBits(layout core.GroupLayout) int {
 }
 
 func (m *MappedMatrix) buildGroup(biased []uint64, outRows []int, colLo, colHi int,
-	rng *rand.Rand, staticCache map[int]*core.Code) (*group, error) {
+	rng, vrng *rand.Rand, staticCache map[int]*core.Code) (*group, error) {
 
 	cols := colHi - colLo
 	layout := m.layoutFor(len(outRows), cols)
@@ -233,13 +248,19 @@ func (m *MappedMatrix) buildGroup(biased []uint64, outRows []int, colLo, colHi i
 	if code != nil {
 		mult = code.M()
 	}
-	arr := crossbar.NewArray(nRows, cols, cell)
+	arr := crossbar.NewArrayWithSpares(nRows, cols, cell, m.cfg.SpareRows)
 	for j, w := range packed {
 		enc, ok := w.MulU64(mult)
 		if !ok {
 			return nil, fmt.Errorf("accel: encoding overflow in group")
 		}
-		if err := arr.ProgramColumn(j, enc); err != nil {
+		if m.cfg.VerifyIters > 0 {
+			tally, err := arr.ProgramColumnVerify(j, enc, m.cfg.VerifyIters, m.pulseFail, vrng)
+			if err != nil {
+				return nil, err
+			}
+			m.verify.Merge(tally)
+		} else if err := arr.ProgramColumn(j, enc); err != nil {
 			return nil, err
 		}
 	}
@@ -633,6 +654,38 @@ func (m *MappedMatrix) Arrays() []*crossbar.Array {
 		}
 	}
 	return out
+}
+
+// ScrubTarget is one coded group exposed to the patrol scrubber: the array
+// to probe and repair, the code whose correction capability decides when a
+// row must be spared, and the verify-miss probabilities the closed-loop
+// re-programming path draws against.
+type ScrubTarget struct {
+	Arr *crossbar.Array
+	// Code is nil for the NoECC baseline (the scrubber then spares on any
+	// uncorrectable deviation, since there is no ECU to lean on).
+	Code *core.Code
+	// PulseFail is the per-level single-pulse verify-miss probability.
+	PulseFail []float64
+}
+
+// ScrubTargets returns every coded group of this matrix in deterministic
+// (chunk, group) order. Callers must hold the owning layer's write lock
+// (Engine.WithScrubTargets) while probing or mutating the arrays.
+func (m *MappedMatrix) ScrubTargets() []ScrubTarget {
+	out := make([]ScrubTarget, 0, m.NumGroups())
+	for _, ch := range m.chunks {
+		for _, g := range ch.groups {
+			out = append(out, ScrubTarget{Arr: g.arr, Code: g.code, PulseFail: m.pulseFail})
+		}
+	}
+	return out
+}
+
+// VerifyStats returns the accumulated program-verify accounting of the
+// mapping pass (pulses, convergence histogram, giveups).
+func (m *MappedMatrix) VerifyStats() crossbar.VerifyTally {
+	return m.verify
 }
 
 // Codes returns the distinct code of every group, for inspection and the

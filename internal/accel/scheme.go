@@ -160,6 +160,18 @@ type Config struct {
 	// option: RTN is transient, so a re-read usually succeeds). Zero
 	// models the throughput-preserving revert-to-uncorrected policy.
 	Retries int
+	// VerifyIters bounds the closed-loop program-verify write path
+	// (Section II-C4): each cell is pulsed and read-verified up to this
+	// many times when weights are programmed (Map, Remap) and when the
+	// scrubber re-programs drifted rows. 0 falls back to blind
+	// single-pulse writes. The digital cell state is identical either way;
+	// verification adds the per-cell pulse/giveup accounting the scrubber
+	// and metrics consume.
+	VerifyIters int
+	// SpareRows is the number of spare word lines each crossbar array
+	// carries so the patrol scrubber can retire rows whose stuck-at
+	// population has become uncorrectable. 0 disables row sparing.
+	SpareRows int
 	// Seed drives stuck-at fault injection at mapping time.
 	Seed uint64
 }
@@ -168,13 +180,14 @@ type Config struct {
 // given scheme.
 func DefaultConfig(s Scheme) Config {
 	return Config{
-		Device:     noise.DefaultDeviceParams(),
-		ArraySize:  128,
-		WeightBits: 16,
-		InputBits:  8,
-		Scheme:     s,
-		Retries:    6,
-		Seed:       1,
+		Device:      noise.DefaultDeviceParams(),
+		ArraySize:   128,
+		WeightBits:  16,
+		InputBits:   8,
+		Scheme:      s,
+		Retries:     6,
+		VerifyIters: 5,
+		Seed:        1,
 	}
 }
 
@@ -200,6 +213,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("accel: input bits %d out of range [1,16]", c.InputBits)
 	case c.Retries < 0 || c.Retries > 16:
 		return fmt.Errorf("accel: retries %d out of range [0,8]", c.Retries)
+	case c.VerifyIters < 0 || c.VerifyIters > 64:
+		return fmt.Errorf("accel: verify iterations %d out of range [0,64]", c.VerifyIters)
+	case c.SpareRows < 0 || c.SpareRows > 256:
+		return fmt.Errorf("accel: spare rows %d out of range [0,256]", c.SpareRows)
 	}
 	// The widest coded group must fit a core.Word with input headroom.
 	layout := core.GroupLayout{

@@ -13,6 +13,7 @@ package crossbar
 import (
 	"fmt"
 	"math/bits"
+	"math/rand/v2"
 
 	"repro/internal/core"
 )
@@ -21,7 +22,8 @@ import (
 const DefaultSize = 128
 
 // Array is one physical crossbar: Rows word lines by Cols bit lines of
-// cells programmable to 2^BitsPerCell conductance levels.
+// cells programmable to 2^BitsPerCell conductance levels, plus an optional
+// bank of spare word lines the scrubber can retire worn rows onto.
 //
 // The array distinguishes the *programmed* level (what the write circuitry
 // targeted) from the *effective* level (the conductance a read actually
@@ -30,49 +32,84 @@ const DefaultSize = 128
 // the effective level away from the target until the cell is rewritten.
 // All read-path queries (masks, histograms, outputs) observe effective
 // levels.
+//
+// Rows is the logical row count. Internally the array holds Rows + spares
+// physical word lines; a row-remap table translates logical row addresses
+// to physical ones, so after SpareRow retires a worn word line every
+// read-path query (ActiveCounts, IdealRowOutput, Level, ...) transparently
+// lands on the replacement.
 type Array struct {
 	Rows, Cols, BitsPerCell int
 
 	words  int       // words per row mask
-	levels [][]uint8 // [row][col] programmed level
-	eff    [][]uint8 // [row][col] effective level a read observes
-	// stuck maps r*Cols+c to the pinned level of a stuck-at cell.
+	levels [][]uint8 // [phys][col] programmed level
+	eff    [][]uint8 // [phys][col] effective level a read observes
+	// stuck maps phys*Cols+c to the pinned level of a stuck-at cell.
 	stuck map[int]uint8
-	// masks[row][level][word]: bit c set iff cell (row, c) is effectively
+	// masks[phys][level][word]: bit c set iff cell (phys, c) is effectively
 	// at that level. Level 0 masks are omitted (they carry no signal).
 	masks [][][]uint64
-	// hist[row][level] is the effective level histogram used for worst-case
+	// hist[phys][level] is the effective level histogram used for worst-case
 	// susceptibility prediction.
 	hist [][]int
+	// rowMap[r] is the physical word line backing logical row r.
+	rowMap []int
+	// spareFree lists unused spare word lines in ascending order; SpareRow
+	// consumes from the front so repairs are deterministic.
+	spareFree []int
+	// spared counts rows retired onto spares over the array's lifetime.
+	spared int
+	// drifted is the incrementally-maintained count of healthy (non-stuck)
+	// cells whose effective level differs from the programmed target —
+	// DriftedCount would otherwise be an O(rows*cols) scan on the scrub and
+	// metrics path.
+	drifted int
 }
 
-// NewArray allocates a zeroed (all cells at level 0) array.
+// NewArray allocates a zeroed (all cells at level 0) array with no spares.
 func NewArray(rows, cols, bitsPerCell int) *Array {
+	return NewArrayWithSpares(rows, cols, bitsPerCell, 0)
+}
+
+// NewArrayWithSpares allocates a zeroed array carrying the given number of
+// spare word lines for row sparing.
+func NewArrayWithSpares(rows, cols, bitsPerCell, spares int) *Array {
 	if rows <= 0 || cols <= 0 {
 		panic(fmt.Sprintf("crossbar: invalid dimensions %dx%d", rows, cols))
 	}
 	if bitsPerCell < 1 || bitsPerCell > 8 {
 		panic(fmt.Sprintf("crossbar: bits per cell %d out of range [1,8]", bitsPerCell))
 	}
+	if spares < 0 {
+		panic(fmt.Sprintf("crossbar: negative spare count %d", spares))
+	}
 	k := 1 << bitsPerCell
 	words := (cols + 63) / 64
+	phys := rows + spares
 	a := &Array{
 		Rows: rows, Cols: cols, BitsPerCell: bitsPerCell,
 		words:  words,
-		levels: make([][]uint8, rows),
-		eff:    make([][]uint8, rows),
-		masks:  make([][][]uint64, rows),
-		hist:   make([][]int, rows),
+		levels: make([][]uint8, phys),
+		eff:    make([][]uint8, phys),
+		masks:  make([][][]uint64, phys),
+		hist:   make([][]int, phys),
+		rowMap: make([]int, rows),
+	}
+	for p := 0; p < phys; p++ {
+		a.levels[p] = make([]uint8, cols)
+		a.eff[p] = make([]uint8, cols)
+		a.masks[p] = make([][]uint64, k)
+		for l := 1; l < k; l++ {
+			a.masks[p][l] = make([]uint64, words)
+		}
+		a.hist[p] = make([]int, k)
+		a.hist[p][0] = cols
 	}
 	for r := 0; r < rows; r++ {
-		a.levels[r] = make([]uint8, cols)
-		a.eff[r] = make([]uint8, cols)
-		a.masks[r] = make([][]uint64, k)
-		for l := 1; l < k; l++ {
-			a.masks[r][l] = make([]uint64, words)
-		}
-		a.hist[r] = make([]int, k)
-		a.hist[r][0] = cols
+		a.rowMap[r] = r
+	}
+	for s := rows; s < phys; s++ {
+		a.spareFree = append(a.spareFree, s)
 	}
 	return a
 }
@@ -84,6 +121,25 @@ func (a *Array) NumLevels() int { return 1 << a.BitsPerCell }
 // array.
 func (a *Array) MaskWords() int { return a.words }
 
+// cellDrifted is cell (p, c)'s contribution to the drifted counter.
+func (a *Array) cellDrifted(p, c int) int {
+	if a.eff[p][c] == a.levels[p][c] {
+		return 0
+	}
+	if _, pinned := a.stuck[p*a.Cols+c]; pinned {
+		return 0
+	}
+	return 1
+}
+
+// adjustDrift runs one cell mutation and folds its before/after drift
+// contribution into the incremental counter.
+func (a *Array) adjustDrift(p, c int, mutate func()) {
+	before := a.cellDrifted(p, c)
+	mutate()
+	a.drifted += a.cellDrifted(p, c) - before
+}
+
 // Set programs cell (r, c) to the given level: the write circuitry drives
 // the cell to the target, so any accumulated drift is erased. A stuck cell
 // accepts the programmed target but its effective level stays pinned.
@@ -91,30 +147,37 @@ func (a *Array) Set(r, c int, level uint8) {
 	if int(level) >= a.NumLevels() {
 		panic(fmt.Sprintf("crossbar: level %d exceeds %d-bit cell", level, a.BitsPerCell))
 	}
-	a.levels[r][c] = level
-	if _, pinned := a.stuck[r*a.Cols+c]; pinned {
-		return
-	}
-	a.setEff(r, c, level)
+	a.setCellPhys(a.rowMap[r], c, level)
 }
 
-// setEff moves the effective level of cell (r, c), maintaining the read
-// masks and histograms.
-func (a *Array) setEff(r, c int, level uint8) {
-	old := a.eff[r][c]
+// setCellPhys records the programmed target and, unless the cell is pinned
+// by a stuck-at fault, moves the effective level to it.
+func (a *Array) setCellPhys(p, c int, level uint8) {
+	a.adjustDrift(p, c, func() {
+		a.levels[p][c] = level
+		if _, pinned := a.stuck[p*a.Cols+c]; !pinned {
+			a.setEff(p, c, level)
+		}
+	})
+}
+
+// setEff moves the effective level of physical cell (p, c), maintaining the
+// read masks and histograms. Callers account for the drifted counter.
+func (a *Array) setEff(p, c int, level uint8) {
+	old := a.eff[p][c]
 	if old == level {
 		return
 	}
 	w, b := c/64, uint(c%64)
 	if old != 0 {
-		a.masks[r][old][w] &^= 1 << b
+		a.masks[p][old][w] &^= 1 << b
 	}
 	if level != 0 {
-		a.masks[r][level][w] |= 1 << b
+		a.masks[p][level][w] |= 1 << b
 	}
-	a.eff[r][c] = level
-	a.hist[r][old]--
-	a.hist[r][level]++
+	a.eff[p][c] = level
+	a.hist[p][old]--
+	a.hist[p][level]++
 }
 
 // SetStuck pins cell (r, c) at the given effective level: a stuck-at fault.
@@ -128,28 +191,35 @@ func (a *Array) SetStuck(r, c int, level uint8) {
 	if a.stuck == nil {
 		a.stuck = make(map[int]uint8)
 	}
-	a.stuck[r*a.Cols+c] = level
-	a.setEff(r, c, level)
+	p := a.rowMap[r]
+	a.adjustDrift(p, c, func() {
+		a.stuck[p*a.Cols+c] = level
+		a.setEff(p, c, level)
+	})
 }
 
 // ClearStuck removes a stuck-at fault from cell (r, c); the effective level
 // returns to the programmed target (modeling a repaired or replaced cell).
 func (a *Array) ClearStuck(r, c int) {
-	if _, ok := a.stuck[r*a.Cols+c]; !ok {
+	p := a.rowMap[r]
+	if _, ok := a.stuck[p*a.Cols+c]; !ok {
 		return
 	}
-	delete(a.stuck, r*a.Cols+c)
-	a.setEff(r, c, a.levels[r][c])
+	a.adjustDrift(p, c, func() {
+		delete(a.stuck, p*a.Cols+c)
+		a.setEff(p, c, a.levels[p][c])
+	})
 }
 
 // Stuck reports the pinned level of cell (r, c), if it carries a stuck-at
 // fault.
 func (a *Array) Stuck(r, c int) (uint8, bool) {
-	lv, ok := a.stuck[r*a.Cols+c]
+	lv, ok := a.stuck[a.rowMap[r]*a.Cols+c]
 	return lv, ok
 }
 
-// StuckCount returns the number of stuck-at cells in the array.
+// StuckCount returns the number of stuck-at cells on live word lines
+// (retired rows are decommissioned and drop out of the count).
 func (a *Array) StuckCount() int { return len(a.stuck) }
 
 // DriftCell shifts the effective level of cell (r, c) by delta conductance
@@ -158,55 +228,61 @@ func (a *Array) StuckCount() int { return len(a.stuck) }
 // Stuck cells do not drift — the fault dominates. Reports whether the
 // effective level changed.
 func (a *Array) DriftCell(r, c, delta int) bool {
-	if _, pinned := a.stuck[r*a.Cols+c]; pinned {
+	p := a.rowMap[r]
+	if _, pinned := a.stuck[p*a.Cols+c]; pinned {
 		return false
 	}
-	lv := int(a.eff[r][c]) + delta
+	lv := int(a.eff[p][c]) + delta
 	if lv < 0 {
 		lv = 0
 	}
 	if lv >= a.NumLevels() {
 		lv = a.NumLevels() - 1
 	}
-	if uint8(lv) == a.eff[r][c] {
+	if uint8(lv) == a.eff[p][c] {
 		return false
 	}
-	a.setEff(r, c, uint8(lv))
+	a.adjustDrift(p, c, func() {
+		a.setEff(p, c, uint8(lv))
+	})
 	return true
 }
 
 // DriftedCount returns the number of healthy (non-stuck) cells whose
-// effective level has drifted away from the programmed target.
-func (a *Array) DriftedCount() int {
+// effective level has drifted away from the programmed target. The count is
+// maintained incrementally on every cell mutation, so polling it per scrub
+// cycle or metrics scrape is O(1).
+func (a *Array) DriftedCount() int { return a.drifted }
+
+// driftedSlow is the brute-force scan DriftedCount replaced; tests
+// cross-check the incremental counter against it.
+func (a *Array) driftedSlow() int {
 	n := 0
-	for r := 0; r < a.Rows; r++ {
+	for p := range a.levels {
 		for c := 0; c < a.Cols; c++ {
-			if a.eff[r][c] != a.levels[r][c] {
-				if _, pinned := a.stuck[r*a.Cols+c]; !pinned {
-					n++
-				}
-			}
+			n += a.cellDrifted(p, c)
 		}
 	}
 	return n
 }
 
 // Level returns the effective level of cell (r, c) — what a read observes.
-func (a *Array) Level(r, c int) uint8 { return a.eff[r][c] }
+func (a *Array) Level(r, c int) uint8 { return a.eff[a.rowMap[r]][c] }
 
 // Programmed returns the level the write circuitry last targeted for cell
 // (r, c), which differs from Level under stuck-at faults or drift.
-func (a *Array) Programmed(r, c int) uint8 { return a.levels[r][c] }
+func (a *Array) Programmed(r, c int) uint8 { return a.levels[a.rowMap[r]][c] }
 
 // Histogram returns the effective level histogram of row r (do not mutate).
-func (a *Array) Histogram(r int) []int { return a.hist[r] }
+func (a *Array) Histogram(r int) []int { return a.hist[a.rowMap[r]] }
 
 // ActiveCounts fills counts[level] with the number of row-r cells at each
 // level whose column is active in the input mask. counts must have
 // NumLevels entries; entry 0 is left zero (level-0 cells carry no signal
-// beyond the calibrated offset).
+// beyond the calibrated offset). Row addresses go through the row-remap
+// table, so spared rows read from their replacement word line.
 func (a *Array) ActiveCounts(r int, input []uint64, counts []int) {
-	row := a.masks[r]
+	row := a.masks[a.rowMap[r]]
 	for l := 1; l < len(row); l++ {
 		m := row[l]
 		n := 0
@@ -220,9 +296,10 @@ func (a *Array) ActiveCounts(r int, input []uint64, counts []int) {
 
 // IdealRowOutput returns the noise-free quantized ADC output of row r under
 // an input mask: the level-weighted active-cell count, which is exactly the
-// integer the shift-and-add tree expects.
+// integer the shift-and-add tree expects. Row addresses go through the
+// row-remap table.
 func (a *Array) IdealRowOutput(r int, input []uint64) int {
-	row := a.masks[r]
+	row := a.masks[a.rowMap[r]]
 	out := 0
 	for l := 1; l < len(row); l++ {
 		m := row[l]
@@ -231,6 +308,25 @@ func (a *Array) IdealRowOutput(r int, input []uint64) int {
 			n += bits.OnesCount64(m[w] & input[w])
 		}
 		out += l * n
+	}
+	return out
+}
+
+// ProgrammedRowOutput returns the ADC output row r would produce under an
+// input mask if every cell sat exactly at its programmed target — the
+// expected value a scrub test vector is checked against. The difference
+// IdealRowOutput - ProgrammedRowOutput is the row's deviation in steps
+// caused by stuck-at faults and drift.
+func (a *Array) ProgrammedRowOutput(r int, input []uint64) int {
+	row := a.levels[a.rowMap[r]]
+	out := 0
+	for c, lv := range row {
+		if lv == 0 {
+			continue
+		}
+		if input[c/64]>>uint(c%64)&1 == 1 {
+			out += int(lv)
+		}
 	}
 	return out
 }
@@ -248,6 +344,143 @@ func OutputFromCounts(counts []int) int {
 // at the top level.
 func (a *Array) MaxOutput() int { return (a.NumLevels() - 1) * a.Cols }
 
+// VerifyTally accumulates per-cell outcomes of closed-loop (write + read
+// verify) programming passes.
+type VerifyTally struct {
+	// Cells is how many cells went through the verify loop.
+	Cells uint64
+	// Pulses is the total number of write pulses issued.
+	Pulses uint64
+	// GaveUp counts cells that never read back their target within the
+	// iteration bound — the signature of an uncorrectable stuck cell.
+	GaveUp uint64
+	// Hist[i] counts cells that converged after exactly i+1 pulses.
+	Hist []uint64
+}
+
+// Note records one cell's verify outcome.
+func (t *VerifyTally) Note(pulses int, ok bool) {
+	t.Cells++
+	t.Pulses += uint64(pulses)
+	if !ok {
+		t.GaveUp++
+		return
+	}
+	for len(t.Hist) < pulses {
+		t.Hist = append(t.Hist, 0)
+	}
+	t.Hist[pulses-1]++
+}
+
+// Merge folds another tally into this one.
+func (t *VerifyTally) Merge(o VerifyTally) {
+	t.Cells += o.Cells
+	t.Pulses += o.Pulses
+	t.GaveUp += o.GaveUp
+	for len(t.Hist) < len(o.Hist) {
+		t.Hist = append(t.Hist, 0)
+	}
+	for i, n := range o.Hist {
+		t.Hist[i] += n
+	}
+}
+
+// ProgramVerify is the closed-loop write path: it records the programmed
+// target for cell (r, c) and then iteratively pulses and read-verifies the
+// cell against the target, up to maxIters pulses. A pulse always lands the
+// healthy cell at the target's discrete level (the programming error is
+// analog, a fraction of one conductance step), but the verify comparator
+// sees the analog conductance: pulseFail, if non-nil, gives the per-level
+// probability that one pulse misses the verify tolerance and must be
+// re-issued (derived from the iterative-programming noise model); rng draws
+// those misses. A cell pinned off-target by a stuck-at fault never
+// verifies and the loop gives up after maxIters. Returns the pulse count
+// and whether the cell verified at the target — success is only ever
+// reported with the effective level at the target.
+func (a *Array) ProgramVerify(r, c int, level uint8, maxIters int, pulseFail []float64, rng *rand.Rand) (int, bool) {
+	if int(level) >= a.NumLevels() {
+		panic(fmt.Sprintf("crossbar: level %d exceeds %d-bit cell", level, a.BitsPerCell))
+	}
+	return a.programVerifyPhys(a.rowMap[r], c, level, maxIters, pulseFail, rng)
+}
+
+func (a *Array) programVerifyPhys(p, c int, level uint8, maxIters int, pulseFail []float64, rng *rand.Rand) (int, bool) {
+	if maxIters < 1 {
+		maxIters = 1
+	}
+	for iter := 1; iter <= maxIters; iter++ {
+		// Pulse: even when the analog landing misses the verify tolerance
+		// the cell holds the target's discrete level, so the digital state
+		// after a verified program equals the blind-write state — the rng
+		// only decides how many pulses that took.
+		a.setCellPhys(p, c, level)
+		if a.eff[p][c] != level {
+			continue // pinned off-target: pulses cannot move it
+		}
+		if pulseFail != nil && rng != nil {
+			if pf := pulseFail[level]; pf > 0 && rng.Float64() < pf {
+				continue // analog landing outside tolerance: re-pulse
+			}
+		}
+		return iter, true
+	}
+	return maxIters, false
+}
+
+// ProgramColumnVerify writes the bit slices of an encoded word down column
+// col through the closed-loop verify path, one slice per logical row
+// starting at row 0, and returns the per-cell accounting.
+func (a *Array) ProgramColumnVerify(col int, w core.Word, maxIters int, pulseFail []float64, rng *rand.Rand) (VerifyTally, error) {
+	var tally VerifyTally
+	lv, err := SliceLevels(w, a.BitsPerCell, a.Rows)
+	if err != nil {
+		return tally, err
+	}
+	for r, l := range lv {
+		pulses, ok := a.ProgramVerify(r, col, l, maxIters, pulseFail, rng)
+		tally.Note(pulses, ok)
+	}
+	return tally, nil
+}
+
+// SpareRowsFree returns how many spare word lines remain available.
+func (a *Array) SpareRowsFree() int { return len(a.spareFree) }
+
+// SparedRows returns how many rows have been retired onto spares.
+func (a *Array) SparedRows() int { return a.spared }
+
+// SpareRow retires logical row r onto the next free spare word line: the
+// spare is programmed with r's targets through the verify path, the
+// row-remap table is repointed so all reads land on the replacement, and
+// the worn word line is decommissioned (its faults leave the live
+// population). Returns false, with a zero tally, when no spare is free.
+func (a *Array) SpareRow(r int, maxIters int, pulseFail []float64, rng *rand.Rand) (VerifyTally, bool) {
+	var tally VerifyTally
+	if len(a.spareFree) == 0 {
+		return tally, false
+	}
+	old := a.rowMap[r]
+	repl := a.spareFree[0]
+	a.spareFree = a.spareFree[1:]
+	targets := append([]uint8(nil), a.levels[old]...)
+	for c, lv := range targets {
+		pulses, ok := a.programVerifyPhys(repl, c, lv, maxIters, pulseFail, rng)
+		tally.Note(pulses, ok)
+	}
+	a.rowMap[r] = repl
+	a.spared++
+	// Decommission the worn word line: clear its cells and faults so the
+	// stuck/drift population counters track only live rows.
+	for c := 0; c < a.Cols; c++ {
+		a.adjustDrift(old, c, func() {
+			delete(a.stuck, old*a.Cols+c)
+			a.levels[old][c] = 0
+			a.setEff(old, c, 0)
+		})
+	}
+	return tally, true
+}
+
 // SliceLevels splits an encoded word into per-row cell levels, least
 // significant slice first (Figure 2). nRows must cover the word's bit
 // length.
@@ -263,7 +496,8 @@ func SliceLevels(w core.Word, bitsPerCell, nRows int) ([]uint8, error) {
 }
 
 // ProgramColumn writes the bit slices of an encoded word down column col,
-// one slice per physical row starting at row 0.
+// one slice per logical row starting at row 0, with blind (single-pulse,
+// unverified) writes.
 func (a *Array) ProgramColumn(col int, w core.Word) error {
 	lv, err := SliceLevels(w, a.BitsPerCell, a.Rows)
 	if err != nil {

@@ -1,0 +1,247 @@
+package crossbar
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestDriftedCountIncrementalMatchesScan cross-checks the incrementally
+// maintained drift counter against the brute-force scan it replaced, under a
+// randomized interleaving of every mutation the array supports.
+func TestDriftedCountIncrementalMatchesScan(t *testing.T) {
+	a := NewArrayWithSpares(12, 48, 2, 3)
+	rng := stats.SubRNG(41, 1)
+	pulseFail := []float64{0, 0.1, 0.2, 0.5}
+	for op := 0; op < 4000; op++ {
+		r := rng.IntN(a.Rows)
+		c := rng.IntN(a.Cols)
+		lv := uint8(rng.IntN(a.NumLevels()))
+		switch rng.IntN(6) {
+		case 0:
+			a.Set(r, c, lv)
+		case 1:
+			a.SetStuck(r, c, lv)
+		case 2:
+			a.ClearStuck(r, c)
+		case 3:
+			a.DriftCell(r, c, rng.IntN(5)-2)
+		case 4:
+			a.ProgramVerify(r, c, lv, 4, pulseFail, rng)
+		case 5:
+			if rng.IntN(100) == 0 { // rare: only 3 spares available
+				a.SpareRow(r, 4, pulseFail, rng)
+			}
+		}
+		if got, want := a.DriftedCount(), a.driftedSlow(); got != want {
+			t.Fatalf("op %d: incremental drifted count %d, scan says %d", op, got, want)
+		}
+	}
+	if a.DriftedCount() == 0 {
+		t.Fatal("mutation storm left no drifted cells; test exercised nothing")
+	}
+}
+
+// TestProgramVerifyHealthyCell: on a healthy cell the loop always lands the
+// target, and with no verify noise it converges in one pulse.
+func TestProgramVerifyHealthyCell(t *testing.T) {
+	a := NewArray(4, 8, 2)
+	pulses, ok := a.ProgramVerify(1, 3, 2, 5, nil, nil)
+	if !ok || pulses != 1 {
+		t.Fatalf("noise-free verify: pulses=%d ok=%v, want 1/true", pulses, ok)
+	}
+	if a.Level(1, 3) != 2 || a.Programmed(1, 3) != 2 {
+		t.Fatalf("cell not at target: eff %d prog %d", a.Level(1, 3), a.Programmed(1, 3))
+	}
+
+	// With verify noise the pulse count grows but success still implies the
+	// cell reads the target, and the digital state matches a blind write.
+	rng := stats.SubRNG(7, 7)
+	pulseFail := []float64{0, 0, 0, 0.9}
+	var tally VerifyTally
+	for c := 0; c < a.Cols; c++ {
+		p, ok := a.ProgramVerify(2, c, 3, 6, pulseFail, rng)
+		tally.Note(p, ok)
+		if a.Level(2, c) != 3 {
+			t.Fatalf("col %d: eff %d after verified program, want 3", c, a.Level(2, c))
+		}
+		if ok && p < 1 {
+			t.Fatalf("col %d: converged with %d pulses", c, p)
+		}
+	}
+	if tally.Pulses <= tally.Cells {
+		t.Fatalf("pulseFail 0.9 but %d pulses over %d cells — verify noise never re-pulsed", tally.Pulses, tally.Cells)
+	}
+}
+
+// TestProgramVerifyStuckCell: a cell pinned off-target burns the full pulse
+// budget and reports failure; pinned at-target it verifies immediately.
+func TestProgramVerifyStuckCell(t *testing.T) {
+	a := NewArray(4, 8, 2)
+	a.SetStuck(0, 0, 1)
+	pulses, ok := a.ProgramVerify(0, 0, 3, 5, nil, nil)
+	if ok || pulses != 5 {
+		t.Fatalf("stuck-off-target verify: pulses=%d ok=%v, want 5/false", pulses, ok)
+	}
+	if a.Level(0, 0) != 1 {
+		t.Fatalf("stuck cell moved to %d", a.Level(0, 0))
+	}
+	a.SetStuck(0, 1, 3)
+	pulses, ok = a.ProgramVerify(0, 1, 3, 5, nil, nil)
+	if !ok || pulses != 1 {
+		t.Fatalf("stuck-at-target verify: pulses=%d ok=%v, want 1/true", pulses, ok)
+	}
+}
+
+// TestVerifyTallyAccounting checks the histogram bookkeeping and Merge.
+func TestVerifyTallyAccounting(t *testing.T) {
+	var a, b VerifyTally
+	a.Note(1, true)
+	a.Note(3, true)
+	a.Note(5, false)
+	b.Note(2, true)
+	a.Merge(b)
+	if a.Cells != 4 || a.Pulses != 11 || a.GaveUp != 1 {
+		t.Fatalf("tally %+v", a)
+	}
+	want := []uint64{1, 1, 1}
+	if len(a.Hist) != 3 {
+		t.Fatalf("hist %v", a.Hist)
+	}
+	for i, n := range want {
+		if a.Hist[i] != n {
+			t.Fatalf("hist %v, want %v", a.Hist, want)
+		}
+	}
+}
+
+// TestSpareRowRetiresWornLine: sparing repoints reads to the replacement,
+// drops the worn line's faults from the live population, and consumes the
+// spare pool deterministically.
+func TestSpareRowRetiresWornLine(t *testing.T) {
+	a := NewArrayWithSpares(6, 16, 2, 2)
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			a.Set(r, c, uint8(1+(r+c)%3))
+		}
+	}
+	// Wreck row 2: stuck cells plus drift.
+	a.SetStuck(2, 0, 0)
+	a.SetStuck(2, 1, 3)
+	a.DriftCell(2, 5, 1)
+	preStuck, preDrift := a.StuckCount(), a.DriftedCount()
+	if preStuck != 2 || preDrift == 0 {
+		t.Fatalf("setup: stuck %d drifted %d", preStuck, preDrift)
+	}
+
+	tally, ok := a.SpareRow(2, 3, nil, nil)
+	if !ok {
+		t.Fatal("spare pool empty with 2 spares free")
+	}
+	if tally.Cells != uint64(a.Cols) || tally.GaveUp != 0 {
+		t.Fatalf("spare programming tally %+v", tally)
+	}
+	if a.SparedRows() != 1 || a.SpareRowsFree() != 1 {
+		t.Fatalf("spared %d free %d, want 1/1", a.SparedRows(), a.SpareRowsFree())
+	}
+	// The worn line's faults are decommissioned with it.
+	if a.StuckCount() != 0 || a.DriftedCount() != 0 {
+		t.Fatalf("after sparing: stuck %d drifted %d, want 0/0", a.StuckCount(), a.DriftedCount())
+	}
+	// Logical row 2 reads its original targets through the replacement.
+	input := make([]uint64, a.MaskWords())
+	input[0] = 0xFFFF
+	want := 0
+	for c := 0; c < a.Cols; c++ {
+		want += 1 + (2+c)%3
+	}
+	if got := a.IdealRowOutput(2, input); got != want {
+		t.Fatalf("spared row output %d, want %d", got, want)
+	}
+	if got := a.ProgrammedRowOutput(2, input); got != want {
+		t.Fatalf("spared row programmed output %d, want %d", got, want)
+	}
+	counts := make([]int, a.NumLevels())
+	a.ActiveCounts(2, input, counts)
+	if OutputFromCounts(counts) != want {
+		t.Fatalf("ActiveCounts disagrees after sparing: %v", counts)
+	}
+	// Writes to the logical row land on the replacement.
+	a.Set(2, 0, 3)
+	if a.Level(2, 0) != 3 {
+		t.Fatalf("write after sparing read back %d", a.Level(2, 0))
+	}
+
+	// Exhaust the pool: second sparing works, third reports failure.
+	if _, ok := a.SpareRow(4, 3, nil, nil); !ok {
+		t.Fatal("second spare refused with one free")
+	}
+	if _, ok := a.SpareRow(5, 3, nil, nil); ok {
+		t.Fatal("sparing succeeded with empty pool")
+	}
+	if a.SparedRows() != 2 || a.SpareRowsFree() != 0 {
+		t.Fatalf("final spared %d free %d, want 2/0", a.SparedRows(), a.SpareRowsFree())
+	}
+}
+
+// TestProgrammedRowOutputDeviation: the scrub probe signal is the difference
+// between effective and programmed row outputs.
+func TestProgrammedRowOutputDeviation(t *testing.T) {
+	a := NewArray(2, 8, 2)
+	for c := 0; c < 8; c++ {
+		a.Set(0, c, 2)
+	}
+	input := []uint64{0xFF}
+	if a.IdealRowOutput(0, input) != a.ProgrammedRowOutput(0, input) {
+		t.Fatal("healthy row shows deviation")
+	}
+	a.DriftCell(0, 3, -1)
+	a.SetStuck(0, 6, 3)
+	ideal, prog := a.IdealRowOutput(0, input), a.ProgrammedRowOutput(0, input)
+	if prog != 16 {
+		t.Fatalf("programmed output %d, want 16", prog)
+	}
+	if ideal-prog != -1+1 {
+		t.Fatalf("deviation %d, want 0 (drift -1, stuck +1)", ideal-prog)
+	}
+	// A masked-out column contributes nothing.
+	if got := a.ProgrammedRowOutput(0, []uint64{0xF7}); got != 14 {
+		t.Fatalf("masked programmed output %d, want 14", got)
+	}
+}
+
+// FuzzProgramVerify: verified programming must never report success while the
+// effective level differs from the target, and a healthy cell must always end
+// at the target regardless of verify noise or iteration budget.
+func FuzzProgramVerify(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(0), false, uint8(3), uint16(100))
+	f.Add(uint64(9), uint8(3), uint8(3), true, uint8(1), uint16(900))
+	f.Add(uint64(42), uint8(0), uint8(1), true, uint8(8), uint16(0))
+	f.Fuzz(func(t *testing.T, seed uint64, target, stuckLv uint8, stuck bool, maxIters uint8, failPerMille uint16) {
+		a := NewArray(2, 4, 2)
+		target %= uint8(a.NumLevels())
+		stuckLv %= uint8(a.NumLevels())
+		if stuck {
+			a.SetStuck(0, 0, stuckLv)
+		}
+		pf := float64(failPerMille%1000) / 1000
+		pulseFail := []float64{pf, pf, pf, pf}
+		rng := stats.SubRNG(seed, 0)
+		pulses, ok := a.ProgramVerify(0, 0, target, int(maxIters), pulseFail, rng)
+		if pulses < 1 {
+			t.Fatalf("pulse count %d", pulses)
+		}
+		if ok && a.Level(0, 0) != target {
+			t.Fatalf("verify reported success with eff %d != target %d", a.Level(0, 0), target)
+		}
+		if a.Programmed(0, 0) != target {
+			t.Fatalf("programmed target %d not recorded", a.Programmed(0, 0))
+		}
+		if !stuck && a.Level(0, 0) != target {
+			t.Fatalf("healthy cell left at %d, want %d", a.Level(0, 0), target)
+		}
+		if stuck && stuckLv != target && ok {
+			t.Fatalf("stuck-off-target cell verified")
+		}
+	})
+}

@@ -155,6 +155,30 @@ func (s *RowSampler) GiantMagnitude(level int) float64 {
 	return s.giantMag[level]
 }
 
+// PulseFailProbs returns, per cell level, the probability that a single
+// programming pulse lands outside the program-verify tolerance and must be
+// re-issued by the closed-loop write path. An open-loop pulse lands
+// uniformly within +/- ProgErrFrac of the target conductance; the verify
+// comparator accepts only landings within ProgVerifyLSB of one conductance
+// step, so the miss probability is 1 - tol/pe once the landing zone
+// outgrows the tolerance (high levels at fine step spacings). With
+// ProgVerifyLSB disabled the result is all zeros — every pulse verifies.
+func (s *RowSampler) PulseFailProbs() []float64 {
+	p := s.params
+	out := make([]float64, p.NumLevels())
+	if p.ProgVerifyLSB <= 0 {
+		return out
+	}
+	dg := p.DeltaG()
+	for k, g := range p.LevelConductances() {
+		pe := p.ProgErrFrac * g / dg
+		if pe > p.ProgVerifyLSB {
+			out[k] = 1 - p.ProgVerifyLSB/pe
+		}
+	}
+	return out
+}
+
 // StepProbs holds the per-read probabilities of small quantization errors:
 // P(+1), P(-1), P(>=+2), P(<=-2), indexed to match core.RowErr.StepProb.
 type StepProbs [4]float64

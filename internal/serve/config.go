@@ -34,6 +34,11 @@ type Config struct {
 	// retry → remap → degrade ladder into the pool. Disabled by default:
 	// with it off, a prediction stays a pure function of (engine, seed).
 	Recovery RecoveryConfig
+	// Scrub wires the proactive patrol scrubber into the pool — the
+	// counterpart to Recovery that repairs arrays during idle slots before
+	// errors can trip a breaker. Disabled by default for the same
+	// determinism reason.
+	Scrub ScrubConfig
 
 	// dequeueHook, when set, runs in the worker loop after each dequeue and
 	// before deadline checks (test instrumentation: lets tests hold a
@@ -69,6 +74,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative queue timeout %v", c.QueueTimeout)
 	case c.TopK < 0:
 		return fmt.Errorf("serve: negative top-k %d", c.TopK)
+	}
+	if err := c.Scrub.Validate(); err != nil {
+		return err
 	}
 	return c.Recovery.Validate()
 }

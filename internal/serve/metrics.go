@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/accel"
+	"repro/internal/crossbar"
 	"repro/internal/fault"
 )
 
@@ -83,6 +84,11 @@ type GaugeView struct {
 	Health         []fault.LayerHealth // nil when recovery is disabled
 	DegradedLayers []int
 	Recovery       RecoveryCounters
+	// Scrub is the patroller snapshot (nil when scrubbing is disabled).
+	Scrub *ScrubStatus
+	// Verify is the cumulative closed-loop programming accounting —
+	// mapping-time plus every scrub repair (nil when unavailable).
+	Verify *crossbar.VerifyTally
 }
 
 // WritePrometheus renders every metric.
@@ -174,6 +180,55 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeView) {
 	fmt.Fprintf(w, "# HELP mnn_degraded_layers Layers currently served from the software fallback.\n")
 	fmt.Fprintf(w, "# TYPE mnn_degraded_layers gauge\n")
 	fmt.Fprintf(w, "mnn_degraded_layers %d\n", len(g.DegradedLayers))
+
+	if g.Scrub != nil {
+		t := g.Scrub.Totals
+		fmt.Fprintf(w, "# HELP mnn_scrub_passes_total Completed patrol passes over individual layers.\n")
+		fmt.Fprintf(w, "# TYPE mnn_scrub_passes_total counter\n")
+		fmt.Fprintf(w, "mnn_scrub_passes_total %d\n", t.Passes)
+
+		fmt.Fprintf(w, "# HELP mnn_scrub_rows_total Word lines by patrol outcome.\n")
+		fmt.Fprintf(w, "# TYPE mnn_scrub_rows_total counter\n")
+		fmt.Fprintf(w, "mnn_scrub_rows_total{action=\"patrolled\"} %d\n", t.RowsPatrolled)
+		fmt.Fprintf(w, "mnn_scrub_rows_total{action=\"repaired\"} %d\n", t.RowsRepaired)
+		fmt.Fprintf(w, "mnn_scrub_rows_total{action=\"spared\"} %d\n", t.RowsSpared)
+		fmt.Fprintf(w, "mnn_scrub_rows_total{action=\"uncorrectable\"} %d\n", t.RowsUncorrectable)
+
+		fmt.Fprintf(w, "# HELP mnn_scrub_cells_reprogrammed_total Deviating cells rewritten by patrol repairs.\n")
+		fmt.Fprintf(w, "# TYPE mnn_scrub_cells_reprogrammed_total counter\n")
+		fmt.Fprintf(w, "mnn_scrub_cells_reprogrammed_total %d\n", t.CellsReprogrammed)
+
+		fmt.Fprintf(w, "# HELP mnn_scrub_layer_age_seconds Time since each layer's last completed patrol pass.\n")
+		fmt.Fprintf(w, "# TYPE mnn_scrub_layer_age_seconds gauge\n")
+		layers := make([]int, 0, len(g.Scrub.LayerAge))
+		for l := range g.Scrub.LayerAge {
+			layers = append(layers, l)
+		}
+		sort.Ints(layers)
+		for _, l := range layers {
+			fmt.Fprintf(w, "mnn_scrub_layer_age_seconds{layer=\"%d\"} %g\n", l, g.Scrub.LayerAge[l].Seconds())
+		}
+	}
+
+	if g.Verify != nil {
+		// Convergence histogram: bucket le=i counts cells that verified
+		// within i pulses; +Inf adds the cells that gave up; sum is total
+		// pulses issued.
+		fmt.Fprintf(w, "# HELP mnn_verify_pulses Write pulses per cell for closed-loop programming.\n")
+		fmt.Fprintf(w, "# TYPE mnn_verify_pulses histogram\n")
+		cum := uint64(0)
+		for i, n := range g.Verify.Hist {
+			cum += n
+			fmt.Fprintf(w, "mnn_verify_pulses_bucket{le=\"%d\"} %d\n", i+1, cum)
+		}
+		fmt.Fprintf(w, "mnn_verify_pulses_bucket{le=\"+Inf\"} %d\n", g.Verify.Cells)
+		fmt.Fprintf(w, "mnn_verify_pulses_sum %d\n", g.Verify.Pulses)
+		fmt.Fprintf(w, "mnn_verify_pulses_count %d\n", g.Verify.Cells)
+
+		fmt.Fprintf(w, "# HELP mnn_verify_giveups_total Cells that never verified within the pulse budget.\n")
+		fmt.Fprintf(w, "# TYPE mnn_verify_giveups_total counter\n")
+		fmt.Fprintf(w, "mnn_verify_giveups_total %d\n", g.Verify.GaveUp)
+	}
 }
 
 // formatFloat renders a bucket bound the way Prometheus expects (no

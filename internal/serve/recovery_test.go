@@ -18,6 +18,12 @@ import (
 // quietEngine maps a network with every stochastic noise source disabled,
 // so any ECU activity in these tests is attributable to injected faults.
 func quietEngine(t testing.TB) *accel.Engine {
+	return quietEngineWith(t, nil)
+}
+
+// quietEngineWith lets a test adjust the quiet config (e.g. spare rows)
+// before mapping.
+func quietEngineWith(t testing.TB, adjust func(*accel.Config)) *accel.Engine {
 	t.Helper()
 	rng := rand.New(rand.NewPCG(1, 2))
 	net := &nn.Network{Name: "tiny", InShape: []int{16},
@@ -29,6 +35,9 @@ func quietEngine(t testing.TB) *accel.Engine {
 	cfg.Device.SampleFreq = 0
 	cfg.Device.GiantProneProb = 0
 	cfg.Device.FailureRate = 0
+	if adjust != nil {
+		adjust(&cfg)
+	}
 	eng, err := accel.Map(net, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -90,6 +90,9 @@ type Scheduler struct {
 	rec   *recoveryState
 	escMu sync.Mutex // serializes ladder escalations across workers
 
+	// pat is the background patrol scrubber (nil when disabled).
+	pat *patroller
+
 	served   atomic.Uint64 // requests answered (success or error)
 	inflight atomic.Int64  // dequeued but not yet answered
 	ecc      accel.SharedStats
@@ -112,6 +115,9 @@ func NewScheduler(eng *accel.Engine, cfg Config) (*Scheduler, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(uint64(i))
+	}
+	if cfg.Scrub.Enabled {
+		s.pat = newPatroller(s, cfg.Scrub)
 	}
 	return s, nil
 }
@@ -309,6 +315,12 @@ type DrainSummary struct {
 // returns ctx's error together with a partial summary counting the
 // requests left behind, so operators still see what the pool did.
 func (s *Scheduler) Close(ctx context.Context) (DrainSummary, error) {
+	// Halt the patroller first: a patrol pass holds a layer write lock, and
+	// draining workers must not compete with background repairs on the way
+	// out.
+	if s.pat != nil {
+		s.pat.halt()
+	}
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true

@@ -318,7 +318,8 @@ func TestEvaluatePanicIsContained(t *testing.T) {
 // goroutine visibility, never to assert timing).
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	// Generous under -race with parallel package runs on small CI boxes.
+	deadline := time.Now().Add(15 * time.Second)
 	for !cond() {
 		if time.Now().After(deadline) {
 			t.Fatal("condition not reached")

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/scrub"
+)
+
+// ScrubConfig wires the patrol scrubber into the pool: a background
+// goroutine that, during idle scheduler slots, walks one mapped layer per
+// tick in deterministic rotation, heals drifted cells through the verify
+// write path, and spares uncorrectable rows — so errors are removed before
+// they can trip the reactive ladder's breakers.
+type ScrubConfig struct {
+	// Enabled starts the patroller. Off by default: with it off, the
+	// engine's arrays are never touched outside requests and predictions
+	// stay a pure function of (engine, seed).
+	Enabled bool
+	// Interval is the pause between patrol attempts (0 = 1s). A tick with
+	// requests queued or in flight is skipped — patrol only steals idle
+	// slots.
+	Interval time.Duration
+	// MaxStaleness is the patrol-cycle age past which /readyz flags the
+	// scrub as stale (0 = 100x Interval). Staleness is informational: a
+	// busy pool that never idles simply isn't scrubbing, and the reactive
+	// ladder is still armed.
+	MaxStaleness time.Duration
+	// VerifyIters bounds closed-loop re-programming per repaired cell
+	// (0 = the engine's configured VerifyIters, falling back to 5).
+	VerifyIters int
+	// Seed drives the verify-comparator draws of repair programming
+	// (0 = the engine seed).
+	Seed uint64
+}
+
+// withDefaults resolves the zero values.
+func (c ScrubConfig) withDefaults() ScrubConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.MaxStaleness <= 0 {
+		c.MaxStaleness = 100 * c.Interval
+	}
+	return c
+}
+
+// Validate rejects nonsensical parameters.
+func (c ScrubConfig) Validate() error {
+	switch {
+	case c.Interval < 0:
+		return fmt.Errorf("serve: negative scrub interval %v", c.Interval)
+	case c.MaxStaleness < 0:
+		return fmt.Errorf("serve: negative scrub staleness bound %v", c.MaxStaleness)
+	case c.VerifyIters < 0 || c.VerifyIters > 64:
+		return fmt.Errorf("serve: scrub verify iterations %d out of range [0,64]", c.VerifyIters)
+	}
+	return nil
+}
+
+// ScrubStatus is a point-in-time snapshot of the patroller for metrics and
+// readiness reporting.
+type ScrubStatus struct {
+	// Totals is the lifetime repair accounting.
+	Totals scrub.Totals
+	// LayerAge maps each mapped layer to the time since its last completed
+	// patrol pass (since patroller start for layers not yet reached).
+	LayerAge map[int]time.Duration
+	// OldestAge is the maximum of LayerAge — the patrol-cycle age.
+	OldestAge time.Duration
+	// Stale reports OldestAge exceeding the configured bound.
+	Stale bool
+}
+
+// patroller drives a scrub.Scrubber from a single background goroutine.
+// The scrubber itself is not concurrency-safe; all patrol calls happen
+// here, and array access is serialized against live traffic and remaps by
+// the engine's per-layer write lock.
+type patroller struct {
+	sched    *Scheduler
+	sc       *scrub.Scrubber
+	interval time.Duration
+	maxStale time.Duration
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu       sync.Mutex
+	totals   scrub.Totals
+	lastPass map[int]time.Time
+	started  time.Time
+}
+
+// newPatroller builds and starts the patrol goroutine.
+func newPatroller(sched *Scheduler, cfg ScrubConfig) *patroller {
+	cfg = cfg.withDefaults()
+	iters := cfg.VerifyIters
+	if iters <= 0 {
+		iters = sched.eng.Config().VerifyIters
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = sched.eng.Config().Seed
+	}
+	p := &patroller{
+		sched:    sched,
+		sc:       scrub.New(sched.eng, scrub.Config{VerifyIters: iters, Seed: seed}),
+		interval: cfg.Interval,
+		maxStale: cfg.MaxStaleness,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		lastPass: make(map[int]time.Time),
+		started:  time.Now(),
+	}
+	go p.run()
+	return p
+}
+
+// run is the patrol loop: tick, patrol one layer if the pool is idle.
+func (p *patroller) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			if !p.idle() {
+				continue
+			}
+			p.patrolOnce()
+		}
+	}
+}
+
+// idle reports whether the pool has no queued or in-flight work — the only
+// slots patrol is allowed to steal.
+func (p *patroller) idle() bool {
+	return p.sched.inflight.Load() == 0 && p.sched.QueueLen() == 0
+}
+
+// patrolOnce runs one layer's patrol pass and publishes its outcome.
+func (p *patroller) patrolOnce() {
+	rep, err := p.sc.Next()
+	if err != nil {
+		return
+	}
+	// A pass that repaired or spared anything removed the error sources the
+	// health monitor was accumulating evidence against; reset the layer's
+	// breaker window so the scrub finding pre-empts a (now moot) trip.
+	if p.sched.rec != nil && rep.CellsReprogrammed+rep.RowsSpared > 0 {
+		p.sched.rec.mon.Reset(rep.Layer)
+	}
+	p.mu.Lock()
+	p.totals = p.sc.Totals()
+	p.lastPass[rep.Layer] = time.Now()
+	p.mu.Unlock()
+}
+
+// status snapshots the patroller.
+func (p *patroller) status() ScrubStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := ScrubStatus{
+		Totals:   p.totals,
+		LayerAge: make(map[int]time.Duration),
+	}
+	now := time.Now()
+	for _, layer := range p.sc.Layers() {
+		last, ok := p.lastPass[layer]
+		if !ok {
+			last = p.started
+		}
+		age := now.Sub(last)
+		st.LayerAge[layer] = age
+		if age > st.OldestAge {
+			st.OldestAge = age
+		}
+	}
+	st.Stale = st.OldestAge > p.maxStale
+	return st
+}
+
+// halt stops the patrol loop and waits for it to exit. Idempotent.
+func (p *patroller) halt() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+// ScrubStatus snapshots the patroller; ok is false when scrubbing is
+// disabled.
+func (s *Scheduler) ScrubStatus() (ScrubStatus, bool) {
+	if s.pat == nil {
+		return ScrubStatus{}, false
+	}
+	return s.pat.status(), true
+}

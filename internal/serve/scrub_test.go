@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/crossbar"
+	"repro/internal/fault"
+)
+
+// scrubTestConfig is a fast patrol setup for tests: millisecond ticks so
+// idle slots come quickly.
+func scrubTestConfig() ScrubConfig {
+	return ScrubConfig{Enabled: true, Interval: time.Millisecond}
+}
+
+// driftEngineLayer drifts a sample of a layer's cells and returns how many
+// moved.
+func driftEngineLayer(t *testing.T, eng *accel.Engine, layer int) int {
+	t.Helper()
+	n := 0
+	err := eng.WithArrays(layer, func(arrays []*crossbar.Array) {
+		for _, a := range arrays {
+			for r := 0; r < a.Rows; r += 2 {
+				for c := 0; c < a.Cols; c += 3 {
+					if a.DriftCell(r, c, 1) {
+						n++
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// engineDrifted sums DriftedCount across a layer's arrays.
+func engineDrifted(t *testing.T, eng *accel.Engine, layer int) int {
+	t.Helper()
+	n := 0
+	if err := eng.WithArrays(layer, func(arrays []*crossbar.Array) {
+		for _, a := range arrays {
+			n += a.DriftedCount()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestPatrollerHealsDriftDuringIdleSlots: drift injected into an idle pool
+// is repaired by the background patroller without any request traffic.
+func TestPatrollerHealsDriftDuringIdleSlots(t *testing.T) {
+	eng := quietEngine(t)
+	s, err := NewScheduler(eng, Config{Workers: 1, Scrub: scrubTestConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	if n := driftEngineLayer(t, eng, 0); n == 0 {
+		t.Fatal("drift injection moved nothing")
+	}
+	waitFor(t, func() bool {
+		return engineDrifted(t, eng, 0) == 0
+	})
+	st, ok := s.ScrubStatus()
+	if !ok {
+		t.Fatal("scrub status unavailable with scrubbing enabled")
+	}
+	if st.Totals.CellsReprogrammed == 0 || st.Totals.RowsRepaired == 0 {
+		t.Fatalf("repairs not accounted: %+v", st.Totals)
+	}
+	if st.Totals.RowsSpared != 0 {
+		t.Fatalf("drift-only patrol spared rows: %+v", st.Totals)
+	}
+}
+
+// TestPatrollerDisabledLeavesArraysAlone: with scrub off, injected drift
+// persists and ScrubStatus reports unavailable — the determinism contract.
+func TestPatrollerDisabledLeavesArraysAlone(t *testing.T) {
+	eng := quietEngine(t)
+	s, err := NewScheduler(eng, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	if _, ok := s.ScrubStatus(); ok {
+		t.Fatal("scrub status available with scrubbing disabled")
+	}
+	n := driftEngineLayer(t, eng, 0)
+	time.Sleep(20 * time.Millisecond)
+	if got := engineDrifted(t, eng, 0); got != n {
+		t.Fatalf("drift changed with scrub disabled: %d -> %d", n, got)
+	}
+}
+
+// TestPatrolResetsBreakerAfterRepair: a breaker opened by errors the patrol
+// subsequently repairs is closed by the scrub finding — the proactive loop
+// pre-empts the reactive ladder.
+func TestPatrolResetsBreakerAfterRepair(t *testing.T) {
+	eng := quietEngine(t)
+	cfg := Config{Workers: 1, Recovery: recoveryConfig(1), Scrub: scrubTestConfig()}
+	s, err := NewScheduler(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	driftEngineLayer(t, eng, 0)
+	// Trip layer 0's breaker with fake detected-heavy traffic, as a burst
+	// of drift-corrupted reads would.
+	s.Monitor().Observe(map[int]accel.Stats{0: {Clean: 10, Detected: 10}})
+	if s.Monitor().State(0) != fault.BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	waitFor(t, func() bool {
+		return s.Monitor().State(0) == fault.BreakerClosed && engineDrifted(t, eng, 0) == 0
+	})
+}
+
+// TestChaosWithScrubberZeroServerErrors extends the chaos drill: the
+// patroller runs alongside a live fault campaign and live HTTP traffic.
+// Every admitted request is answered 200, and the scrubber's repairs and
+// sparings are visible in the Prometheus scrape. Run under -race, this is
+// also the locking proof for patrol vs. traffic vs. campaign injection.
+func TestChaosWithScrubberZeroServerErrors(t *testing.T) {
+	eng := quietEngineSpares(t, 4)
+	cfg := Config{Workers: 2, QueueDepth: 32, Recovery: recoveryConfig(1), Scrub: scrubTestConfig()}
+	srv, err := NewServer(eng, Model{Name: "tiny", InShape: []int{16}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	// A drift-heavy campaign the scrubber can actually heal, plus stuck-at
+	// damage that forces sparing decisions.
+	camp := fault.Campaign{Seed: 42, Events: []fault.Event{
+		{Step: 1, Layer: 0, Kind: fault.Drift, Rate: 0.4, Drift: 1},
+		{Step: 2, Layer: 2, Kind: fault.Drift, Rate: 0.4, Drift: -1},
+		{Step: 3, Layer: 0, Kind: fault.StuckLRS, Rate: 0.05},
+	}}
+	runner, err := fault.NewRunner(camp, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	codes := make(chan int, 1024)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for seed := uint64(g*1000 + 1); ; seed++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf(`{"image": %s, "seed": %d}`, imageJSON(seed), seed)
+				rec := postPredict(t, srv, body)
+				codes <- rec.Code
+				time.Sleep(time.Millisecond)
+			}
+		}(g)
+	}
+	for step := 1; step <= 3; step++ {
+		if _, err := runner.Advance(step); err != nil {
+			t.Fatal(err)
+		}
+		// Let traffic and idle patrol slots interleave with the damage.
+		time.Sleep(30 * time.Millisecond)
+	}
+	// Give the patroller idle room to finish healing, then stop traffic.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(codes)
+	served := 0
+	for c := range codes {
+		served++
+		if c >= 500 {
+			t.Fatalf("server error %d during chaos+scrub", c)
+		}
+		if c != http.StatusOK && c != http.StatusTooManyRequests {
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if served == 0 {
+		t.Fatal("no traffic served")
+	}
+
+	waitFor(t, func() bool {
+		st, _ := srv.Scheduler().ScrubStatus()
+		return st.Totals.CellsReprogrammed > 0
+	})
+	if got := scrapeMetric(t, srv, `mnn_scrub_cells_reprogrammed_total`); got == 0 {
+		t.Fatal("scrub repairs missing from metrics")
+	}
+	if got := scrapeMetric(t, srv, `mnn_scrub_passes_total`); got == 0 {
+		t.Fatal("scrub passes missing from metrics")
+	}
+	if got := scrapeMetric(t, srv, `mnn_scrub_rows_total{action="patrolled"}`); got == 0 {
+		t.Fatal("patrolled rows missing from metrics")
+	}
+	// Readiness reports the scrub-staleness fields while serving.
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var ready readyzResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.ScrubStale {
+		t.Fatalf("millisecond patrol reported stale: %+v", ready)
+	}
+}
+
+// quietEngineSpares is quietEngine with spare rows for sparing decisions.
+func quietEngineSpares(t testing.TB, spares int) *accel.Engine {
+	t.Helper()
+	eng := quietEngineWith(t, func(cfg *accel.Config) { cfg.SpareRows = spares })
+	return eng
+}

@@ -264,6 +264,14 @@ type readyzResponse struct {
 	BreakerOpen []int `json:"breaker_open_layers,omitempty"`
 	// DegradedLayers lists layers served from the software fallback.
 	DegradedLayers []int `json:"degraded_layers,omitempty"`
+	// ScrubOldestAgeSec is the patrol-cycle age: seconds since the
+	// least-recently patrolled layer's last pass (omitted when scrubbing is
+	// disabled).
+	ScrubOldestAgeSec float64 `json:"scrub_oldest_age_sec,omitempty"`
+	// ScrubStale flags a patrol-cycle age past the configured bound —
+	// informational: the instance still serves (the reactive ladder is
+	// armed), but operators see the proactive loop has fallen behind.
+	ScrubStale bool `json:"scrub_stale,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -278,6 +286,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			resp.BreakerOpen = append(resp.BreakerOpen, h.Layer)
 		}
 	}
+	if st, ok := s.sched.ScrubStatus(); ok {
+		resp.ScrubOldestAgeSec = st.OldestAge.Seconds()
+		resp.ScrubStale = st.Stale
+	}
 	resp.Ready = !resp.Draining && resp.QueueLen < resp.QueueDepth
 	w.Header().Set("Content-Type", "application/json")
 	if !resp.Ready {
@@ -288,11 +300,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, GaugeView{
+	g := GaugeView{
 		QueueDepth:     s.sched.QueueLen(),
 		Workers:        s.sched.Workers(),
 		Health:         s.sched.Health(),
 		DegradedLayers: s.sched.Engine().DegradedLayers(),
 		Recovery:       s.sched.RecoveryCounters(),
-	})
+	}
+	verify := s.sched.Engine().VerifyStats()
+	if st, ok := s.sched.ScrubStatus(); ok {
+		g.Scrub = &st
+		verify.Merge(st.Totals.Verify)
+	}
+	if verify.Cells > 0 {
+		g.Verify = &verify
+	}
+	s.metrics.WritePrometheus(w, g)
 }
