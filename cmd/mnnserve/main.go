@@ -12,6 +12,7 @@
 //	GET  /healthz     — liveness + mapped configuration
 //	GET  /readyz      — readiness: drain state, queue headroom, breakers
 //	GET  /metrics     — Prometheus text format
+//	GET  /debug/pprof — live profiling, only with -pprof
 //
 // Recovery (on by default, -recovery=false for pure replayable serving)
 // watches per-layer ECU outcomes and climbs retry → remap → degrade when a
@@ -86,6 +87,7 @@ func run(args []string) error {
 	scrubInterval := fs.Duration("scrub-interval", time.Second, "idle-slot patrol tick interval")
 	spareRows := fs.Int("spare-rows", 0, "spare lines per array available for patrol sparing")
 	verifyIters := fs.Int("verify-iters", 5, "max write-verify pulses per programmed cell (0 = blind programming)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,6 +137,7 @@ func run(args []string) error {
 
 	scfg := serve.Config{
 		Workers: *workers, QueueDepth: *queue, QueueTimeout: *queueTimeout, TopK: *topK,
+		Pprof: *pprofOn,
 	}
 	if *recovery {
 		scfg.Recovery = serve.RecoveryConfig{

@@ -71,8 +71,8 @@ func meanError(W []float64, sch mnn.Scheme, rate float64) float64 {
 	}
 	srng := stats.NewRNG(3)
 	xr := rand.New(rand.NewPCG(7, 7))
-	counts := make([]int, cfg.Device.NumLevels())
-	refCounts := make([]int, quiet.Device.NumLevels())
+	scr := mnn.NewScratch()
+	refScr := mnn.NewScratch()
 	var st, refSt mnn.AccelStats
 	total, n := 0.0, 0
 	for trial := 0; trial < 40; trial++ {
@@ -80,8 +80,8 @@ func meanError(W []float64, sch mnn.Scheme, rate float64) float64 {
 		for i := range x {
 			x[i] = xr.Float64()
 		}
-		y := m.MVM(x, srng, counts, &st)
-		want := ref.MVM(x, stats.NewRNG(0), refCounts, &refSt)
+		y := m.MVM(x, srng, scr, &st)
+		want := ref.MVM(x, stats.NewRNG(0), refScr, &refSt)
 		for r := range y {
 			d := y[r] - want[r]
 			if d < 0 {

@@ -1,0 +1,180 @@
+// Golden determinism test: the noisy-MVM hot path is only allowed to change
+// if fixed-seed predictions, logit bit patterns, and per-scheme ECU stat
+// digests stay byte-identical. Any refactor that perturbs the RNG draw order
+// (an extra draw, a reordered loop, a float reassociation) fails here loudly
+// instead of silently shifting every Monte-Carlo result in the repo.
+//
+// Regenerate (only for an intentional, documented model change) with:
+//
+//	go test -run TestGoldenDeterminism -update-golden
+package mnn
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/nn"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden determinism testdata")
+
+const goldenPath = "testdata/golden_determinism.json"
+
+// goldenImage is one fixed-seed inference outcome.
+type goldenImage struct {
+	// Seed is the session noise stream the image was evaluated under.
+	Seed uint64 `json:"seed"`
+	// Pred is the argmax class.
+	Pred int `json:"pred"`
+	// LogitsHash is the FNV-64a digest of the raw logit float64 bit
+	// patterns — bit-for-bit output identity, not just argmax identity.
+	LogitsHash string `json:"logits_hash"`
+}
+
+// goldenScheme is the digest of one protection scheme's evaluation.
+type goldenScheme struct {
+	Scheme string        `json:"scheme"`
+	Images []goldenImage `json:"images"`
+	// Stats is the cumulative ECU accounting across all images.
+	Stats accel.Stats `json:"stats"`
+}
+
+type goldenFile struct {
+	// Note documents what the file pins.
+	Note    string         `json:"note"`
+	Schemes []goldenScheme `json:"schemes"`
+}
+
+// goldenWorkload builds the deterministic trained model and test set the
+// golden digests are pinned to (same shape as the benchmark workload, but
+// independent of testing.B plumbing).
+func goldenWorkload() (*nn.Network, []*nn.Tensor) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	net := &nn.Network{Name: "golden", InShape: []int{16},
+		Layers: []nn.Layer{nn.NewDense(16, 12, rng), &nn.ReLU{}, nn.NewDense(12, 4, rng)}}
+	var train []nn.Example
+	var test []*nn.Tensor
+	for i := 0; i < 160; i++ {
+		x := make([]float64, 16)
+		label := i % 4
+		for j := range x {
+			x[j] = rng.Float64() * 0.3
+		}
+		x[label*4] += 0.8
+		if i < 120 {
+			train = append(train, nn.Example{Input: nn.FromSlice(x, 16), Label: label})
+		} else {
+			test = append(test, nn.FromSlice(x, 16))
+		}
+	}
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 8
+	nn.Train(net, train, cfg)
+	return net, test
+}
+
+// goldenConfig is the accelerator configuration the digests are pinned to:
+// nonzero stuck-at and giant-prone populations plus spares and retries, so
+// the fault-scan, retry, and verify code paths all consume draws.
+func goldenConfig(s accel.Scheme) accel.Config {
+	cfg := accel.DefaultConfig(s)
+	cfg.Device.BitsPerCell = 2
+	cfg.Device.FailureRate = 0.003
+	cfg.Device.GiantProneProb = 0.003
+	cfg.SpareRows = 2
+	return cfg
+}
+
+func hashLogits(t *nn.Tensor) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range t.Data {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// computeGolden evaluates every scheme's digest with the current code.
+func computeGolden(t *testing.T) goldenFile {
+	t.Helper()
+	net, test := goldenWorkload()
+	out := goldenFile{
+		Note: "fixed-seed predictions + ECU stat digests; regenerate only for intentional model changes (-update-golden)",
+	}
+	for _, sch := range []accel.Scheme{accel.SchemeNoECC(), accel.SchemeStatic128(), accel.SchemeABN(9)} {
+		eng, err := accel.Map(net, goldenConfig(sch))
+		if err != nil {
+			t.Fatalf("mapping %s: %v", sch.Name, err)
+		}
+		sess := eng.NewSession(7)
+		gs := goldenScheme{Scheme: sch.Name}
+		for i, x := range test[:16] {
+			seed := uint64(100 + i)
+			sess.Reseed(seed)
+			logits := sess.Forward(x)
+			gs.Images = append(gs.Images, goldenImage{
+				Seed: seed, Pred: logits.ArgMax(), LogitsHash: hashLogits(logits),
+			})
+		}
+		gs.Stats = sess.DrainStats()
+		out.Schemes = append(out.Schemes, gs)
+	}
+	return out
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	got := computeGolden(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden testdata rewritten: %s", goldenPath)
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden testdata (run with -update-golden to create): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("decoding %s: %v", goldenPath, err)
+	}
+	if len(got.Schemes) != len(want.Schemes) {
+		t.Fatalf("scheme count %d, golden has %d", len(got.Schemes), len(want.Schemes))
+	}
+	for i, gs := range got.Schemes {
+		ws := want.Schemes[i]
+		if gs.Scheme != ws.Scheme {
+			t.Fatalf("scheme %d is %s, golden has %s", i, gs.Scheme, ws.Scheme)
+		}
+		if gs.Stats != ws.Stats {
+			t.Errorf("%s: ECU stats diverged from golden:\n got %+v\nwant %+v", gs.Scheme, gs.Stats, ws.Stats)
+		}
+		for j, im := range gs.Images {
+			if !reflect.DeepEqual(im, ws.Images[j]) {
+				t.Errorf("%s image %d diverged: got %+v, want %+v (RNG draw order changed?)",
+					gs.Scheme, j, im, ws.Images[j])
+			}
+		}
+	}
+}

@@ -63,8 +63,8 @@ func TestNoiselessExactness(t *testing.T) {
 				t.Fatalf("bits=%d %s: %v", bits, sch.Name, err)
 			}
 			var st Stats
-			counts := make([]int, cfg.Device.NumLevels())
-			y := m.MVM(x, stats.NewRNG(1), counts, &st)
+			scr := NewScratch()
+			y := m.MVM(x, stats.NewRNG(1), scr, &st)
 			for r := 0; r < out; r++ {
 				var ref int64
 				for c := 0; c < in; c++ {
@@ -144,7 +144,7 @@ func TestMVMPanicsOnWrongInputLength(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	m.MVM(make([]float64, 3), stats.NewRNG(1), make([]int, 4), &Stats{})
+	m.MVM(make([]float64, 3), stats.NewRNG(1), NewScratch(), &Stats{})
 }
 
 // TestTailGroups checks output dimensions that do not divide the group size.
@@ -164,7 +164,7 @@ func TestTailGroups(t *testing.T) {
 		x[i] = float64(i%7) / 7
 	}
 	var st Stats
-	y := m.MVM(x, stats.NewRNG(2), make([]int, 4), &st)
+	y := m.MVM(x, stats.NewRNG(2), NewScratch(), &st)
 	if len(y) != out {
 		t.Fatalf("output length %d", len(y))
 	}
@@ -243,13 +243,13 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	rng := stats.NewRNG(3)
 	var st Stats
-	counts := make([]int, cfg.Device.NumLevels())
+	scr := NewScratch()
 	x := make([]float64, 112)
 	for i := range x {
 		x[i] = rng.Float64()
 	}
 	for i := 0; i < 50; i++ {
-		m.MVM(x, rng, counts, &st)
+		m.MVM(x, rng, scr, &st)
 	}
 	if st.RowReads == 0 {
 		t.Fatal("no row reads recorded")
@@ -292,7 +292,7 @@ func TestStuckFaultsKeptInCheckByABN(t *testing.T) {
 			t.Fatal(err)
 		}
 		rng := stats.NewRNG(23)
-		counts := make([]int, cfg.Device.NumLevels())
+		scr := NewScratch()
 		var st Stats
 		total := 0.0
 		xr := rand.New(rand.NewPCG(2, 3))
@@ -302,7 +302,7 @@ func TestStuckFaultsKeptInCheckByABN(t *testing.T) {
 				x[i] = xr.Float64()
 			}
 			qx := fixed.QuantizeUnsigned(x, 8)
-			y := m.MVM(x, rng, counts, &st)
+			y := m.MVM(x, rng, scr, &st)
 			for r := 0; r < 8; r++ {
 				var ref int64
 				for c := 0; c < 112; c++ {
@@ -333,14 +333,14 @@ func TestRetriesReduceDetections(t *testing.T) {
 			t.Fatal(err)
 		}
 		rng := stats.NewRNG(31)
-		counts := make([]int, cfg.Device.NumLevels())
+		scr := NewScratch()
 		var st Stats
 		x := make([]float64, 112)
 		for i := range x {
 			x[i] = 0.7
 		}
 		for trial := 0; trial < 60; trial++ {
-			m.MVM(x, rng, counts, &st)
+			m.MVM(x, rng, scr, &st)
 		}
 		return st.Detected
 	}
@@ -464,7 +464,7 @@ func TestDifferentialEncodingExactness(t *testing.T) {
 		}
 		qx := fixed.QuantizeUnsigned(x, 8)
 		var st Stats
-		y := m.MVM(x, stats.NewRNG(2), make([]int, 4), &st)
+		y := m.MVM(x, stats.NewRNG(2), NewScratch(), &st)
 		for r := 0; r < out; r++ {
 			var ref int64
 			for c := 0; c < in; c++ {

@@ -1,0 +1,68 @@
+package accel
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+// TestWarmMVMZeroAllocs: once the scratch arena and the sampler's binomial
+// tables are warm, the noisy MVM must not touch the heap at all.
+func TestWarmMVMZeroAllocs(t *testing.T) {
+	for _, sch := range []Scheme{SchemeNoECC(), SchemeABN(9)} {
+		t.Run(sch.Name, func(t *testing.T) {
+			W := randomMatrix(t, 8, 112, 11)
+			cfg := DefaultConfig(sch)
+			cfg.Device.BitsPerCell = 2
+			m, err := MapMatrix(cfg, 8, 112, func(r, c int) float64 { return W[r][c] }, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := stats.NewRNG(1)
+			scr := NewScratch()
+			var st Stats
+			xr := rand.New(rand.NewPCG(7, 7))
+			x := make([]float64, 112)
+			for i := range x {
+				x[i] = xr.Float64()
+			}
+			out := make([]float64, 8)
+			for i := 0; i < 3; i++ {
+				m.MVMInto(out, x, rng, scr, &st)
+			}
+			if allocs := testing.AllocsPerRun(50, func() {
+				m.MVMInto(out, x, rng, scr, &st)
+			}); allocs != 0 {
+				t.Fatalf("warm MVMInto allocates %.0f times per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestWarmForwardZeroAllocs: a session's full Forward pass — quantize, mask,
+// read every group, dequantize, dense + ReLU layers with buffer reuse — must
+// be allocation-free once warm.
+func TestWarmForwardZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	net := &nn.Network{Name: "t", InShape: []int{16},
+		Layers: []nn.Layer{nn.NewDense(16, 12, rng), &nn.ReLU{}, nn.NewDense(12, 4, rng)}}
+	cfg := DefaultConfig(SchemeABN(9))
+	cfg.Device.BitsPerCell = 2
+	eng, err := Map(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := eng.NewSession(1)
+	x := nn.FromSlice([]float64{0.2, 0.8, 0.1, 0.4, 0.9, 0.5, 0.3, 0.7,
+		0.6, 0.15, 0.45, 0.25, 0.35, 0.55, 0.65, 0.05}, 16)
+	for i := 0; i < 3; i++ {
+		sess.Forward(x)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		sess.Forward(x)
+	}); allocs != 0 {
+		t.Fatalf("warm Session.Forward allocates %.0f times per call, want 0", allocs)
+	}
+}

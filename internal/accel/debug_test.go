@@ -43,7 +43,7 @@ func TestDebugGroupReadAccuracy(t *testing.T) {
 	t.Logf("hot rows: %d; stuck rows: %d", hot, len(g.stuckRows))
 
 	srng := stats.NewRNG(7)
-	counts := make([]int, cfg.Device.NumLevels())
+	scr := NewScratch()
 	var st Stats
 	bad, total, clean := 0, 0, 0
 	exactWrongByStatus := map[string]int{}
@@ -64,7 +64,9 @@ func TestDebugGroupReadAccuracy(t *testing.T) {
 		wantLanes := g.layout.Unpack(q)
 
 		before := st
-		lanes := g.read(m, mask, srng, counts, &st)
+		scr.masks = [][]uint64{mask}
+		g.precompute(m, scr)
+		lanes := g.read(m, scr, 0, srng, &st)
 		status := "clean"
 		if st.Corrected > before.Corrected {
 			status = "corrected"
@@ -140,7 +142,7 @@ func TestDebugTrainedLayerReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	srng := stats.NewRNG(7)
-	counts := make([]int, cfg.Device.NumLevels())
+	scr := NewScratch()
 	var st Stats
 	var lastRaw, lastFixed core.Word
 	var lastStatus core.Status
@@ -182,7 +184,9 @@ func TestDebugTrainedLayerReads(t *testing.T) {
 				exact, _ := crossbar.ReduceRows(outs, cfg.Device.BitsPerCell)
 				q, _ := g.code.Decode(exact)
 				want := g.layout.Unpack(q)
-				got := g.read(m, mask, srng, counts, &st)
+				scr.masks = [][]uint64{mask}
+				g.precompute(m, scr)
+				got := g.read(m, scr, 0, srng, &st)
 				totalReads++
 				for i := range got {
 					if got[i] != want[i] {

@@ -3,7 +3,6 @@ package accel
 import (
 	"fmt"
 	"math/rand/v2"
-	"sort"
 	"sync"
 
 	"repro/internal/crossbar"
@@ -35,14 +34,18 @@ type layerSlot struct {
 }
 
 // mvm evaluates one matrix-vector product through the slot's current path.
-func (sl *layerSlot) mvm(x []float64, rng *rand.Rand, counts []int, st *Stats) []float64 {
+// The returned slice aliases the scratch arena (or, on the software
+// fallback, a fresh allocation) and is valid until the arena's next MVM.
+func (sl *layerSlot) mvm(x []float64, rng *rand.Rand, scr *Scratch, st *Stats) []float64 {
 	sl.mu.RLock()
 	defer sl.mu.RUnlock()
 	if sl.fallback {
 		st.SoftMVMs++
 		return sl.soft.MVM(x)
 	}
-	return sl.m.MVM(x, rng, counts, st)
+	out := scr.outFor(sl.m.outDim)
+	sl.m.MVMInto(out, x, rng, scr, st)
+	return out
 }
 
 // Engine holds a network whose dense and convolutional layers have been
@@ -52,12 +55,25 @@ func (sl *layerSlot) mvm(x []float64, rng *rand.Rand, counts []int, st *Stats) [
 // Per-layer slots let the engine re-program (Remap) or degrade
 // (SetFallback) individual layers while sessions keep serving.
 type Engine struct {
-	cfg   Config
-	net   *nn.Network
-	slots map[int]*layerSlot
+	cfg Config
+	net *nn.Network
+	// slots is indexed by layer position in the network (dense, so the
+	// per-MVM slot lookup is a bounds check instead of a map probe); nil
+	// entries are unmapped layers.
+	slots []*layerSlot
+	// mapped counts the non-nil slots.
+	mapped int
 	// PhysicalRows is the total mapped word-line count (hardware-model
 	// bookkeeping).
 	PhysicalRows int
+}
+
+// slot returns the layer's slot, nil when out of range or unmapped.
+func (e *Engine) slot(layer int) *layerSlot {
+	if layer < 0 || layer >= len(e.slots) {
+		return nil
+	}
+	return e.slots[layer]
 }
 
 // Map programs every MVM-capable layer of the network onto crossbars.
@@ -65,7 +81,7 @@ func Map(net *nn.Network, cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, net: net, slots: make(map[int]*layerSlot)}
+	e := &Engine{cfg: cfg, net: net, slots: make([]*layerSlot, len(net.Layers))}
 	for i, l := range net.Layers {
 		layerCfg := cfg
 		if override, ok := cfg.LayerSchemes[i]; ok {
@@ -96,9 +112,10 @@ func Map(net *nn.Network, cfg Config) (*Engine, error) {
 		}
 		sl.m = m
 		e.slots[i] = sl
+		e.mapped++
 		e.PhysicalRows += m.PhysicalRows
 	}
-	if len(e.slots) == 0 {
+	if e.mapped == 0 {
 		return nil, fmt.Errorf("accel: network %s has no mappable layers", net.Name)
 	}
 	return e, nil
@@ -109,8 +126,8 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Mapped returns the mapped matrix of a layer index (nil if unmapped).
 func (e *Engine) Mapped(layer int) *MappedMatrix {
-	sl, ok := e.slots[layer]
-	if !ok {
+	sl := e.slot(layer)
+	if sl == nil {
 		return nil
 	}
 	sl.mu.RLock()
@@ -120,11 +137,12 @@ func (e *Engine) Mapped(layer int) *MappedMatrix {
 
 // Layers returns the mapped layer indices in ascending order.
 func (e *Engine) Layers() []int {
-	out := make([]int, 0, len(e.slots))
-	for i := range e.slots {
-		out = append(out, i)
+	out := make([]int, 0, e.mapped)
+	for i, sl := range e.slots {
+		if sl != nil {
+			out = append(out, i)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -132,6 +150,9 @@ func (e *Engine) Layers() []int {
 func (e *Engine) NumGroups() int {
 	n := 0
 	for _, sl := range e.slots {
+		if sl == nil {
+			continue
+		}
 		sl.mu.RLock()
 		n += sl.m.NumGroups()
 		sl.mu.RUnlock()
@@ -143,8 +164,8 @@ func (e *Engine) NumGroups() int {
 // holding the layer's write lock, so callers (the fault campaign runner)
 // can inject stuck-at or drift faults without racing in-flight reads.
 func (e *Engine) WithArrays(layer int, f func(arrays []*crossbar.Array)) error {
-	sl, ok := e.slots[layer]
-	if !ok {
+	sl := e.slot(layer)
+	if sl == nil {
 		return fmt.Errorf("accel: layer %d is not mapped", layer)
 	}
 	sl.mu.Lock()
@@ -158,8 +179,8 @@ func (e *Engine) WithArrays(layer int, f func(arrays []*crossbar.Array)) error {
 // re-program drifted cells, and spare worn rows without racing in-flight
 // reads (or a concurrent Remap, which takes the same lock).
 func (e *Engine) WithScrubTargets(layer int, f func(targets []ScrubTarget)) error {
-	sl, ok := e.slots[layer]
-	if !ok {
+	sl := e.slot(layer)
+	if sl == nil {
 		return fmt.Errorf("accel: layer %d is not mapped", layer)
 	}
 	sl.mu.Lock()
@@ -173,6 +194,9 @@ func (e *Engine) WithScrubTargets(layer int, f func(targets []ScrubTarget)) erro
 func (e *Engine) VerifyStats() crossbar.VerifyTally {
 	var t crossbar.VerifyTally
 	for _, sl := range e.slots {
+		if sl == nil {
+			continue
+		}
 		sl.mu.RLock()
 		t.Merge(sl.m.VerifyStats())
 		sl.mu.RUnlock()
@@ -191,8 +215,8 @@ func (e *Engine) VerifyStats() crossbar.VerifyTally {
 // reads). Remap also clears the software-fallback flag: fresh hardware is
 // trusted until the monitor says otherwise.
 func (e *Engine) Remap(layer int) error {
-	sl, ok := e.slots[layer]
-	if !ok {
+	sl := e.slot(layer)
+	if sl == nil {
 		return fmt.Errorf("accel: layer %d is not mapped", layer)
 	}
 	sl.mu.Lock()
@@ -210,8 +234,8 @@ func (e *Engine) Remap(layer int) error {
 
 // RemapCount returns how many times a layer has been re-programmed.
 func (e *Engine) RemapCount(layer int) int {
-	sl, ok := e.slots[layer]
-	if !ok {
+	sl := e.slot(layer)
+	if sl == nil {
 		return 0
 	}
 	sl.mu.RLock()
@@ -223,8 +247,8 @@ func (e *Engine) RemapCount(layer int) int {
 // fallback path — the terminal rung of the recovery ladder. The fallback
 // matrix is built lazily on first use.
 func (e *Engine) SetFallback(layer int, on bool) error {
-	sl, ok := e.slots[layer]
-	if !ok {
+	sl := e.slot(layer)
+	if sl == nil {
 		return fmt.Errorf("accel: layer %d is not mapped", layer)
 	}
 	sl.mu.Lock()
@@ -242,8 +266,8 @@ func (e *Engine) SetFallback(layer int, on bool) error {
 
 // Fallback reports whether a layer is served by the software path.
 func (e *Engine) Fallback(layer int) bool {
-	sl, ok := e.slots[layer]
-	if !ok {
+	sl := e.slot(layer)
+	if sl == nil {
 		return false
 	}
 	sl.mu.RLock()
@@ -256,25 +280,32 @@ func (e *Engine) Fallback(layer int) bool {
 func (e *Engine) DegradedLayers() []int {
 	var out []int
 	for i, sl := range e.slots {
+		if sl == nil {
+			continue
+		}
 		sl.mu.RLock()
 		if sl.fallback {
 			out = append(out, i)
 		}
 		sl.mu.RUnlock()
 	}
-	sort.Ints(out)
 	return out
 }
 
-// Session is one concurrent evaluation stream: it owns an RNG, scratch
-// buffers, a forward-pass clone of the network, and its own statistics.
+// Session is one concurrent evaluation stream: it owns an RNG, a scratch
+// arena, a forward-pass clone of the network, and its own statistics.
 type Session struct {
 	engine *Engine
 	net    *nn.Network
-	rng    *rand.Rand
-	counts []int
-	mvms   map[int]nn.MVMFunc
-	layer  map[int]*Stats
+	// src is the PCG state behind rng; Reseed rewinds it in place instead
+	// of allocating a fresh generator per work item.
+	src *rand.PCG
+	rng *rand.Rand
+	scr *Scratch
+	// mvms is indexed by layer (nil for unmapped layers).
+	mvms []nn.MVMFunc
+	// layer is indexed by layer (nil for unmapped layers).
+	layer []*Stats
 	// Stats accumulates ECU and row-error tallies across all inputs this
 	// session evaluated.
 	Stats Stats
@@ -282,21 +313,27 @@ type Session struct {
 
 // NewSession creates an evaluation stream with its own noise RNG.
 func (e *Engine) NewSession(seed uint64) *Session {
+	src := stats.SubPCG(e.cfg.Seed, seed)
 	s := &Session{
 		engine: e,
 		net:    e.net.CloneForInference(),
-		rng:    stats.SubRNG(e.cfg.Seed, seed),
-		counts: make([]int, e.cfg.Device.NumLevels()),
-		layer:  make(map[int]*Stats, len(e.slots)),
+		src:    src,
+		rng:    rand.New(src),
+		scr:    NewScratch(),
+		mvms:   make([]nn.MVMFunc, len(e.slots)),
+		layer:  make([]*Stats, len(e.slots)),
 	}
-	s.mvms = make(map[int]nn.MVMFunc, len(e.slots))
+	s.net.EnableBufferReuse()
 	for idx, sl := range e.slots {
+		if sl == nil {
+			continue
+		}
 		slot := sl
 		ls := &Stats{}
 		s.layer[idx] = ls
 		s.mvms[idx] = func(x []float64) []float64 {
 			pre := *ls
-			out := slot.mvm(x, s.rng, s.counts, ls)
+			out := slot.mvm(x, s.rng, s.scr, ls)
 			s.Stats.Merge(ls.Diff(pre))
 			return out
 		}
@@ -308,7 +345,7 @@ func (e *Engine) NewSession(seed uint64) *Session {
 // stream to work items (for example one stream per test image) and make
 // results independent of how work is distributed across sessions.
 func (s *Session) Reseed(stream uint64) {
-	s.rng = stats.SubRNG(s.engine.cfg.Seed, stream)
+	stats.ReseedSub(s.src, s.engine.cfg.Seed, stream)
 }
 
 // DrainStats returns the statistics accumulated since the last drain and
@@ -319,7 +356,9 @@ func (s *Session) DrainStats() Stats {
 	st := s.Stats
 	s.Stats = Stats{}
 	for _, ls := range s.layer {
-		*ls = Stats{}
+		if ls != nil {
+			*ls = Stats{}
+		}
 	}
 	return st
 }
@@ -331,13 +370,23 @@ func (s *Session) DrainStats() Stats {
 // session.
 func (s *Session) DrainLayerStats() map[int]Stats {
 	out := make(map[int]Stats, len(s.layer))
+	s.DrainLayerStatsInto(out)
+	return out
+}
+
+// DrainLayerStatsInto is DrainLayerStats draining into a caller-owned map
+// (cleared first), so a serving worker can reuse one map per request
+// instead of allocating. The caller must not retain values across the next
+// drain unless it copies them — Stats is a value type, so ordinary reads
+// and Merge calls are safe.
+func (s *Session) DrainLayerStatsInto(out map[int]Stats) {
+	clear(out)
 	for idx, ls := range s.layer {
-		if *ls != (Stats{}) {
+		if ls != nil && *ls != (Stats{}) {
 			out[idx] = *ls
 			*ls = Stats{}
 		}
 	}
-	return out
 }
 
 // Forward runs one noisy inference pass.

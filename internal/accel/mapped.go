@@ -55,6 +55,11 @@ type group struct {
 	stuckRows [][]stuckInfo
 	// giantRows[r] lists the giant-RTN-prone cells of physical row r.
 	giantRows [][]giantInfo
+	// stuckPresent and giantPresent are per-row presence bitsets (bit r set
+	// iff the row hosts any such cell), so the overwhelmingly clean rows
+	// skip the fault scans with one word test.
+	stuckPresent []uint64
+	giantPresent []uint64
 }
 
 // chunk is a column range of the weight matrix mapped onto one array
@@ -265,10 +270,13 @@ func (m *MappedMatrix) buildGroup(biased []uint64, outRows []int, colLo, colHi i
 		}
 	}
 
+	rowWords := (nRows + 63) / 64
 	g := &group{arr: arr, code: code, layout: layout, outRows: outRows,
-		maxLane:   uint64(cols) * (uint64(1)<<layout.OperandBits - 1),
-		stuckRows: make([][]stuckInfo, nRows),
-		giantRows: make([][]giantInfo, nRows)}
+		maxLane:      uint64(cols) * (uint64(1)<<layout.OperandBits - 1),
+		stuckRows:    make([][]stuckInfo, nRows),
+		giantRows:    make([][]giantInfo, nRows),
+		stuckPresent: make([]uint64, rowWords),
+		giantPresent: make([]uint64, rowWords)}
 	for _, sc := range stuckCells {
 		delta := int(sc.Level) - int(arr.Level(sc.Row, sc.Col))
 		if delta == 0 {
@@ -277,6 +285,7 @@ func (m *MappedMatrix) buildGroup(biased []uint64, outRows []int, colLo, colHi i
 		g.stuckRows[sc.Row] = append(g.stuckRows[sc.Row], stuckInfo{
 			word: sc.Col / 64, bit: uint(sc.Col % 64), delta: delta,
 		})
+		g.stuckPresent[sc.Row>>6] |= 1 << (uint(sc.Row) & 63)
 	}
 	for _, gc := range giantCells {
 		mag := m.sampler.GiantMagnitude(int(arr.Level(gc.Row, gc.Col)))
@@ -289,6 +298,7 @@ func (m *MappedMatrix) buildGroup(biased []uint64, outRows []int, colLo, colHi i
 		g.giantRows[gc.Row] = append(g.giantRows[gc.Row], giantInfo{
 			word: gc.Col / 64, bit: uint(gc.Col % 64), mag: mag,
 		})
+		g.giantPresent[gc.Row>>6] |= 1 << (uint(gc.Row) & 63)
 	}
 	return g, nil
 }
@@ -457,21 +467,45 @@ func staticCodeFor(cache map[int]*core.Code, layout core.GroupLayout, cell int, 
 // only; nil in production).
 var debugReadHook func(g *group, raw, corrected core.Word, status core.Status)
 
-// read performs one group read under an input bit mask: per-row noisy ADC
-// sampling, shift-and-add reduction, ECU correction (with re-reads on
-// detected-uncorrectable errors if configured), decode, and lane split.
-// counts is caller scratch of NumLevels length.
-func (g *group) read(m *MappedMatrix, mask []uint64, rng *rand.Rand, counts []int, st *Stats) []uint64 {
+// precompute runs the deterministic half of every row read of this group
+// for the current input masks: the fused per-plane active counts, their
+// noise aggregates, and the ideal ADC outputs, indexed plane*rows+row in
+// the scratch arena. It touches no RNG, so hoisting it out of the per-bit
+// read loop (and reusing it across ECU retry re-reads, which the old code
+// recomputed) cannot move a draw.
+func (g *group) precompute(m *MappedMatrix, scr *Scratch) {
+	rows := g.arr.Rows
+	planes := len(scr.masks)
+	counts := scr.countsFor(planes, g.arr.NumLevels())
+	aggs, ts := scr.aggTsFor(planes * rows)
+	for r := 0; r < rows; r++ {
+		g.arr.ActiveCountsMulti(r, scr.masks, counts)
+		lv := g.arr.LevelList(r)
+		for b := 0; b < planes; b++ {
+			agg, t := m.sampler.AggregateRowLevelsIdeal(lv, counts[b])
+			ts[b*rows+r] = t
+			aggs[b*rows+r] = agg
+		}
+	}
+}
+
+// read performs one group read under input bit plane `bit` of the masks in
+// the scratch arena: per-row noisy ADC sampling, shift-and-add reduction,
+// ECU correction (with re-reads on detected-uncorrectable errors if
+// configured), decode, and lane split. precompute must have run for the
+// current masks. The returned lanes alias the arena and are valid until the
+// next read.
+func (g *group) read(m *MappedMatrix, scr *Scratch, bit int, rng *rand.Rand, st *Stats) []uint64 {
 	var acc core.Word
 	var status core.Status
 	for attempt := 0; ; attempt++ {
-		acc = g.sampleRows(m, mask, rng, counts, st)
+		acc = g.sampleRows(m, scr, bit, rng, st)
 		if g.code == nil {
-			return g.layout.Unpack(acc)
+			return g.layout.UnpackInto(scr.lanesFor(g.layout.Operands), acc)
 		}
 		var fixedW core.Word
 		fixedW, status = g.code.Correct(acc)
-		if status == core.StatusCorrected && !g.plausible(fixedW) {
+		if status == core.StatusCorrected && !g.plausible(fixedW, scr) {
 			// The corrected quotient violates the lane bound, so the
 			// table hit was an aliased miscorrection (Section V-A's
 			// "may make the error even worse"); the ECU treats it like
@@ -500,7 +534,7 @@ func (g *group) read(m *MappedMatrix, mask []uint64, rng *rand.Rand, counts []in
 	if rem != 0 {
 		st.Residual++
 	}
-	lanes := g.layout.Unpack(q)
+	lanes := g.layout.UnpackInto(scr.lanesFor(g.layout.Operands), q)
 	// Digital saturation: a lane can never legitimately exceed the maximum
 	// partial sum, so the periphery clamps whatever residual-error garbage
 	// a reverted read leaves behind.
@@ -513,25 +547,34 @@ func (g *group) read(m *MappedMatrix, mask []uint64, rng *rand.Rand, counts []in
 }
 
 // sampleRows performs the per-row noisy ADC conversions of one group read
-// and reduces them with the shift-and-add tree.
-func (g *group) sampleRows(m *MappedMatrix, mask []uint64, rng *rand.Rand, counts []int, st *Stats) core.Word {
+// and reduces them with the shift-and-add tree. The deterministic
+// quantities come from precompute; only the noise draws happen here, in
+// exactly the historical order (binomial+Gaussian core, then giant
+// flickers, row-major).
+func (g *group) sampleRows(m *MappedMatrix, scr *Scratch, bit int, rng *rand.Rand, st *Stats) core.Word {
 	var acc core.Word
 	cell := g.arr.BitsPerCell
 	maxOut := g.arr.MaxOutput()
 	flicker := m.cfg.Device.GiantFlickerProb
-	for r := 0; r < g.arr.Rows; r++ {
-		g.arr.ActiveCounts(r, mask, counts)
-		t := crossbar.OutputFromCounts(counts)
-		dev := m.sampler.SampleDeviation(rng, counts)
-		for _, gi := range g.giantRows[r] {
-			if mask[gi.word]>>gi.bit&1 == 1 && rng.Float64() < flicker {
-				dev += gi.mag
+	mask := scr.masks[bit]
+	rows := g.arr.Rows
+	base := bit * rows
+	for r := 0; r < rows; r++ {
+		t := scr.ts[base+r]
+		dev := m.sampler.SampleAgg(rng, scr.aggs[base+r])
+		if g.giantPresent[r>>6]>>(uint(r)&63)&1 != 0 {
+			for _, gi := range g.giantRows[r] {
+				if mask[gi.word]>>gi.bit&1 == 1 && rng.Float64() < flicker {
+					dev += gi.mag
+				}
 			}
 		}
 		s := t + int(math.Round(dev))
-		for _, si := range g.stuckRows[r] {
-			if mask[si.word]>>si.bit&1 == 1 {
-				s += si.delta
+		if g.stuckPresent[r>>6]>>(uint(r)&63)&1 != 0 {
+			for _, si := range g.stuckRows[r] {
+				if mask[si.word]>>si.bit&1 == 1 {
+					s += si.delta
+				}
 			}
 		}
 		if s < 0 {
@@ -551,12 +594,12 @@ func (g *group) sampleRows(m *MappedMatrix, mask []uint64, rng *rand.Rand, count
 
 // plausible reports whether every lane of the decoded correction result
 // lies within the physically reachable partial-sum range.
-func (g *group) plausible(fixed core.Word) bool {
+func (g *group) plausible(fixed core.Word, scr *Scratch) bool {
 	q, _ := g.code.Decode(fixed)
 	if q.BitLen() > g.layout.DataBits() {
 		return false
 	}
-	for _, lane := range g.layout.Unpack(q) {
+	for _, lane := range g.layout.UnpackInto(scr.plausFor(g.layout.Operands), q) {
 		if lane > g.maxLane {
 			return false
 		}
@@ -565,27 +608,41 @@ func (g *group) plausible(fixed core.Word) bool {
 }
 
 // MVM computes the noisy in-situ product W*x for a quantized input vector,
-// returning dequantized float outputs. counts is caller scratch.
-func (m *MappedMatrix) MVM(x []float64, rng *rand.Rand, counts []int, st *Stats) []float64 {
+// returning dequantized float outputs in a fresh slice. scr is the
+// caller-owned scratch arena.
+func (m *MappedMatrix) MVM(x []float64, rng *rand.Rand, scr *Scratch, st *Stats) []float64 {
+	out := make([]float64, m.outDim)
+	m.MVMInto(out, x, rng, scr, st)
+	return out
+}
+
+// MVMInto is MVM writing into out (len must be the output dimension). A
+// warm arena makes the whole call allocation-free.
+func (m *MappedMatrix) MVMInto(out, x []float64, rng *rand.Rand, scr *Scratch, st *Stats) {
 	if len(x) != m.inDim {
 		panic(fmt.Sprintf("accel: input length %d, want %d", len(x), m.inDim))
 	}
-	qx := fixed.QuantizeUnsigned(x, m.cfg.InputBits)
+	if len(out) != m.outDim {
+		panic(fmt.Sprintf("accel: output length %d, want %d", len(out), m.outDim))
+	}
+	qx := fixed.QuantizeUnsignedInto(scr.qvals, x, m.cfg.InputBits)
+	scr.qvals = qx.Values
 	internalOut := m.outDim
 	if m.cfg.Encoding == EncodingDifferential {
 		internalOut = 2 * m.outDim
 	}
-	acc := make([]int64, internalOut)
+	acc := scr.accFor(internalOut)
 	for _, ch := range m.chunks {
 		vals := qx.Values[ch.colLo:ch.colHi]
-		masks := crossbar.InputMasks(vals, m.cfg.InputBits)
+		scr.masks = crossbar.InputMasksInto(scr.masks, vals, m.cfg.InputBits)
 		var vsum int64
 		for _, v := range vals {
 			vsum += int64(v)
 		}
 		for _, g := range ch.groups {
-			for b, mask := range masks {
-				lanes := g.read(m, mask, rng, counts, st)
+			g.precompute(m, scr)
+			for b := range scr.masks {
+				lanes := g.read(m, scr, b, rng, st)
 				for i, outRow := range g.outRows {
 					acc[outRow] += int64(lanes[i]) << uint(b)
 				}
@@ -601,7 +658,6 @@ func (m *MappedMatrix) MVM(x []float64, rng *rand.Rand, counts []int, st *Stats)
 			}
 		}
 	}
-	out := make([]float64, m.outDim)
 	f := m.scale * qx.Scale
 	for r := range out {
 		if m.cfg.Encoding == EncodingDifferential {
@@ -610,7 +666,6 @@ func (m *MappedMatrix) MVM(x []float64, rng *rand.Rand, counts []int, st *Stats)
 			out[r] = float64(acc[r]) * f
 		}
 	}
-	return out
 }
 
 // StorageOverhead returns the fraction of programmed cell bits that are

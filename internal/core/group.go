@@ -69,12 +69,22 @@ func (g GroupLayout) Pack(ops []uint64) (Word, error) {
 // guard bits each lane is an exact partial sum; with GuardBits=0 this models
 // the paper's split, including any carry bleed between lanes.
 func (g GroupLayout) Unpack(w Word) []uint64 {
-	lane := uint(g.LaneBits())
-	out := make([]uint64, g.Operands)
-	for i := range out {
-		out[i] = w.ExtractBits(uint(i)*lane, lane)
+	return g.UnpackInto(nil, w)
+}
+
+// UnpackInto is Unpack writing into dst, reusing dst's backing array when it
+// is large enough — the per-read allocation this removes dominated the MVM
+// hot path's garbage.
+func (g GroupLayout) UnpackInto(dst []uint64, w Word) []uint64 {
+	if cap(dst) < g.Operands {
+		dst = make([]uint64, g.Operands)
 	}
-	return out
+	dst = dst[:g.Operands]
+	lane := uint(g.LaneBits())
+	for i := range dst {
+		dst[i] = w.ExtractBits(uint(i)*lane, lane)
+	}
+	return dst
 }
 
 // GuardBitsFor returns the guard width needed so a lane can absorb the sum

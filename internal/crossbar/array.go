@@ -49,9 +49,17 @@ type Array struct {
 	// masks[phys][level][word]: bit c set iff cell (phys, c) is effectively
 	// at that level. Level 0 masks are omitted (they carry no signal).
 	masks [][][]uint64
+	// pmasks mirrors masks for *programmed* levels, so the scrub probe's
+	// expected-output query (ProgrammedRowOutput) walks words like the
+	// effective-level readers instead of scanning cells.
+	pmasks [][][]uint64
 	// hist[phys][level] is the effective level histogram used for worst-case
 	// susceptibility prediction.
 	hist [][]int
+	// levelList[phys] holds the ascending nonzero effective levels present
+	// in the word line (hist > 0), so per-row reads and aggregates iterate
+	// only levels that exist instead of all 2^BitsPerCell.
+	levelList [][]uint8
 	// rowMap[r] is the physical word line backing logical row r.
 	rowMap []int
 	// spareFree lists unused spare word lines in ascending order; SpareRow
@@ -88,19 +96,23 @@ func NewArrayWithSpares(rows, cols, bitsPerCell, spares int) *Array {
 	phys := rows + spares
 	a := &Array{
 		Rows: rows, Cols: cols, BitsPerCell: bitsPerCell,
-		words:  words,
-		levels: make([][]uint8, phys),
-		eff:    make([][]uint8, phys),
-		masks:  make([][][]uint64, phys),
-		hist:   make([][]int, phys),
-		rowMap: make([]int, rows),
+		words:     words,
+		levels:    make([][]uint8, phys),
+		eff:       make([][]uint8, phys),
+		masks:     make([][][]uint64, phys),
+		pmasks:    make([][][]uint64, phys),
+		hist:      make([][]int, phys),
+		levelList: make([][]uint8, phys),
+		rowMap:    make([]int, rows),
 	}
 	for p := 0; p < phys; p++ {
 		a.levels[p] = make([]uint8, cols)
 		a.eff[p] = make([]uint8, cols)
 		a.masks[p] = make([][]uint64, k)
+		a.pmasks[p] = make([][]uint64, k)
 		for l := 1; l < k; l++ {
 			a.masks[p][l] = make([]uint64, words)
+			a.pmasks[p][l] = make([]uint64, words)
 		}
 		a.hist[p] = make([]int, k)
 		a.hist[p][0] = cols
@@ -154,15 +166,34 @@ func (a *Array) Set(r, c int, level uint8) {
 // by a stuck-at fault, moves the effective level to it.
 func (a *Array) setCellPhys(p, c int, level uint8) {
 	a.adjustDrift(p, c, func() {
-		a.levels[p][c] = level
+		a.setProg(p, c, level)
 		if _, pinned := a.stuck[p*a.Cols+c]; !pinned {
 			a.setEff(p, c, level)
 		}
 	})
 }
 
+// setProg records the programmed target of physical cell (p, c),
+// maintaining the programmed-level masks. Every write to a.levels must go
+// through here or ProgrammedRowOutput diverges from the cell state.
+func (a *Array) setProg(p, c int, level uint8) {
+	old := a.levels[p][c]
+	if old == level {
+		return
+	}
+	w, b := c/64, uint(c%64)
+	if old != 0 {
+		a.pmasks[p][old][w] &^= 1 << b
+	}
+	if level != 0 {
+		a.pmasks[p][level][w] |= 1 << b
+	}
+	a.levels[p][c] = level
+}
+
 // setEff moves the effective level of physical cell (p, c), maintaining the
-// read masks and histograms. Callers account for the drifted counter.
+// read masks, histograms, and present-level lists. Callers account for the
+// drifted counter.
 func (a *Array) setEff(p, c int, level uint8) {
 	old := a.eff[p][c]
 	if old == level {
@@ -178,6 +209,34 @@ func (a *Array) setEff(p, c int, level uint8) {
 	a.eff[p][c] = level
 	a.hist[p][old]--
 	a.hist[p][level]++
+	if old != 0 && a.hist[p][old] == 0 {
+		a.levelList[p] = removeLevel(a.levelList[p], old)
+	}
+	if level != 0 && a.hist[p][level] == 1 {
+		a.levelList[p] = insertLevel(a.levelList[p], level)
+	}
+}
+
+// insertLevel adds lv to the ascending level list (absent by contract).
+func insertLevel(list []uint8, lv uint8) []uint8 {
+	i := len(list)
+	for i > 0 && list[i-1] > lv {
+		i--
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = lv
+	return list
+}
+
+// removeLevel drops lv from the ascending level list (present by contract).
+func removeLevel(list []uint8, lv uint8) []uint8 {
+	for i, v := range list {
+		if v == lv {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }
 
 // SetStuck pins cell (r, c) at the given effective level: a stuck-at fault.
@@ -294,6 +353,57 @@ func (a *Array) ActiveCounts(r int, input []uint64, counts []int) {
 	counts[0] = 0
 }
 
+// ActiveCountsMulti is the fused multi-bit-plane ActiveCounts: it fills
+// counts[b][level] for every input mask inputs[b] in one pass over row r's
+// level masks, so each mask word is loaded once and feeds all bit planes.
+// Only levels present in the row are visited (all-zero words are skipped
+// within them); absent levels are left at the zero the kernel writes first.
+// Each counts[b] must have NumLevels entries.
+func (a *Array) ActiveCountsMulti(r int, inputs [][]uint64, counts [][]int) {
+	p := a.rowMap[r]
+	row := a.masks[p]
+	for _, cb := range counts {
+		for l := range cb {
+			cb[l] = 0
+		}
+	}
+	for _, l := range a.levelList[p] {
+		m := row[l]
+		switch len(m) {
+		case 0:
+			continue
+		case 1:
+			// One- and two-word rows (<=128 columns) cover every tiled
+			// crossbar in practice; unrolling them removes the word-loop
+			// overhead that otherwise dominates the popcounts.
+			m0 := m[0]
+			for b, in := range inputs {
+				counts[b][l] = bits.OnesCount64(m0 & in[0])
+			}
+		case 2:
+			m0, m1 := m[0], m[1]
+			for b, in := range inputs {
+				in = in[:2]
+				counts[b][l] = bits.OnesCount64(m0&in[0]) + bits.OnesCount64(m1&in[1])
+			}
+		default:
+			for b, in := range inputs {
+				inw := in[:len(m)] // pins len(inw)==len(m) for bounds elision
+				n := 0
+				for w, mw := range m {
+					n += bits.OnesCount64(mw & inw[w])
+				}
+				counts[b][l] = n
+			}
+		}
+	}
+}
+
+// LevelList returns the ascending nonzero effective levels present in row r.
+// The slice is owned by the array: do not mutate, and treat it as
+// invalidated by any cell mutation.
+func (a *Array) LevelList(r int) []uint8 { return a.levelList[a.rowMap[r]] }
+
 // IdealRowOutput returns the noise-free quantized ADC output of row r under
 // an input mask: the level-weighted active-cell count, which is exactly the
 // integer the shift-and-add tree expects. Row addresses go through the
@@ -318,6 +428,24 @@ func (a *Array) IdealRowOutput(r int, input []uint64) int {
 // IdealRowOutput - ProgrammedRowOutput is the row's deviation in steps
 // caused by stuck-at faults and drift.
 func (a *Array) ProgrammedRowOutput(r int, input []uint64) int {
+	row := a.pmasks[a.rowMap[r]]
+	out := 0
+	for l := 1; l < len(row); l++ {
+		m := row[l]
+		n := 0
+		for w := 0; w < a.words; w++ {
+			if mw := m[w]; mw != 0 {
+				n += bits.OnesCount64(mw & input[w])
+			}
+		}
+		out += l * n
+	}
+	return out
+}
+
+// programmedRowOutputScan is the O(cols) cell scan ProgrammedRowOutput
+// replaced; tests cross-check the mask walk against it.
+func (a *Array) programmedRowOutputScan(r int, input []uint64) int {
 	row := a.levels[a.rowMap[r]]
 	out := 0
 	for c, lv := range row {
@@ -474,7 +602,7 @@ func (a *Array) SpareRow(r int, maxIters int, pulseFail []float64, rng *rand.Ran
 	for c := 0; c < a.Cols; c++ {
 		a.adjustDrift(old, c, func() {
 			delete(a.stuck, old*a.Cols+c)
-			a.levels[old][c] = 0
+			a.setProg(old, c, 0)
 			a.setEff(old, c, 0)
 		})
 	}
@@ -531,18 +659,45 @@ func ReduceRows(outs []int, bitsPerCell int) (core.Word, bool) {
 // InputMasks bit-slices a quantized input vector for bit-serial application
 // (Section II-B1): masks[b] has bit j set iff bit b of input j is one.
 func InputMasks(vals []uint64, inputBits int) [][]uint64 {
+	return InputMasksInto(nil, vals, inputBits)
+}
+
+// InputMasksInto is InputMasks writing into dst, reusing dst's plane slices
+// when they are large enough (the scratch-arena variant of the hot path).
+// The returned planes alias dst's backing arrays; zero-valued inputs are
+// skipped entirely, and within a nonzero input only its set bits are
+// visited.
+func InputMasksInto(dst [][]uint64, vals []uint64, inputBits int) [][]uint64 {
 	words := (len(vals) + 63) / 64
-	masks := make([][]uint64, inputBits)
-	for b := range masks {
-		masks[b] = make([]uint64, words)
+	if cap(dst) < inputBits {
+		grown := make([][]uint64, inputBits)
+		copy(grown, dst[:cap(dst)])
+		dst = grown
 	}
-	for j, v := range vals {
-		w, bit := j/64, uint(j%64)
-		for b := 0; b < inputBits; b++ {
-			if v>>uint(b)&1 == 1 {
-				masks[b][w] |= 1 << bit
-			}
+	dst = dst[:inputBits]
+	for b := range dst {
+		if cap(dst[b]) < words {
+			dst[b] = make([]uint64, words)
+			continue
+		}
+		dst[b] = dst[b][:words]
+		for w := range dst[b] {
+			dst[b][w] = 0
 		}
 	}
-	return masks
+	var keep uint64 = ^uint64(0)
+	if inputBits < 64 {
+		keep = 1<<uint(inputBits) - 1
+	}
+	for j, v := range vals {
+		v &= keep
+		if v == 0 {
+			continue
+		}
+		w, bit := j/64, uint(j%64)
+		for ; v != 0; v &= v - 1 {
+			dst[bits.TrailingZeros64(v)][w] |= 1 << bit
+		}
+	}
+	return dst
 }

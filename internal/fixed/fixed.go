@@ -91,6 +91,12 @@ type QuantizedU struct {
 // QuantizeUnsigned maps non-negative vals to unsigned fixed point. Negative
 // inputs are clamped to zero (the accelerator applies it after ReLU).
 func QuantizeUnsigned(vals []float64, bits int) QuantizedU {
+	return QuantizeUnsignedInto(nil, vals, bits)
+}
+
+// QuantizeUnsignedInto is QuantizeUnsigned quantizing into dst, reusing its
+// backing array when it is large enough. The returned Values alias dst.
+func QuantizeUnsignedInto(dst []uint64, vals []float64, bits int) QuantizedU {
 	if bits < 1 || bits > 62 {
 		panic(fmt.Sprintf("fixed: unsigned width %d out of range [1,62]", bits))
 	}
@@ -105,9 +111,13 @@ func QuantizeUnsigned(vals []float64, bits int) QuantizedU {
 	if maxV > 0 {
 		scale = maxV / limit
 	}
-	q := make([]uint64, len(vals))
+	if cap(dst) < len(vals) {
+		dst = make([]uint64, len(vals))
+	}
+	q := dst[:len(vals)]
 	for i, v := range vals {
 		if v <= 0 {
+			q[i] = 0 // explicit: a reused dst carries stale values
 			continue
 		}
 		x := math.Round(v / scale)

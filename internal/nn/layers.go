@@ -49,7 +49,11 @@ type Dense struct {
 	Weight  *Param
 	Bias    *Param
 	lastIn  *Tensor
+	reuse   bool
+	outBuf  *Tensor
 }
+
+func (d *Dense) enableReuse() { d.reuse = true }
 
 // NewDense builds a dense layer with He-uniform initialization.
 func NewDense(in, out int, rng *rand.Rand) *Dense {
@@ -85,7 +89,7 @@ func (d *Dense) ForwardWith(x *Tensor, mvm MVMFunc) *Tensor {
 		panic(fmt.Sprintf("nn: dense input %d, want %d", x.Len(), d.In))
 	}
 	d.lastIn = x
-	out := NewTensor(d.Out)
+	out := outVec(&d.outBuf, d.reuse, d.Out)
 	if mvm != nil {
 		copy(out.Data, mvm(x.Data))
 	} else {
@@ -131,7 +135,12 @@ type Conv2D struct {
 	Weight            *Param
 	Bias              *Param
 	lastIn            *Tensor
+	reuse             bool
+	outBuf            *Tensor
+	patchBuf          []float64
 }
+
+func (c *Conv2D) enableReuse() { c.reuse = true }
 
 // NewConv2D builds a convolution layer with He-uniform initialization.
 func NewConv2D(inC, outC, kh, kw, stride, pad int, rng *rand.Rand) *Conv2D {
@@ -204,9 +213,18 @@ func (c *Conv2D) Forward(x *Tensor) *Tensor {
 func (c *Conv2D) ForwardWith(x *Tensor, mvm MVMFunc) *Tensor {
 	c.lastIn = x
 	os := c.OutShape(x.Shape)
-	out := NewTensor(os...)
+	out := outTensor(&c.outBuf, c.reuse, os)
 	oh, ow := os[1], os[2]
-	patch := make([]float64, c.PatchLen())
+	pl := c.PatchLen()
+	var patch []float64
+	if c.reuse {
+		if cap(c.patchBuf) < pl {
+			c.patchBuf = make([]float64, pl)
+		}
+		patch = c.patchBuf[:pl]
+	} else {
+		patch = make([]float64, pl)
+	}
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			c.Patch(x, oy, ox, patch)
@@ -270,7 +288,11 @@ func (c *Conv2D) Backward(grad *Tensor) *Tensor {
 // ReLU is the rectified-linear activation.
 type ReLU struct {
 	lastOut *Tensor
+	reuse   bool
+	outBuf  *Tensor
 }
+
+func (r *ReLU) enableReuse() { r.reuse = true }
 
 // Name implements Layer.
 func (r *ReLU) Name() string { return "relu" }
@@ -283,10 +305,12 @@ func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor) *Tensor {
-	out := x.Clone()
-	for i, v := range out.Data {
+	out := outTensor(&r.outBuf, r.reuse, x.Shape)
+	for i, v := range x.Data {
 		if v < 0 {
 			out.Data[i] = 0
+		} else {
+			out.Data[i] = v
 		}
 	}
 	r.lastOut = out
@@ -309,7 +333,11 @@ type MaxPool2D struct {
 	Size    int
 	lastIn  *Tensor
 	lastIdx []int
+	reuse   bool
+	outBuf  *Tensor
 }
+
+func (m *MaxPool2D) enableReuse() { m.reuse = true }
 
 // Name implements Layer.
 func (m *MaxPool2D) Name() string { return fmt.Sprintf("maxpool(%d)", m.Size) }
@@ -326,8 +354,12 @@ func (m *MaxPool2D) OutShape(in []int) []int {
 func (m *MaxPool2D) Forward(x *Tensor) *Tensor {
 	m.lastIn = x
 	os := m.OutShape(x.Shape)
-	out := NewTensor(os...)
-	m.lastIdx = make([]int, out.Len())
+	out := outTensor(&m.outBuf, m.reuse, os)
+	if m.reuse && cap(m.lastIdx) >= out.Len() {
+		m.lastIdx = m.lastIdx[:out.Len()]
+	} else {
+		m.lastIdx = make([]int, out.Len())
+	}
 	_, h, w := x.chw()
 	i := 0
 	for c := 0; c < os[0]; c++ {
@@ -365,7 +397,11 @@ func (m *MaxPool2D) Backward(grad *Tensor) *Tensor {
 // Flatten reshapes CHW activations to a vector.
 type Flatten struct {
 	lastShape []int
+	reuse     bool
+	view      *Tensor
 }
+
+func (f *Flatten) enableReuse() { f.reuse = true }
 
 // Name implements Layer.
 func (f *Flatten) Name() string { return "flatten" }
@@ -385,6 +421,16 @@ func (f *Flatten) OutShape(in []int) []int {
 // Forward implements Layer.
 func (f *Flatten) Forward(x *Tensor) *Tensor {
 	f.lastShape = x.Shape
+	if f.reuse {
+		// The flattened result is a view over x's data; cache the header and
+		// repoint it instead of allocating a fresh one per pass.
+		if f.view == nil || f.view.Shape[0] != x.Len() {
+			f.view = x.Reshape(x.Len())
+		} else {
+			f.view.Data = x.Data
+		}
+		return f.view
+	}
 	return x.Reshape(x.Len())
 }
 

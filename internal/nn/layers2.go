@@ -10,7 +10,11 @@ import (
 // the same accelerator.
 type Sigmoid struct {
 	lastOut *Tensor
+	reuse   bool
+	outBuf  *Tensor
 }
+
+func (s *Sigmoid) enableReuse() { s.reuse = true }
 
 // Name implements Layer.
 func (s *Sigmoid) Name() string { return "sigmoid" }
@@ -23,8 +27,8 @@ func (s *Sigmoid) OutShape(in []int) []int { return append([]int(nil), in...) }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *Tensor) *Tensor {
-	out := x.Clone()
-	for i, v := range out.Data {
+	out := outTensor(&s.outBuf, s.reuse, x.Shape)
+	for i, v := range x.Data {
 		out.Data[i] = 1 / (1 + math.Exp(-v))
 	}
 	s.lastOut = out
@@ -44,7 +48,11 @@ func (s *Sigmoid) Backward(grad *Tensor) *Tensor {
 type AvgPool2D struct {
 	Size   int
 	lastIn []int // input shape for backward
+	reuse  bool
+	outBuf *Tensor
 }
+
+func (m *AvgPool2D) enableReuse() { m.reuse = true }
 
 // Name implements Layer.
 func (m *AvgPool2D) Name() string { return fmt.Sprintf("avgpool(%d)", m.Size) }
@@ -61,7 +69,7 @@ func (m *AvgPool2D) OutShape(in []int) []int {
 func (m *AvgPool2D) Forward(x *Tensor) *Tensor {
 	m.lastIn = x.Shape
 	os := m.OutShape(x.Shape)
-	out := NewTensor(os...)
+	out := outTensor(&m.outBuf, m.reuse, os)
 	_, h, w := x.chw()
 	inv := 1 / float64(m.Size*m.Size)
 	i := 0

@@ -26,11 +26,17 @@ func (n *Network) Forward(x *Tensor) *Tensor {
 }
 
 // ForwardWith runs the forward pass with external MVM engines substituted
-// for the layers present in the map (keyed by layer index) — the hook the
-// crossbar simulator uses to take over the arithmetic.
-func (n *Network) ForwardWith(x *Tensor, mvms map[int]MVMFunc) *Tensor {
+// for the layers whose slice entry is non-nil (indexed by layer position) —
+// the hook the crossbar simulator uses to take over the arithmetic. The
+// slice may be shorter than the layer stack; missing or nil entries run the
+// layer's own float arithmetic.
+func (n *Network) ForwardWith(x *Tensor, mvms []MVMFunc) *Tensor {
 	for i, l := range n.Layers {
-		if mvm, ok := mvms[i]; ok {
+		var mvm MVMFunc
+		if i < len(mvms) {
+			mvm = mvms[i]
+		}
+		if mvm != nil {
 			il, okCast := l.(InferenceLayer)
 			if !okCast {
 				panic(fmt.Sprintf("nn: layer %d (%s) cannot host an external MVM", i, l.Name()))

@@ -404,7 +404,7 @@ func TestForwardWithPanicsOnNonMVMLayer(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	net.ForwardWith(NewTensor(1, 28, 28), map[int]MVMFunc{0: func(x []float64) []float64 { return nil }})
+	net.ForwardWith(NewTensor(1, 28, 28), []MVMFunc{0: func(x []float64) []float64 { return nil }})
 }
 
 func TestSigmoidForwardBackward(t *testing.T) {

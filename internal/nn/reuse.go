@@ -1,0 +1,73 @@
+package nn
+
+// Buffer reuse turns the forward pass of a fixed-topology network into a
+// zero-allocation loop: each layer keeps its output tensor (and any forward
+// scratch, such as the convolution patch buffer) and overwrites it on the
+// next call instead of allocating a fresh one.
+//
+// Reuse is opt-in per network instance because it changes the lifetime of
+// forward results: with reuse enabled, the tensor returned by Forward /
+// ForwardWith is valid only until the layer's next forward call. Training
+// keeps the default allocate-per-call behavior; inference sessions enable
+// reuse on their private CloneForInference copy, where each forward result
+// is consumed before the next pass begins.
+
+// reusable is implemented by layers that can recycle forward-pass buffers.
+type reusable interface {
+	enableReuse()
+}
+
+// EnableBufferReuse switches every capable layer of this network instance to
+// recycled forward buffers. After this call, tensors returned by Forward and
+// ForwardWith are owned by the layers and valid only until the next forward
+// pass through the same network. Intended for private inference clones (see
+// CloneForInference); do not enable it on a network being trained or shared
+// across goroutines.
+func (n *Network) EnableBufferReuse() {
+	for _, l := range n.Layers {
+		if r, ok := l.(reusable); ok {
+			r.enableReuse()
+		}
+	}
+}
+
+func sameShape(a []int, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, d := range a {
+		if d != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// outTensor returns the output tensor for one forward call: a fresh
+// allocation when reuse is off, the cached buffer when it is on and the
+// shape matches (the steady state for a fixed topology). Callers must
+// overwrite every element — reused buffers keep the previous pass's values.
+func outTensor(cached **Tensor, reuse bool, shape []int) *Tensor {
+	if reuse && *cached != nil && sameShape((*cached).Shape, shape) {
+		return *cached
+	}
+	t := NewTensor(shape...)
+	if reuse {
+		*cached = t
+	}
+	return t
+}
+
+// outVec is outTensor for rank-1 outputs. It exists so vector layers (Dense)
+// stay allocation-free when warm: the shape literal is built only on the
+// cache-miss path, never per call.
+func outVec(cached **Tensor, reuse bool, n int) *Tensor {
+	if reuse && *cached != nil && len((*cached).Shape) == 1 && (*cached).Shape[0] == n {
+		return *cached
+	}
+	t := NewTensor(n)
+	if reuse {
+		*cached = t
+	}
+	return t
+}

@@ -1,0 +1,51 @@
+package noise
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestAggregateRowLevelsMatchesFull checks the level-list aggregation path
+// against the full-scan one on random sparse count vectors: same float
+// accumulation order, bit-identical aggregates.
+func TestAggregateRowLevelsMatchesFull(t *testing.T) {
+	p := DefaultDeviceParams()
+	p.BitsPerCell = 3
+	s, err := NewRowSampler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(12, 34))
+	k := p.NumLevels()
+	for trial := 0; trial < 200; trial++ {
+		counts := make([]int, k)
+		var levels []uint8
+		for l := 1; l < k; l++ {
+			switch rng.IntN(3) {
+			case 0: // absent level: zero count, not listed
+			case 1: // present level with zero active count: listed, zero
+				levels = append(levels, uint8(l))
+			case 2:
+				levels = append(levels, uint8(l))
+				counts[l] = 1 + rng.IntN(64)
+			}
+		}
+		want := s.AggregateRow(counts)
+		got := s.AggregateRowLevels(levels, counts)
+		if got != want {
+			t.Fatalf("trial %d (levels %v counts %v): list agg %+v, full agg %+v",
+				trial, levels, counts, got, want)
+		}
+		fused, ideal := s.AggregateRowLevelsIdeal(levels, counts)
+		if fused != want {
+			t.Fatalf("trial %d: fused agg %+v, full agg %+v", trial, fused, want)
+		}
+		wantIdeal := 0
+		for l, c := range counts {
+			wantIdeal += l * c
+		}
+		if ideal != wantIdeal {
+			t.Fatalf("trial %d: fused ideal %d, want %d", trial, ideal, wantIdeal)
+		}
+	}
+}

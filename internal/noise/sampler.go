@@ -40,6 +40,21 @@ type RowSampler struct {
 	// giantMag[k] is the step magnitude of a giant RTN event on a level-k
 	// cell; giant events are not attenuated by averaging.
 	giantMag []float64
+	// binom caches the CDF tables of the Binomial(n, PRTN) draw so the hot
+	// path does not rebuild the pmf recurrence (a math.Pow per draw) for
+	// every (row, input-bit). Draw-identical to stats.SampleBinomial.
+	binom *stats.Binomial
+	// terms mirrors the per-level slices above in array-of-structs layout so
+	// the per-(row, bit-plane) aggregation touches one cache line per level
+	// instead of six slices. Values are bit-copies of the originals.
+	terms []levelTerms
+}
+
+// levelTerms is the per-level noise model in hot-path layout.
+type levelTerms struct {
+	stepExcess, compSteps, progVar, thermVar, gSteps float64
+	// rtnActive caches stepExcess > stepFloor.
+	rtnActive bool
 }
 
 // NewRowSampler precomputes the per-level terms for a device configuration.
@@ -87,6 +102,18 @@ func NewRowSampler(p DeviceParams) (*RowSampler, error) {
 	// Shot variance in steps^2 is 2qfI/di^2 with I = curSteps*di.
 	s.shotVarPerStep = 2 * electronCharge * p.SampleFreq / di
 	s.invSqrtK = 1 / math.Sqrt(float64(p.RTNAveraging))
+	s.binom = stats.NewBinomial(p.PRTN)
+	s.terms = make([]levelTerms, len(levels))
+	for k := range levels {
+		s.terms[k] = levelTerms{
+			stepExcess: s.stepExcess[k],
+			compSteps:  s.compSteps[k],
+			progVar:    s.progVar[k],
+			thermVar:   s.thermVar[k],
+			gSteps:     s.gSteps[k],
+			rtnActive:  s.stepExcess[k] > stepFloor,
+		}
+	}
 	return s, nil
 }
 
@@ -122,6 +149,124 @@ func (s *RowSampler) aggregate(counts []int) (n int, sbar, residMean, statVar, d
 	return n, sbar, meanExcess - comp, statVar, dynVar
 }
 
+// aggregateLevels is aggregate restricted to the given ascending level list
+// (a crossbar.Array present-level list). It visits exactly the levels
+// aggregate would have found nonzero — counts of unlisted levels must be
+// zero — in the same ascending order, so the float accumulation is
+// identical.
+func (s *RowSampler) aggregateLevels(levels []uint8, counts []int) (n int, sbar, residMean, statVar, dynVar float64) {
+	var stepSum, meanExcess, comp, curSteps float64
+	for _, lv := range levels {
+		k := int(lv)
+		c := counts[k]
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if s.stepExcess[k] > stepFloor {
+			n += c
+			stepSum += fc * s.stepExcess[k]
+			meanExcess += fc * s.params.PRTN * s.stepExcess[k]
+		}
+		comp += fc * s.compSteps[k]
+		statVar += fc * s.progVar[k]
+		dynVar += fc * s.thermVar[k]
+		curSteps += fc * s.gSteps[k]
+	}
+	dynVar += s.shotVarPerStep * curSteps
+	if n > 0 {
+		sbar = stepSum / float64(n)
+	}
+	return n, sbar, meanExcess - comp, statVar, dynVar
+}
+
+// RowAgg is the deterministic part of one row read's noise model: everything
+// SampleDeviation derives from the active-cell counts before it touches the
+// RNG. Precomputing it lets the accelerator reuse one aggregate across ECU
+// retry re-reads instead of re-reducing the counts per attempt.
+type RowAgg struct {
+	// N is the RTN-active cell population.
+	N int
+	// Sbar is the mean RTN excess per active cell, in steps.
+	Sbar float64
+	// Resid is the residual mean shift after programming-time compensation.
+	Resid float64
+	// Sigma is the combined Gaussian deviation sqrt(statVar + dynVar/K),
+	// zero when the variance is non-positive.
+	Sigma float64
+}
+
+// AggregateRow reduces active-cell counts to the reusable aggregate.
+func (s *RowSampler) AggregateRow(counts []int) RowAgg {
+	return s.finishAgg(s.aggregate(counts))
+}
+
+// AggregateRowLevels is AggregateRow over a present-level list: counts of
+// unlisted levels must be zero.
+func (s *RowSampler) AggregateRowLevels(levels []uint8, counts []int) RowAgg {
+	return s.finishAgg(s.aggregateLevels(levels, counts))
+}
+
+// AggregateRowLevelsIdeal is AggregateRowLevels fused with the ideal ADC
+// output reduction sum(level*count): the accelerator's precompute pass needs
+// both per (row, bit-plane), and one walk of the level list serves the two.
+// The extra integer accumulation cannot perturb the float sequence, so the
+// aggregate stays bit-identical to AggregateRowLevels.
+func (s *RowSampler) AggregateRowLevelsIdeal(levels []uint8, counts []int) (RowAgg, int) {
+	var stepSum, meanExcess, comp, curSteps float64
+	var n, ideal int
+	var sbar, statVar, dynVar float64
+	p := s.params.PRTN
+	for _, lv := range levels {
+		k := int(lv)
+		c := counts[k]
+		if c == 0 {
+			continue
+		}
+		ideal += k * c
+		fc := float64(c)
+		t := &s.terms[k]
+		if t.rtnActive {
+			n += c
+			stepSum += fc * t.stepExcess
+			meanExcess += fc * p * t.stepExcess
+		}
+		comp += fc * t.compSteps
+		statVar += fc * t.progVar
+		dynVar += fc * t.thermVar
+		curSteps += fc * t.gSteps
+	}
+	dynVar += s.shotVarPerStep * curSteps
+	if n > 0 {
+		sbar = stepSum / float64(n)
+	}
+	return s.finishAgg(n, sbar, meanExcess-comp, statVar, dynVar), ideal
+}
+
+func (s *RowSampler) finishAgg(n int, sbar, residMean, statVar, dynVar float64) RowAgg {
+	agg := RowAgg{N: n, Sbar: sbar, Resid: residMean}
+	if v := statVar + dynVar*s.invSqrtK*s.invSqrtK; v > 0 {
+		agg.Sigma = math.Sqrt(v)
+	}
+	return agg
+}
+
+// SampleAgg draws the continuous row-read deviation from a precomputed
+// aggregate. SampleAgg(rng, AggregateRow(counts)) is draw-for-draw and
+// bit-for-bit identical to SampleDeviation(rng, counts).
+func (s *RowSampler) SampleAgg(rng *rand.Rand, agg RowAgg) float64 {
+	dev := agg.Resid
+	p := s.params.PRTN
+	if agg.N > 0 && agg.Sbar > 0 && p > 0 {
+		m := s.binom.Sample(rng, agg.N)
+		dev += (float64(m) - float64(agg.N)*p) * agg.Sbar * s.invSqrtK
+	}
+	if agg.Sigma > 0 {
+		dev += rng.NormFloat64() * agg.Sigma
+	}
+	return dev
+}
+
 // SampleError draws one signed quantization error (in ADC steps) for a row
 // read with the given active-cell counts per level. counts must have
 // NumLevels entries. The zero-mean RTN fluctuation and the per-conversion
@@ -136,17 +281,7 @@ func (s *RowSampler) SampleError(rng *rand.Rand, counts []int) int {
 // contributions of giant-prone and stuck cells on top of this core before
 // rounding.
 func (s *RowSampler) SampleDeviation(rng *rand.Rand, counts []int) float64 {
-	n, sbar, residMean, statVar, dynVar := s.aggregate(counts)
-	dev := residMean
-	p := s.params.PRTN
-	if n > 0 && sbar > 0 && p > 0 {
-		m := stats.SampleBinomial(rng, n, p)
-		dev += (float64(m) - float64(n)*p) * sbar * s.invSqrtK
-	}
-	if v := statVar + dynVar*s.invSqrtK*s.invSqrtK; v > 0 {
-		dev += rng.NormFloat64() * math.Sqrt(v)
-	}
-	return dev
+	return s.SampleAgg(rng, s.AggregateRow(counts))
 }
 
 // GiantMagnitude returns the current excess, in ADC steps, of a giant-prone

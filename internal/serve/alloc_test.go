@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestWarmPredictAllocBound: once a worker's session arena is warm, the
+// whole request path must allocate only the O(1) per-request bookkeeping —
+// the job, its response channel, and the TopK result — never anything
+// proportional to the model (the hardware MVM path is allocation-free, see
+// accel's TestWarmForwardZeroAllocs). The bound has headroom over the
+// measured count (~5) to tolerate scheduler-internal churn, while still
+// catching any per-row or per-layer allocation sneaking back in.
+func TestWarmPredictAllocBound(t *testing.T) {
+	eng, _ := testEngine(t, 0)
+	s, err := NewScheduler(eng, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	x := testInput(1)
+	for i := 0; i < 20; i++ {
+		if _, err := s.Predict(context.Background(), x, uint64(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := uint64(100)
+	allocs := testing.AllocsPerRun(200, func() {
+		seed++
+		if _, err := s.Predict(context.Background(), x, seed, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 12 {
+		t.Fatalf("warm Predict allocates %.0f times per request, want <= 12", allocs)
+	}
+}

@@ -34,6 +34,10 @@ type Config struct {
 	// retry → remap → degrade ladder into the pool. Disabled by default:
 	// with it off, a prediction stays a pure function of (engine, seed).
 	Recovery RecoveryConfig
+	// Pprof registers the net/http/pprof handlers under /debug/pprof/ on
+	// the server mux, next to /healthz and /metrics. Off by default:
+	// profiling endpoints on a serving port are an operator opt-in.
+	Pprof bool
 	// Scrub wires the proactive patrol scrubber into the pool — the
 	// counterpart to Recovery that repairs arrays during idle slots before
 	// errors can trip a breaker. Disabled by default for the same

@@ -71,6 +71,9 @@ const autoSeedBase = uint64(1) << 32
 // workerState is one worker's owned session.
 type workerState struct {
 	sess *accel.Session
+	// perLayer is the worker's reusable per-request layer-stats map; the
+	// monitor's Observe only reads it, so one map per worker suffices.
+	perLayer map[int]accel.Stats
 }
 
 // Scheduler owns a fixed pool of accel.Session workers fed by a bounded
@@ -221,7 +224,7 @@ func (s *Scheduler) submit(ctx context.Context, input *nn.Tensor, seed uint64, t
 // until the queue is closed and drained.
 func (s *Scheduler) worker(id uint64) {
 	defer s.wg.Done()
-	w := &workerState{sess: s.eng.NewSession(id)}
+	w := &workerState{sess: s.eng.NewSession(id), perLayer: make(map[int]accel.Stats)}
 	for j := range s.queue {
 		s.inflight.Add(1)
 		if s.cfg.dequeueHook != nil {
@@ -293,8 +296,8 @@ func (s *Scheduler) evaluateSeed(w *workerState, j *job, seed uint64) (pred Pred
 		k = s.cfg.TopK
 	}
 	topk := logits.TopK(k)
-	perLayer = sess.DrainLayerStats()
-	return Prediction{Class: topk[0], TopK: topk, Seed: seed, Stats: sess.DrainStats()}, perLayer, nil
+	sess.DrainLayerStatsInto(w.perLayer)
+	return Prediction{Class: topk[0], TopK: topk, Seed: seed, Stats: sess.DrainStats()}, w.perLayer, nil
 }
 
 // DrainSummary reports what a Close drained — and what it had to abandon

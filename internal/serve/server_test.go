@@ -302,3 +302,27 @@ func scrapeMetric(t *testing.T, srv *Server, series string) uint64 {
 	}
 	return v
 }
+
+// TestPprofGated checks that the profiling handlers exist only when
+// Config.Pprof opts in.
+func TestPprofGated(t *testing.T) {
+	off := testServer(t, 0, Config{Workers: 1})
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	off.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof off: GET /debug/pprof/ = %d, want 404", rec.Code)
+	}
+
+	on := testServer(t, 0, Config{Workers: 1, Pprof: true})
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof on: GET /debug/pprof/ = %d, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof on: GET /debug/pprof/cmdline = %d, want 200", rec.Code)
+	}
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+)
+
+// Binomial is a fixed-p binomial sampler that caches the per-n CDF tables
+// SampleBinomial's inversion path rebuilds on every call. The hot MVM loop
+// draws Binomial(n, PRTN) once per (row, input-bit) with p fixed for the
+// lifetime of the device model, so the pmf recurrence — dominated by a
+// math.Pow per draw — is pure rework; the cache amortizes it to a single
+// table build per distinct n.
+//
+// Sample is draw-for-draw identical to SampleBinomial(rng, n, p): the same
+// inputs consume the same number and kind of RNG variates and return the
+// same value, including the p>0.5 reflection, the normal-approximation
+// regime, and the Bernoulli underflow fallback. The CDF tables are built
+// with the exact float recurrence of binomialInversion so the inverted
+// values match bit for bit.
+//
+// Sample is safe for concurrent use by multiple goroutines (each with its
+// own rng); the table cache grows under a mutex and publishes atomically.
+type Binomial struct {
+	p    float64 // the caller's p, used for edge cases and Bernoulli trials
+	pEff float64 // min(p, 1-p): the p the tables are built for
+	refl bool    // p > 0.5: return n - k
+
+	mu     sync.Mutex
+	tables atomic.Pointer[[]*binomTable]
+}
+
+// binomTable is the cached inversion state for one n. Immutable once
+// published.
+type binomTable struct {
+	// bernoulli marks ns whose pmf head math.Pow(q, n) underflowed to 0;
+	// SampleBinomial falls back to counting n Bernoulli trials there, and
+	// the cached path must consume draws identically.
+	bernoulli bool
+	// cdf[k] = P(X <= k) accumulated with the exact binomialInversion
+	// recurrence (not the closed form), so inversion results match bit for
+	// bit. Non-decreasing; may plateau below 1 from float rounding.
+	cdf []float64
+}
+
+// NewBinomial builds a sampler for the fixed success probability p.
+func NewBinomial(p float64) *Binomial {
+	b := &Binomial{p: p, pEff: p}
+	if p > 0.5 && p < 1 {
+		b.refl = true
+		b.pEff = 1 - p
+	}
+	return b
+}
+
+// P returns the success probability the sampler was built for.
+func (b *Binomial) P() float64 { return b.p }
+
+// Sample draws from Binomial(n, p), equivalently to
+// SampleBinomial(rng, n, p) in both value and RNG consumption.
+func (b *Binomial) Sample(rng *rand.Rand, n int) int {
+	if n <= 0 || b.p <= 0 {
+		return 0
+	}
+	if b.p >= 1 {
+		return n
+	}
+	k := b.sampleEff(rng, n)
+	if b.refl {
+		return n - k
+	}
+	return k
+}
+
+// sampleEff samples Binomial(n, pEff) with pEff <= 0.5.
+func (b *Binomial) sampleEff(rng *rand.Rand, n int) int {
+	np := float64(n) * b.pEff
+	if np >= 12 && n >= 30 {
+		sigma := math.Sqrt(np * (1 - b.pEff))
+		k := int(math.Round(np + sigma*rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	return b.sampleTable(rng, n, b.table(n))
+}
+
+// sampleTable is the cached counterpart of binomialInversion.
+func (b *Binomial) sampleTable(rng *rand.Rand, n int, t *binomTable) int {
+	// binomialInversion draws u before it can detect pmf underflow, so the
+	// Bernoulli fallback burns one Float64 ahead of its n trial draws.
+	u := rng.Float64()
+	if t.bernoulli {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < b.pEff {
+				k++
+			}
+		}
+		return k
+	}
+	// Inversion returns the first k with u <= cdf[k], capped at n. A
+	// sequential scan finds it in E[k]+1 ~ np+1 cache-friendly probes —
+	// cheaper than a binary search's scattered ones for the small np this
+	// regime implies (np >= 12 goes to the normal approximation instead).
+	for k, c := range t.cdf {
+		if u <= c {
+			return k
+		}
+	}
+	return n
+}
+
+// table returns the cached inversion table for n, building it on first use.
+func (b *Binomial) table(n int) *binomTable {
+	if p := b.tables.Load(); p != nil && n < len(*p) && (*p)[n] != nil {
+		return (*p)[n]
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var cur []*binomTable
+	if p := b.tables.Load(); p != nil {
+		cur = *p
+	}
+	if n < len(cur) && cur[n] != nil {
+		return cur[n]
+	}
+	grown := make([]*binomTable, max(n+1, len(cur)))
+	copy(grown, cur)
+	t := buildBinomTable(n, b.pEff)
+	grown[n] = t
+	b.tables.Store(&grown)
+	return t
+}
+
+// buildBinomTable accumulates the CDF with binomialInversion's exact float
+// sequence: pmf(0) = Pow(q, n), pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/q.
+func buildBinomTable(n int, p float64) *binomTable {
+	q := 1 - p
+	ratio := p / q
+	pmf := math.Pow(q, float64(n))
+	if pmf == 0 {
+		return &binomTable{bernoulli: true}
+	}
+	cdf := make([]float64, n+1)
+	c := pmf
+	cdf[0] = c
+	for k := 0; k < n; k++ {
+		pmf *= float64(n-k) / float64(k+1) * ratio
+		c += pmf
+		cdf[k+1] = c
+	}
+	return &binomTable{cdf: cdf}
+}

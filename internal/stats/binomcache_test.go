@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestBinomialMatchesSampleBinomial proves the cached sampler is
+// draw-for-draw interchangeable with SampleBinomial: identical values AND
+// identical RNG consumption (checked by comparing a canary draw after each
+// sampling sequence), across the inversion, reflection, normal, and
+// Bernoulli-fallback regimes.
+func TestBinomialMatchesSampleBinomial(t *testing.T) {
+	ps := []float64{0, 1e-9, 0.01, 0.27, 0.5, 0.73, 0.999, 1, 1.5, -0.1}
+	ns := []int{-3, 0, 1, 2, 7, 29, 30, 31, 64, 100, 128, 333, 1024}
+	for _, p := range ps {
+		b := NewBinomial(p)
+		for _, n := range ns {
+			for seed := uint64(1); seed <= 5; seed++ {
+				ra := rand.New(rand.NewPCG(seed, 99))
+				rb := rand.New(rand.NewPCG(seed, 99))
+				// Interleave several draws so per-call state also matches.
+				for i := 0; i < 4; i++ {
+					want := SampleBinomial(ra, n, p)
+					got := b.Sample(rb, n)
+					if got != want {
+						t.Fatalf("p=%g n=%d seed=%d draw %d: cached %d, reference %d", p, n, seed, i, got, want)
+					}
+				}
+				if ca, cb := ra.Uint64(), rb.Uint64(); ca != cb {
+					t.Fatalf("p=%g n=%d seed=%d: RNG canary diverged (%d vs %d) — draw consumption differs", p, n, seed, ca, cb)
+				}
+			}
+		}
+	}
+}
+
+// TestBinomialBernoulliFallback pins the Pow-underflow regime. The live
+// thresholds make it unreachable (inversion requires np < 12 or n < 30, and
+// q^n with q >= 0.5, n < ~1000 never underflows), but a future threshold
+// change could expose it, so the table builder and sampleEff must already
+// consume draws exactly like binomialInversion: one discarded u, then n
+// Bernoulli trials.
+func TestBinomialBernoulliFallback(t *testing.T) {
+	const n, p = 3000, 0.4
+	tab := buildBinomTable(n, p)
+	if !tab.bernoulli {
+		t.Fatalf("expected Pow(%g, %d) to underflow into the Bernoulli regime", 1-p, n)
+	}
+	ra := rand.New(rand.NewPCG(7, 1))
+	rb := rand.New(rand.NewPCG(7, 1))
+	_ = ra.Float64() // the u binomialInversion draws before detecting underflow
+	want := 0
+	for i := 0; i < n; i++ {
+		if ra.Float64() < p {
+			want++
+		}
+	}
+	b := NewBinomial(p)
+	if got := b.sampleTable(rb, n, tab); got != want {
+		t.Fatalf("bernoulli fallback: cached %d, manual %d", got, want)
+	}
+	if ra.Uint64() != rb.Uint64() {
+		t.Fatalf("bernoulli fallback consumed a different number of draws")
+	}
+}
+
+// TestBinomialConcurrent exercises the lazy table growth under concurrent
+// first use; the race detector is the real assertion.
+func TestBinomialConcurrent(t *testing.T) {
+	b := NewBinomial(0.27)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 1; n < 128; n++ {
+				ref := rand.New(rand.NewPCG(uint64(g), uint64(n)))
+				chk := rand.New(rand.NewPCG(uint64(g), uint64(n)))
+				if b.Sample(chk, n) != SampleBinomial(ref, n, 0.27) {
+					t.Errorf("goroutine %d n=%d diverged", g, n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -24,6 +24,21 @@ func SubRNG(seed, stream uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, mix(stream)))
 }
 
+// SubPCG returns the raw PCG source behind SubRNG(seed, stream). Callers
+// that reseed per evaluation (serve sessions, Monte-Carlo workers) keep the
+// source and rewind it with ReseedSub instead of allocating a fresh
+// rand.Rand per stream.
+func SubPCG(seed, stream uint64) *rand.PCG {
+	return rand.NewPCG(seed, mix(stream))
+}
+
+// ReseedSub repoints src at the (seed, stream) sub-stream. A rand.Rand
+// wrapping src then produces exactly the sequence SubRNG(seed, stream)
+// would, with no allocation.
+func ReseedSub(src *rand.PCG, seed, stream uint64) {
+	src.Seed(seed, mix(stream))
+}
+
 // mix is the splitmix64 finalizer; it spreads small stream indices across
 // the full 64-bit space so PCG sequences do not overlap.
 func mix(x uint64) uint64 {

@@ -121,6 +121,8 @@ type (
 	MappedMatrix = accel.MappedMatrix
 	// AccelStats tallies ECU activity.
 	AccelStats = accel.Stats
+	// Scratch is the per-evaluation-stream MVM arena.
+	Scratch = accel.Scratch
 )
 
 var (
@@ -132,6 +134,7 @@ var (
 	DefaultConfig   = accel.DefaultConfig
 	Map             = accel.Map
 	MapMatrix       = accel.MapMatrix
+	NewScratch      = accel.NewScratch
 )
 
 // SharedStats is a concurrency-safe Stats accumulator for serving pools.
