@@ -29,6 +29,14 @@
 //
 //	mnnserve -workload MLP1 -scrub -scrub-interval 500ms -spare-rows 4
 //
+// -replicas N programs every layer onto N independent array sets behind a
+// health-aware router: flagged reads fail over to a sibling copy before the
+// temporal ladder escalates, persistently flagged layers majority-vote
+// across 3 copies (-vote-threshold), and sick copies are detached,
+// re-programmed, verified, and rejoined while their siblings keep serving:
+//
+//	mnnserve -workload MLP1 -replicas 2 -fault-steps 4 -fault-every 50
+//
 // SIGINT/SIGTERM drain the admission queue before exiting.
 package main
 
@@ -47,6 +55,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/expt"
 	"repro/internal/fault"
+	"repro/internal/replica"
 	"repro/internal/serve"
 )
 
@@ -87,6 +96,8 @@ func run(args []string) error {
 	scrubInterval := fs.Duration("scrub-interval", time.Second, "idle-slot patrol tick interval")
 	spareRows := fs.Int("spare-rows", 0, "spare lines per array available for patrol sparing")
 	verifyIters := fs.Int("verify-iters", 5, "max write-verify pulses per programmed cell (0 = blind programming)")
+	replicas := fs.Int("replicas", 1, "independent programmed copies per layer with health-aware routing (1 = no replication)")
+	voteThreshold := fs.Int("vote-threshold", 3, "consecutive flagged MVMs before a layer majority-votes across 3 replicas (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving address")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -155,6 +166,15 @@ func run(args []string) error {
 			Seed:        *seed,
 		}
 	}
+	if *replicas > 1 {
+		scfg.Replicas = replica.Config{
+			N:             *replicas,
+			VoteThreshold: *voteThreshold,
+			Monitor:       fault.MonitorConfig{TripRate: *tripRate},
+		}
+		fmt.Fprintf(os.Stderr, "replicating onto %d independent array sets (%.0fx area)...\n",
+			*replicas, float64(*replicas))
+	}
 	srv, err := serve.NewServer(eng, serve.Model{Name: w.Name, InShape: w.Net.InShape}, scfg)
 	if err != nil {
 		return err
@@ -207,9 +227,14 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "drained, bye (served %d requests; ECC clean/corrected/detected %d/%d/%d)\n",
 		sum.Served, sum.ECC.Clean, sum.ECC.Corrected, sum.ECC.Detected)
 	rc := srv.Scheduler().RecoveryCounters()
-	if rc.Retries+rc.Remaps+rc.Degrades > 0 {
-		fmt.Fprintf(os.Stderr, "recovery ladder: %d retries, %d remaps, %d degrades\n",
-			rc.Retries, rc.Remaps, rc.Degrades)
+	if rc.Retries+rc.Failovers+rc.Remaps+rc.Degrades > 0 {
+		fmt.Fprintf(os.Stderr, "recovery ladder: %d retries, %d failovers, %d remaps, %d degrades\n",
+			rc.Retries, rc.Failovers, rc.Remaps, rc.Degrades)
+	}
+	if set := srv.Scheduler().ReplicaSet(); set != nil {
+		st := set.Status()
+		fmt.Fprintf(os.Stderr, "replica votes: %d rounds, %d disagreeing elements\n",
+			st.Votes, st.Disagreements)
 	}
 	return nil
 }

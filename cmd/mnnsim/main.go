@@ -15,7 +15,11 @@
 //	mnnsim scrub   — closed-loop lifetime study: the same campaign with and
 //	                 without patrol scrubbing, comparing how long each arm
 //	                 stays inside the software accuracy band
-//	mnnsim all     — everything above except faults and scrub
+//	mnnsim replicas — spatial-redundancy lifetime study: the wear-out
+//	                 campaign against serving pools with R = 1, 2, 3 replica
+//	                 copies, reporting accuracy, availability, and the honest
+//	                 R× hardware bill
+//	mnnsim all     — everything above except faults, scrub, and replicas
 //
 // Results print to stdout; CSVs land under -out when set.
 package main
@@ -60,12 +64,14 @@ func run(args []string) error {
 	verifyIters := fs.Int("verify-iters", 5, "scrub: max write-verify pulses per programmed cell")
 	scrubSteps := fs.Int("scrub-steps", 6, "scrub: lifetime steps in the scrub-on/off comparison")
 	scrubSlack := fs.Float64("scrub-slack", 0.05, "scrub: allowed miss-rate excess over the software baseline")
+	replicaList := fs.String("replicas", "1,2,3", "replicas: comma-separated R values to sweep")
+	voteThreshold := fs.Int("vote-threshold", 3, "replicas: consecutive flagged reads before majority voting (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|faults|scrub|all)")
+		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|faults|scrub|replicas|all)")
 	}
 
 	opt := expt.DefaultSweepOptions()
@@ -105,12 +111,26 @@ func run(args []string) error {
 		BandSlack:   *scrubSlack,
 	}
 
+	var repList []int
+	for _, tok := range splitCSV(*replicaList) {
+		var r int
+		if _, err := fmt.Sscanf(tok, "%d", &r); err != nil {
+			return fmt.Errorf("bad -replicas entry %q", tok)
+		}
+		repList = append(repList, r)
+	}
+	repOpt := replicaOptions{
+		Replicas:      repList,
+		VoteThreshold: *voteThreshold,
+		SpareRows:     *spareRows,
+	}
+
 	cmds := fs.Args()
 	if len(cmds) == 1 && cmds[0] == "all" {
 		cmds = []string{"fig7", "sec4", "table4", "fig10", "fig11", "fig12", "table3", "ablate"}
 	}
 	for _, cmd := range cmds {
-		if err := dispatch(cmd, opt, *outDir, life, scrubOpt); err != nil {
+		if err := dispatch(cmd, opt, *outDir, life, scrubOpt, repOpt); err != nil {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 	}
@@ -125,7 +145,14 @@ type scrubOptions struct {
 	BandSlack   float64
 }
 
-func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams, scrubOpt scrubOptions) error {
+// replicaOptions carries the replicas-subcommand knobs through dispatch.
+type replicaOptions struct {
+	Replicas      []int
+	VoteThreshold int
+	SpareRows     int
+}
+
+func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams, scrubOpt scrubOptions, repOpt replicaOptions) error {
 	switch cmd {
 	case "fig7":
 		res, err := expt.RunFig7(circuit.DefaultConfig())
@@ -278,6 +305,33 @@ func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.Lifet
 		expt.RenderScrub(os.Stdout, res)
 		return writeCSV(outDir, "scrub.csv", func(f *os.File) error {
 			return expt.WriteScrubCSV(f, res)
+		})
+	case "replicas":
+		workloads, err := expt.DigitWorkloads(opt.Train)
+		if err != nil {
+			return err
+		}
+		w := workloads[0]
+		dev := opt.Device
+		dev.BitsPerCell = 2
+		cfg := expt.ReplicaSweepConfig{
+			Device:        dev,
+			Scheme:        accel.SchemeABN(9),
+			Retries:       opt.Retries,
+			Images:        opt.Images,
+			Seed:          opt.Seed,
+			Replicas:      repOpt.Replicas,
+			VoteThreshold: repOpt.VoteThreshold,
+			SpareRows:     repOpt.SpareRows,
+			Lifetime:      life,
+		}
+		points, err := expt.RunReplicaSweep(w, cfg, opt.Progress)
+		if err != nil {
+			return err
+		}
+		expt.RenderReplicas(os.Stdout, points)
+		return writeCSV(outDir, "replicas.csv", func(f *os.File) error {
+			return expt.WriteReplicasCSV(f, points)
 		})
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)

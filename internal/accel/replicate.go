@@ -1,0 +1,60 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// replicaSeedStride separates the engine seeds of sibling replicas. Every
+// seed-derived stream in a replica's lifetime — map-time fault injection,
+// session noise, remap epochs, verify draws — is keyed off the engine seed,
+// so offsetting it gives the copy a fully independent error process. The
+// stride sits far above user seeds and below nothing that matters (engine
+// seeds are stream roots, not session streams, so the serve-side stride
+// constants do not apply here).
+const replicaSeedStride = uint64(1) << 48
+
+// Replicate programs the same network onto a fresh, independent set of
+// crossbar arrays: the full mapping pipeline reruns under an offset engine
+// seed, so the copy draws its own stuck-cell population, its own A codes
+// where the search is fault-driven, and later its own noise and remap
+// streams. Replica 0 is the receiver itself.
+func (e *Engine) Replicate(replica uint64) (*Engine, error) {
+	if replica == 0 {
+		return e, nil
+	}
+	cfg := e.cfg
+	cfg.Seed = e.cfg.Seed + replica*replicaSeedStride
+	return Map(e.net, cfg)
+}
+
+// InferenceNet returns a buffer-reusing forward-pass clone of the mapped
+// network, for callers that compose their own per-layer MVM routing (the
+// replica router). The clone shares immutable weights with the original.
+func (e *Engine) InferenceNet() *nn.Network {
+	n := e.net.CloneForInference()
+	n.EnableBufferReuse()
+	return n
+}
+
+// MVMLayer evaluates one mapped layer's matrix-vector product on this
+// session, returning the output and the ECU stats of this call alone (also
+// merged into the session totals, exactly like a Forward-pass MVM). The
+// returned slice aliases the session's scratch arena and is valid until the
+// session's next MVM. This is the unit of spatial retry: sibling replicas
+// map the same layer shapes but may choose different per-array codes, so
+// the layer MVM is the smallest operation with identical semantics on every
+// replica.
+func (s *Session) MVMLayer(layer int, x []float64) ([]float64, Stats) {
+	sl := s.engine.slot(layer)
+	if sl == nil {
+		panic(fmt.Sprintf("accel: layer %d is not mapped", layer))
+	}
+	ls := s.layer[layer]
+	pre := *ls
+	out := sl.mvm(x, s.rng, s.scr, ls)
+	d := ls.Diff(pre)
+	s.Stats.Merge(d)
+	return out, d
+}

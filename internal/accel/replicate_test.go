@@ -1,0 +1,152 @@
+package accel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func replicateTestNet(t *testing.T) (*nn.Network, *nn.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(31, 7))
+	net := &nn.Network{Name: "rep", InShape: []int{10},
+		Layers: []nn.Layer{nn.NewDense(10, 12, rng), &nn.ReLU{}, nn.NewDense(12, 4, rng)}}
+	x := nn.FromSlice([]float64{0.2, 0.8, 0.1, 0.6, 0.4, 0.9, 0.3, 0.7, 0.5, 0.15}, 10)
+	return net, x
+}
+
+// TestReplicateIndependentFaultPopulations: sibling replicas remap the
+// network under offset engine seeds, so each copy draws its own map-time
+// stuck-cell population — observable as diverging outputs without ECC —
+// while the same replica index is reproducible bit for bit.
+func TestReplicateIndependentFaultPopulations(t *testing.T) {
+	net, x := replicateTestNet(t)
+	cfg := quietConfig(SchemeNoECC(), 2)
+	cfg.Device.FailureRate = 0.05
+	base, err := Map(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0, err := base.Replicate(0); err != nil || r0 != base {
+		t.Fatalf("replica 0 must be the receiver itself (err %v)", err)
+	}
+	r1, err := base.Replicate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := base.Replicate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y1 := r1.NewSession(5).Forward(x)
+	y2 := r2.NewSession(5).Forward(x)
+	same := true
+	for i := range y1.Data {
+		if math.Abs(y1.Data[i]-y2.Data[i]) > 1e-12 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("replicas 1 and 2 share a fault population: outputs are identical")
+	}
+
+	// Same replica index from an identically configured base → bit-equal.
+	base2, err := Map(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1b, err := base2.Replicate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y1b := r1b.NewSession(5).Forward(x)
+	for i := range y1.Data {
+		if y1.Data[i] != y1b.Data[i] {
+			t.Fatalf("replica 1 not reproducible at output %d: %g vs %g", i, y1.Data[i], y1b.Data[i])
+		}
+	}
+}
+
+// TestMVMLayerDeterministicWithStats: a single-layer evaluation is a pure
+// function of (engine, session stream, input), returns the call's own ECU
+// stats, and merges them into the session totals exactly once.
+func TestMVMLayerDeterministicWithStats(t *testing.T) {
+	net, x := replicateTestNet(t)
+	eng, err := Map(net, quietConfig(SchemeABN(8), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := eng.NewSession(3)
+	sess.Reseed(11)
+	outA, stA := sess.MVMLayer(0, x.Data)
+	if stA.RowReads == 0 || stA.GroupReads() == 0 {
+		t.Fatalf("per-call stats empty: %+v", stA)
+	}
+	gotA := append([]float64(nil), outA...)
+
+	sess.Reseed(11)
+	outB, stB := sess.MVMLayer(0, x.Data)
+	if stA != stB {
+		t.Fatalf("per-call stats not reproducible: %+v vs %+v", stA, stB)
+	}
+	for i := range gotA {
+		if gotA[i] != outB[i] {
+			t.Fatalf("reseeded re-evaluation diverges at %d: %g vs %g", i, gotA[i], outB[i])
+		}
+	}
+
+	var want Stats
+	want.Merge(stA)
+	want.Merge(stB)
+	if got := sess.DrainStats(); got != want {
+		t.Fatalf("session totals %+v, want the merged per-call stats %+v", got, want)
+	}
+
+	// A second session under the same seed reproduces the first bit for bit.
+	other := eng.NewSession(3)
+	other.Reseed(11)
+	outC, stC := other.MVMLayer(0, x.Data)
+	if stC != stA {
+		t.Fatalf("cross-session stats diverge: %+v vs %+v", stC, stA)
+	}
+	for i := range gotA {
+		if gotA[i] != outC[i] {
+			t.Fatalf("cross-session output diverges at %d", i)
+		}
+	}
+}
+
+// TestInferenceNetReusesBuffers: the routing clone shares weights with the
+// mapped network but owns its forward-pass scratch, so two clones can run
+// concurrently without aliasing each other's activations.
+func TestInferenceNetReusesBuffers(t *testing.T) {
+	net, x := replicateTestNet(t)
+	eng, err := Map(net, quietConfig(SchemeABN(8), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := eng.InferenceNet(), eng.InferenceNet()
+	sess := eng.NewSession(9)
+	mvms := make([]nn.MVMFunc, len(net.Layers))
+	for _, layer := range eng.Layers() {
+		layer := layer
+		mvms[layer] = func(in []float64) []float64 {
+			out, _ := sess.MVMLayer(layer, in)
+			return out
+		}
+	}
+	sess.Reseed(1)
+	ya := append([]float64(nil), a.ForwardWith(x, mvms).Data...)
+	sess.Reseed(2)
+	_ = b.ForwardWith(x, mvms) // must not clobber a's retained output copy
+	sess.Reseed(1)
+	yaAgain := a.ForwardWith(x, mvms)
+	for i := range ya {
+		if ya[i] != yaAgain.Data[i] {
+			t.Fatalf("clone A not deterministic at %d: %g vs %g", i, ya[i], yaAgain.Data[i])
+		}
+	}
+}

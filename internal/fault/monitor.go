@@ -116,25 +116,7 @@ func (m *Monitor) Observe(perLayer map[int]accel.Stats) []int {
 	defer m.mu.Unlock()
 	var open []int
 	for layer, st := range perLayer {
-		lw := m.layers[layer]
-		if lw == nil {
-			lw = &layerWindow{}
-			m.layers[layer] = lw
-		}
-		lw.reads += st.GroupReads()
-		lw.detected += st.Detected
-		// Exponential forgetting: halve the window once it overflows so
-		// the rate tracks recent behavior, not lifetime averages.
-		for lw.reads > m.cfg.Window {
-			lw.reads /= 2
-			lw.detected /= 2
-		}
-		if lw.state == BreakerClosed && lw.reads >= m.cfg.MinReads {
-			if float64(lw.detected) > m.cfg.TripRate*float64(lw.reads) {
-				lw.state = BreakerOpen
-				lw.trips++
-			}
-		}
+		m.observeLocked(layer, st)
 	}
 	for layer, lw := range m.layers {
 		if lw.state == BreakerOpen {
@@ -143,6 +125,41 @@ func (m *Monitor) Observe(perLayer map[int]accel.Stats) []int {
 	}
 	sort.Ints(open)
 	return open
+}
+
+// ObserveOne folds a single layer's per-call ECU stats into its window and
+// returns the layer's breaker state afterwards. It is the per-MVM variant of
+// Observe for the replica router's per-replica monitors, where building a
+// map per layer evaluation would put garbage on the serving hot path.
+func (m *Monitor) ObserveOne(layer int, st accel.Stats) BreakerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observeLocked(layer, st)
+}
+
+// observeLocked updates one layer's window under m.mu and returns the
+// resulting breaker state.
+func (m *Monitor) observeLocked(layer int, st accel.Stats) BreakerState {
+	lw := m.layers[layer]
+	if lw == nil {
+		lw = &layerWindow{}
+		m.layers[layer] = lw
+	}
+	lw.reads += st.GroupReads()
+	lw.detected += st.Detected
+	// Exponential forgetting: halve the window once it overflows so the
+	// rate tracks recent behavior, not lifetime averages.
+	for lw.reads > m.cfg.Window {
+		lw.reads /= 2
+		lw.detected /= 2
+	}
+	if lw.state == BreakerClosed && lw.reads >= m.cfg.MinReads {
+		if float64(lw.detected) > m.cfg.TripRate*float64(lw.reads) {
+			lw.state = BreakerOpen
+			lw.trips++
+		}
+	}
+	return lw.state
 }
 
 // State returns a layer's current breaker position.
@@ -165,6 +182,30 @@ func (m *Monitor) Reset(layer int) {
 		lw.reads, lw.detected = 0, 0
 		lw.state = BreakerClosed
 	}
+}
+
+// ResetAll closes every breaker and clears every window — the trust reset a
+// replica receives when it rejoins its set after a verified repair: it
+// re-earns health from fresh evidence rather than pre-repair history.
+func (m *Monitor) ResetAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, lw := range m.layers {
+		lw.reads, lw.detected = 0, 0
+		lw.state = BreakerClosed
+	}
+}
+
+// Rate returns a layer's current detected-uncorrectable window rate (0 for
+// an unseen or empty window) — the router's tiebreaker when it must pick
+// among replicas none of which has a clean breaker.
+func (m *Monitor) Rate(layer int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lw := m.layers[layer]; lw != nil && lw.reads > 0 {
+		return float64(lw.detected) / float64(lw.reads)
+	}
+	return 0
 }
 
 // OpenCount returns how many layers currently have an open breaker.

@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+)
+
+// TestObserveOnePerLayer: the per-MVM observation path trips exactly the
+// observed layer, reports its window rate, and leaves siblings untouched —
+// the contract the replica router's per-replica monitors rely on.
+func TestObserveOnePerLayer(t *testing.T) {
+	mon, err := NewMonitor(MonitorConfig{Window: 64, MinReads: 8, TripRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := mon.ObserveOne(0, accel.Stats{Clean: 8}); st != BreakerClosed {
+		t.Fatalf("clean reads tripped the breaker: %v", st)
+	}
+	if r := mon.Rate(0); r != 0 {
+		t.Fatalf("rate after clean reads = %g, want 0", r)
+	}
+	if st := mon.ObserveOne(0, accel.Stats{Detected: 8}); st != BreakerOpen {
+		t.Fatalf("50%% detected rate left the breaker %v", st)
+	}
+	if r := mon.Rate(0); r != 0.5 {
+		t.Fatalf("rate = %g, want 0.5", r)
+	}
+	if st := mon.State(1); st != BreakerClosed {
+		t.Fatalf("layer 1 breaker %v, want closed — layers must be isolated", st)
+	}
+	if mon.Rate(7) != 0 {
+		t.Fatal("unseen layer must report rate 0")
+	}
+}
+
+// TestResetAllRestoresTrust: ResetAll closes every breaker and clears every
+// window (the rejoin-after-verified-repair reset), and a layer can re-trip
+// from fresh evidence afterwards.
+func TestResetAllRestoresTrust(t *testing.T) {
+	mon, err := NewMonitor(MonitorConfig{Window: 64, MinReads: 8, TripRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for layer := 0; layer < 3; layer++ {
+		mon.ObserveOne(layer, accel.Stats{Detected: 16})
+	}
+	if n := mon.OpenCount(); n != 3 {
+		t.Fatalf("open breakers = %d, want 3", n)
+	}
+	mon.ResetAll()
+	if n := mon.OpenCount(); n != 0 {
+		t.Fatalf("open breakers after ResetAll = %d, want 0", n)
+	}
+	for layer := 0; layer < 3; layer++ {
+		if r := mon.Rate(layer); r != 0 {
+			t.Fatalf("layer %d rate after ResetAll = %g, want 0", layer, r)
+		}
+	}
+	if st := mon.ObserveOne(1, accel.Stats{Detected: 16}); st != BreakerOpen {
+		t.Fatalf("layer could not re-trip after ResetAll: %v", st)
+	}
+	// Lifetime trip counts survive the reset: the snapshot still shows the
+	// layer's history even though its window restarted.
+	for _, h := range mon.Snapshot() {
+		if h.Layer == 1 && h.Trips != 2 {
+			t.Fatalf("layer 1 trips = %d, want 2", h.Trips)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package hwmodel
+
+// PlanReplicatedNetwork sizes the hardware for R independently programmed
+// copies of the same network — the spatial-redundancy configuration where
+// each layer lives on R array sets with their own ECUs and tables. There is
+// no sharing to exploit between copies (each needs its own ADC/DAC columns,
+// ECU pipeline, and correction tables, and each is written and scrubbed
+// independently), so the honest cost is a straight R× multiply of every
+// count and of the area/power bill.
+func (t TechParams) PlanReplicatedNetwork(physicalRows, groups int, c TileConfig, spec ECUSpec, replicas int) Floorplan {
+	if replicas < 1 {
+		replicas = 1
+	}
+	fp := t.PlanNetwork(physicalRows, groups, c, spec)
+	fp.PhysicalRows *= replicas
+	fp.Groups *= replicas
+	fp.Arrays *= replicas
+	fp.IMAs *= replicas
+	fp.Tiles *= replicas
+	fp.ECUs *= replicas
+	fp.Tables *= replicas
+	fp.Area = fp.Area.Scale(float64(replicas))
+	return fp
+}

@@ -1,0 +1,39 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPlanReplicatedNetwork: R independently programmed copies cost an
+// honest R× in every hardware count and in the area/power bill — there is
+// no sharing to exploit between replicas.
+func TestPlanReplicatedNetwork(t *testing.T) {
+	tech := Default32nm()
+	cfg := DefaultTileConfig()
+	spec := DefaultECUSpec()
+	base := tech.PlanNetwork(44000, 440, cfg, spec)
+	for _, r := range []int{1, 2, 3} {
+		fp := tech.PlanReplicatedNetwork(44000, 440, cfg, spec, r)
+		if fp.Arrays != r*base.Arrays || fp.IMAs != r*base.IMAs || fp.Tiles != r*base.Tiles {
+			t.Fatalf("R=%d: arrays/IMAs/tiles %d/%d/%d, want %d/%d/%d",
+				r, fp.Arrays, fp.IMAs, fp.Tiles, r*base.Arrays, r*base.IMAs, r*base.Tiles)
+		}
+		if fp.ECUs != r*base.ECUs || fp.Tables != r*base.Tables {
+			t.Fatalf("R=%d: ECUs/tables %d/%d, want %d/%d", r, fp.ECUs, fp.Tables, r*base.ECUs, r*base.Tables)
+		}
+		if fp.PhysicalRows != r*base.PhysicalRows || fp.Groups != r*base.Groups {
+			t.Fatalf("R=%d: rows/groups %d/%d", r, fp.PhysicalRows, fp.Groups)
+		}
+		if got, want := fp.Area.AreaMM2, float64(r)*base.Area.AreaMM2; math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("R=%d: area %g mm^2, want %g", r, got, want)
+		}
+		if got, want := fp.Area.PowerMW, float64(r)*base.Area.PowerMW; math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("R=%d: power %g mW, want %g", r, got, want)
+		}
+	}
+	// Degenerate replica counts clamp to a single copy.
+	if fp := tech.PlanReplicatedNetwork(44000, 440, cfg, spec, 0); fp.Arrays != base.Arrays {
+		t.Fatalf("R=0 arrays %d, want the single-copy plan %d", fp.Arrays, base.Arrays)
+	}
+}

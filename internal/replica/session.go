@@ -1,0 +1,173 @@
+package replica
+
+import (
+	"math"
+
+	"repro/internal/accel"
+	"repro/internal/nn"
+)
+
+// layerStreamStride separates the per-layer noise streams inside one request
+// stream. Reseeding each layer MVM to (stream ^ (layer+1)*stride) makes the
+// evaluation a pure function of (replica engine, request stream, layer,
+// input): re-executing a layer on a sibling — or re-reading it during a vote
+// — always sees the same device noise it would have seen the first time, so
+// routing decisions never perturb results and failover is bit-deterministic
+// under a fixed seed.
+const layerStreamStride = uint64(1) << 40
+
+// Session is one concurrent evaluation stream over a replica set: one
+// accel.Session per replica (each with its own RNG and scratch arena), a
+// private forward-pass network clone, and the per-layer MVM closures that
+// route, fail over, and vote. Like accel.Session it must be driven from a
+// single goroutine.
+type Session struct {
+	set  *Set
+	sub  []*accel.Session
+	net  *nn.Network
+	mvms []nn.MVMFunc
+	// stream is the request-level noise stream set by Reseed.
+	stream uint64
+	// flagged counts consecutive detected-uncorrectable evaluations per
+	// layer; it resets when the routed read comes back clean and, at the
+	// vote threshold, escalates the layer to majority voting.
+	flagged []int
+	// tmp stages one sub-session's per-layer drain during the merged drain.
+	tmp map[int]accel.Stats
+}
+
+// NewSession creates an evaluation stream across every replica.
+func (s *Set) NewSession(seed uint64) *Session {
+	ses := &Session{
+		set: s,
+		sub: make([]*accel.Session, len(s.engines)),
+		net: s.engines[0].InferenceNet(),
+		tmp: make(map[int]accel.Stats),
+	}
+	for r, eng := range s.engines {
+		ses.sub[r] = eng.NewSession(seed)
+	}
+	ses.mvms = make([]nn.MVMFunc, len(ses.net.Layers))
+	ses.flagged = make([]int, len(ses.net.Layers))
+	for _, layer := range s.engines[0].Layers() {
+		layer := layer
+		ses.mvms[layer] = func(x []float64) []float64 {
+			return ses.mvmLayer(layer, x)
+		}
+	}
+	return ses
+}
+
+// Reseed repoints the session's request stream; per-layer sub-streams are
+// derived from it at each evaluation.
+func (s *Session) Reseed(stream uint64) { s.stream = stream }
+
+// eval runs one layer MVM on one replica under the derived per-layer
+// stream, feeds the replica's health monitor, and returns the output (alias
+// of that replica session's scratch arena) with the call's ECU stats.
+func (s *Session) eval(r, layer int, x []float64) ([]float64, accel.Stats) {
+	sub := s.sub[r]
+	sub.Reseed(s.stream ^ uint64(layer+1)*layerStreamStride)
+	out, st := sub.MVMLayer(layer, x)
+	s.set.routed[r].Add(1)
+	s.set.mons[r].ObserveOne(layer, st)
+	return out, st
+}
+
+// mvmLayer is the routed evaluation of one layer: pick the healthiest live
+// replica; on a detected-uncorrectable read either majority-vote (once the
+// layer is persistently flagged) or re-execute on a sibling whose fault
+// population is independent — spatial first, because temporal retry re-reads
+// the same stuck cells.
+func (s *Session) mvmLayer(layer int, x []float64) []float64 {
+	r := s.set.pick(layer, s.stream)
+	out, st := s.eval(r, layer, x)
+	if st.Detected == 0 {
+		s.flagged[layer] = 0
+		return out
+	}
+	s.flagged[layer]++
+	if th := s.set.cfg.VoteThreshold; th > 0 && s.flagged[layer] >= th {
+		if v, ok := s.vote(layer, x); ok {
+			return v
+		}
+	}
+	alt, ok := s.set.alternate(layer, s.stream, r)
+	if !ok {
+		return out
+	}
+	s.set.failovers[r].Add(1)
+	out2, st2 := s.eval(alt, layer, x)
+	if st2.Detected < st.Detected {
+		return out2
+	}
+	return out
+}
+
+// vote evaluates the layer on a 3-replica panel and returns the
+// element-wise median, tallying elements where a voter deviates past the
+// tolerance — the signature of a damaged copy whose errors alias into
+// plausible magnitudes. ok is false when fewer than 3 replicas are
+// attached. The three outputs alias three distinct scratch arenas, so they
+// are simultaneously live; the median is written into the first in place.
+func (s *Session) vote(layer int, x []float64) ([]float64, bool) {
+	vs := s.set.voters(layer, 3)
+	if len(vs) < 3 {
+		return nil, false
+	}
+	a, _ := s.eval(vs[0], layer, x)
+	b, _ := s.eval(vs[1], layer, x)
+	c, _ := s.eval(vs[2], layer, x)
+	s.set.votes.Add(1)
+	tol := s.set.cfg.VoteTolerance
+	var dis uint64
+	for i := range a {
+		av, bv, cv := a[i], b[i], c[i]
+		m := av + bv + cv - math.Min(av, math.Min(bv, cv)) - math.Max(av, math.Max(bv, cv))
+		lim := tol * math.Max(math.Abs(m), 1)
+		if math.Abs(av-m) > lim {
+			dis++
+		}
+		if math.Abs(bv-m) > lim {
+			dis++
+		}
+		if math.Abs(cv-m) > lim {
+			dis++
+		}
+		a[i] = m
+	}
+	if dis > 0 {
+		s.set.disagreements.Add(dis)
+	}
+	return a, true
+}
+
+// Forward runs one routed inference pass. The returned tensor is owned by
+// the session's network clone and valid until the next forward pass.
+func (s *Session) Forward(x *nn.Tensor) *nn.Tensor {
+	return s.net.ForwardWith(x, s.mvms)
+}
+
+// DrainStats returns the ECU statistics accumulated across every replica
+// since the last drain and resets them.
+func (s *Session) DrainStats() accel.Stats {
+	var st accel.Stats
+	for _, sub := range s.sub {
+		st.Merge(sub.DrainStats())
+	}
+	return st
+}
+
+// DrainLayerStatsInto drains the per-layer statistics of every replica,
+// merged by layer, into the caller-owned map (cleared first).
+func (s *Session) DrainLayerStatsInto(out map[int]accel.Stats) {
+	clear(out)
+	for _, sub := range s.sub {
+		sub.DrainLayerStatsInto(s.tmp)
+		for layer, st := range s.tmp {
+			agg := out[layer]
+			agg.Merge(st)
+			out[layer] = agg
+		}
+	}
+}

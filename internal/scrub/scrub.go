@@ -69,6 +69,10 @@ type Report struct {
 	Verify crossbar.VerifyTally
 }
 
+// Clean reports whether the pass left nothing uncorrectable — the verify
+// gate a detached replica must pass before rejoining its set.
+func (r Report) Clean() bool { return r.RowsUncorrectable == 0 }
+
 // Totals is the lifetime accounting of a Scrubber.
 type Totals struct {
 	Passes            uint64
@@ -78,6 +82,18 @@ type Totals struct {
 	RowsUncorrectable uint64
 	CellsReprogrammed uint64
 	Verify            crossbar.VerifyTally
+}
+
+// Merge folds another accounting into t — the serve patroller aggregates
+// one scrubber per replica into a single operator-facing view.
+func (t *Totals) Merge(o Totals) {
+	t.Passes += o.Passes
+	t.RowsPatrolled += o.RowsPatrolled
+	t.RowsRepaired += o.RowsRepaired
+	t.RowsSpared += o.RowsSpared
+	t.RowsUncorrectable += o.RowsUncorrectable
+	t.CellsReprogrammed += o.CellsReprogrammed
+	t.Verify.Merge(o.Verify)
 }
 
 // add folds one pass report into the totals.

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"repro/internal/replica"
 )
 
 // Config sizes the scheduler and its admission queue.
@@ -43,6 +45,12 @@ type Config struct {
 	// errors can trip a breaker. Disabled by default for the same
 	// determinism reason.
 	Scrub ScrubConfig
+	// Replicas programs the network onto N independent array sets fronted
+	// by a health-aware router: spatial failover ahead of the temporal
+	// ladder, majority voting for persistently flagged layers, and
+	// detach-for-maintenance without pausing traffic. N <= 1 (the default)
+	// keeps the single-copy path byte for byte.
+	Replicas replica.Config
 
 	// dequeueHook, when set, runs in the worker loop after each dequeue and
 	// before deadline checks (test instrumentation: lets tests hold a
@@ -80,6 +88,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative top-k %d", c.TopK)
 	}
 	if err := c.Scrub.Validate(); err != nil {
+		return err
+	}
+	if err := c.Replicas.Validate(); err != nil {
 		return err
 	}
 	return c.Recovery.Validate()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/crossbar"
 	"repro/internal/fault"
+	"repro/internal/replica"
 )
 
 // Request-counter outcome labels.
@@ -89,6 +90,8 @@ type GaugeView struct {
 	// Verify is the cumulative closed-loop programming accounting —
 	// mapping-time plus every scrub repair (nil when unavailable).
 	Verify *crossbar.VerifyTally
+	// Replicas is the replica-set snapshot (nil without replication).
+	Replicas *replica.SetStatus
 }
 
 // WritePrometheus renders every metric.
@@ -173,8 +176,41 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeView) {
 		fmt.Fprintf(w, "# HELP mnn_recovery_actions_total Recovery-ladder transitions by rung.\n")
 		fmt.Fprintf(w, "# TYPE mnn_recovery_actions_total counter\n")
 		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"retry\"} %d\n", g.Recovery.Retries)
+		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"failover\"} %d\n", g.Recovery.Failovers)
 		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"remap\"} %d\n", g.Recovery.Remaps)
 		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"degrade\"} %d\n", g.Recovery.Degrades)
+	}
+
+	if g.Replicas != nil {
+		fmt.Fprintf(w, "# HELP mnn_replica_attached Replica attachment state (1 = serving).\n")
+		fmt.Fprintf(w, "# TYPE mnn_replica_attached gauge\n")
+		fmt.Fprintf(w, "# HELP mnn_replica_breaker_open_layers Layers with an open routing breaker per replica.\n")
+		fmt.Fprintf(w, "# TYPE mnn_replica_breaker_open_layers gauge\n")
+		fmt.Fprintf(w, "# HELP mnn_replica_routed_mvms_total Layer MVMs served per replica.\n")
+		fmt.Fprintf(w, "# TYPE mnn_replica_routed_mvms_total counter\n")
+		fmt.Fprintf(w, "# HELP mnn_replica_failovers_total Flagged MVMs re-executed on a sibling, per flagged replica.\n")
+		fmt.Fprintf(w, "# TYPE mnn_replica_failovers_total counter\n")
+		fmt.Fprintf(w, "# HELP mnn_replica_detaches_total Maintenance detach cycles per replica.\n")
+		fmt.Fprintf(w, "# TYPE mnn_replica_detaches_total counter\n")
+		for _, r := range g.Replicas.Replicas {
+			attached := 0
+			if r.Attached {
+				attached = 1
+			}
+			fmt.Fprintf(w, "mnn_replica_attached{replica=\"%d\"} %d\n", r.ID, attached)
+			fmt.Fprintf(w, "mnn_replica_breaker_open_layers{replica=\"%d\"} %d\n", r.ID, len(r.OpenLayers))
+			fmt.Fprintf(w, "mnn_replica_routed_mvms_total{replica=\"%d\"} %d\n", r.ID, r.Routed)
+			fmt.Fprintf(w, "mnn_replica_failovers_total{replica=\"%d\"} %d\n", r.ID, r.Failovers)
+			fmt.Fprintf(w, "mnn_replica_detaches_total{replica=\"%d\"} %d\n", r.ID, r.Detaches)
+		}
+
+		fmt.Fprintf(w, "# HELP mnn_replica_votes_total Majority-vote rounds across the replica set.\n")
+		fmt.Fprintf(w, "# TYPE mnn_replica_votes_total counter\n")
+		fmt.Fprintf(w, "mnn_replica_votes_total %d\n", g.Replicas.Votes)
+
+		fmt.Fprintf(w, "# HELP mnn_replica_vote_disagreements_total Output elements where a voter deviated from the median past tolerance.\n")
+		fmt.Fprintf(w, "# TYPE mnn_replica_vote_disagreements_total counter\n")
+		fmt.Fprintf(w, "mnn_replica_vote_disagreements_total %d\n", g.Replicas.Disagreements)
 	}
 
 	fmt.Fprintf(w, "# HELP mnn_degraded_layers Layers currently served from the software fallback.\n")

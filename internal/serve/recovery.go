@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/scrub"
 )
 
 // retrySeedStride separates recovery-retry noise streams from the request's
@@ -27,10 +28,16 @@ type RecoveryConfig struct {
 	// RetryAttempts bounds rung 1: re-evaluations with a reseeded session
 	// before concluding the fault is persistent. Default 2.
 	RetryAttempts int
-	// RetryBackoff is the base pause before each retry, jittered
-	// uniformly up to 2x, so a burst of tripped workers does not hammer a
-	// struggling layer in lockstep. Default 2ms; negative disables.
+	// RetryBackoff is the base pause before the first retry; each further
+	// attempt doubles it (capped at RetryBackoffMax) and adds uniform
+	// jitter up to the doubled value, so a burst of tripped workers does
+	// not hammer a struggling layer in lockstep. The jitter RNG is seeded
+	// from (request seed, attempt), so sleep lengths are deterministic in
+	// tests. Default 2ms; negative disables.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential growth of the retry pause.
+	// Default 8x RetryBackoff.
+	RetryBackoffMax time.Duration
 	// MaxRemaps bounds rung 2: how many times a layer may be
 	// re-programmed onto spare arrays over its lifetime before the ladder
 	// stops trusting crossbars and degrades it to the software path.
@@ -44,6 +51,9 @@ func (c RecoveryConfig) withDefaults() RecoveryConfig {
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 8 * c.RetryBackoff
 	}
 	if c.MaxRemaps == 0 {
 		c.MaxRemaps = 1
@@ -66,6 +76,10 @@ func (c RecoveryConfig) Validate() error {
 type RecoveryCounters struct {
 	// Retries counts rung-1 re-evaluations.
 	Retries uint64
+	// Failovers counts spatial repairs: replicas detached, re-programmed,
+	// verified, and rejoined while their siblings kept serving (replicated
+	// pools only).
+	Failovers uint64
 	// Remaps counts rung-2 layer re-programmings.
 	Remaps uint64
 	// Degrades counts rung-3 transitions to the software path.
@@ -77,9 +91,10 @@ type recoveryState struct {
 	cfg RecoveryConfig
 	mon *fault.Monitor
 
-	retries  atomic.Uint64
-	remaps   atomic.Uint64
-	degrades atomic.Uint64
+	retries   atomic.Uint64
+	failovers atomic.Uint64
+	remaps    atomic.Uint64
+	degrades  atomic.Uint64
 }
 
 func newRecoveryState(cfg RecoveryConfig) (*recoveryState, error) {
@@ -128,6 +143,11 @@ func (s *Scheduler) recover(w *workerState, j *job, open []int) (Prediction, err
 			for _, layer := range open {
 				rec.mon.Reset(layer)
 			}
+			// With replicas, a clean retry often means the router steered
+			// around a damaged copy rather than the fault being transient;
+			// repair any replica whose own breaker is open so redundancy is
+			// restored, not just hidden.
+			s.maintainReplicas(open)
 			pred.LadderRetries = retries
 			pred.Seed = j.seed + uint64(attempt)*retrySeedStride
 			return pred, nil
@@ -164,13 +184,18 @@ type escalation int
 
 const (
 	actionNone escalation = iota
+	actionFailover
 	actionRemap
 	actionDegrade
 )
 
-// escalate applies rung 2 or 3 to one layer. The scheduler-wide mutex plus
-// a breaker re-check make the action exactly-once when several workers trip
-// on the same layer concurrently.
+// escalate applies the hardware rungs to one layer. The scheduler-wide
+// mutex plus a breaker re-check make the action exactly-once when several
+// workers trip on the same layer concurrently. With a replica set the
+// spatial rung runs first: repair the sick copies while their siblings keep
+// serving; only when no replica can be repaired does the layer degrade —
+// set-wide, because degradation is a property of the layer, not of one
+// copy. Single-copy pools keep the original inline remap-then-degrade.
 func (s *Scheduler) escalate(layer int) (escalation, error) {
 	s.escMu.Lock()
 	defer s.escMu.Unlock()
@@ -178,6 +203,19 @@ func (s *Scheduler) escalate(layer int) (escalation, error) {
 		return actionNone, nil // another worker already recovered it
 	}
 	defer s.rec.mon.Reset(layer)
+	if s.set != nil {
+		if s.repairLayer(layer, false) > 0 {
+			return actionFailover, nil
+		}
+		if s.eng.Fallback(layer) {
+			return actionNone, nil
+		}
+		if err := s.set.SetFallback(layer, true); err != nil {
+			return actionNone, fmt.Errorf("serve: recovery degrade: %w", err)
+		}
+		s.rec.degrades.Add(1)
+		return actionDegrade, nil
+	}
 	if s.rec.cfg.MaxRemaps >= 0 && s.eng.RemapCount(layer) < s.rec.cfg.MaxRemaps && !s.eng.Fallback(layer) {
 		if err := s.eng.Remap(layer); err != nil {
 			return actionNone, fmt.Errorf("serve: recovery remap: %w", err)
@@ -192,16 +230,91 @@ func (s *Scheduler) escalate(layer int) (escalation, error) {
 	return actionDegrade, nil
 }
 
-// backoff sleeps the jittered retry pause. The jitter RNG is derived from
-// the request seed and attempt, so sleep lengths never consume shared RNG
-// state (and tests with RetryBackoff < 0 skip sleeping entirely).
-func (s *Scheduler) backoff(attempt int, seed uint64) {
-	base := s.rec.cfg.RetryBackoff
-	if base <= 0 {
+// maintainReplicas repairs, for each tripped layer, any replica whose own
+// routing breaker is open — the background half of spatial recovery, run
+// once the request itself has a clean answer. No-op without a replica set.
+func (s *Scheduler) maintainReplicas(open []int) {
+	if s.set == nil {
 		return
 	}
+	s.escMu.Lock()
+	defer s.escMu.Unlock()
+	for _, layer := range open {
+		s.repairLayer(layer, true)
+	}
+}
+
+// repairLayer runs the detach → remap → verify → rejoin cycle on the
+// replicas whose routing breaker for the layer is open (or, when openOnly
+// is false and none has tripped yet, on the attached replica with the worst
+// detected-rate window). Siblings keep serving throughout — this is the
+// no-downtime maintenance a single programmed copy cannot have, and it is
+// why MaxRemaps does not apply here: that budget bounds inline remaps that
+// stall traffic, while a detached copy can be re-programmed as often as the
+// wear-out demands without anyone waiting. Returns the number of replicas
+// repaired and verified clean. Caller holds escMu.
+func (s *Scheduler) repairLayer(layer int, openOnly bool) int {
+	candidates := s.set.OpenFor(layer)
+	if len(candidates) == 0 && !openOnly {
+		if r, ok := s.set.SickestFor(layer); ok {
+			candidates = []int{r}
+		}
+	}
+	repaired := 0
+	for _, r := range candidates {
+		eng := s.set.Engine(r)
+		if err := s.set.Detach(r); err != nil {
+			continue // last attached replica: someone must keep serving
+		}
+		ok := false
+		if err := eng.Remap(layer); err == nil {
+			sc := scrub.New(eng, scrub.Config{
+				VerifyIters: eng.Config().VerifyIters,
+				Seed:        eng.Config().Seed,
+			})
+			if rep, err := sc.PatrolLayer(layer); err == nil && rep.Clean() {
+				ok = true
+			}
+		}
+		// Rejoin either way: a copy that failed verification re-earns (or
+		// re-loses) trust from fresh evidence, and its breaker steers
+		// traffic away again if the damage persists.
+		s.set.Attach(r)
+		if ok {
+			s.rec.failovers.Add(1)
+			repaired++
+		}
+	}
+	return repaired
+}
+
+// backoff sleeps the jittered exponential retry pause (tests with
+// RetryBackoff < 0 skip sleeping entirely).
+func (s *Scheduler) backoff(attempt int, seed uint64) {
+	if d := backoffDelay(s.rec.cfg.RetryBackoff, s.rec.cfg.RetryBackoffMax, attempt, seed); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// backoffDelay computes the pause before retry `attempt` (1-based): the base
+// doubles per attempt, capped at max, plus uniform jitter up to the capped
+// value. The jitter RNG is derived from (seed, attempt), so delays are a
+// pure function of the request — deterministic under test seeds and never
+// consuming shared RNG state.
+func backoffDelay(base, max time.Duration, attempt int, seed uint64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20 // past this the cap always wins; avoid shifting into the sign bit
+	}
+	d := base << shift
+	if max > 0 && d > max {
+		d = max
+	}
 	rng := rand.New(rand.NewPCG(seed, uint64(attempt)))
-	time.Sleep(base + time.Duration(rng.Int64N(int64(base))))
+	return d + time.Duration(rng.Int64N(int64(d)))
 }
 
 // RecoveryCounters returns the lifetime ladder tallies (zero when recovery
@@ -211,9 +324,10 @@ func (s *Scheduler) RecoveryCounters() RecoveryCounters {
 		return RecoveryCounters{}
 	}
 	return RecoveryCounters{
-		Retries:  s.rec.retries.Load(),
-		Remaps:   s.rec.remaps.Load(),
-		Degrades: s.rec.degrades.Load(),
+		Retries:   s.rec.retries.Load(),
+		Failovers: s.rec.failovers.Load(),
+		Remaps:    s.rec.remaps.Load(),
+		Degrades:  s.rec.degrades.Load(),
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/nn"
+	"repro/internal/replica"
 )
 
 // Admission and lifecycle errors. The HTTP layer maps ErrQueueFull to 429
@@ -68,9 +69,19 @@ type job struct {
 // range clients typically use for explicit, reproducible seeds.
 const autoSeedBase = uint64(1) << 32
 
+// poolSession is what a worker needs from its evaluation stream — satisfied
+// by accel.Session (single copy) and replica.Session (routed set), so the
+// R=1 hot path keeps the direct session untouched.
+type poolSession interface {
+	Reseed(stream uint64)
+	DrainStats() accel.Stats
+	DrainLayerStatsInto(out map[int]accel.Stats)
+	Forward(x *nn.Tensor) *nn.Tensor
+}
+
 // workerState is one worker's owned session.
 type workerState struct {
-	sess *accel.Session
+	sess poolSession
 	// perLayer is the worker's reusable per-request layer-stats map; the
 	// monitor's Observe only reads it, so one map per worker suffices.
 	perLayer map[int]accel.Stats
@@ -93,10 +104,15 @@ type Scheduler struct {
 	rec   *recoveryState
 	escMu sync.Mutex // serializes ladder escalations across workers
 
+	// set is the replica set fronting the engine (nil when Replicas.N <= 1;
+	// the single-copy path is then exactly the pre-replica scheduler).
+	set *replica.Set
+
 	// pat is the background patrol scrubber (nil when disabled).
 	pat *patroller
 
 	served   atomic.Uint64 // requests answered (success or error)
+	canceled atomic.Uint64 // requests whose client vanished while queued
 	inflight atomic.Int64  // dequeued but not yet answered
 	ecc      accel.SharedStats
 }
@@ -115,6 +131,13 @@ func NewScheduler(eng *accel.Engine, cfg Config) (*Scheduler, error) {
 		cfg.Recovery = rec.cfg
 	}
 	s := &Scheduler{cfg: cfg, eng: eng, queue: make(chan *job, cfg.QueueDepth), rec: rec}
+	if cfg.Replicas.N > 1 {
+		set, err := replica.NewSet(eng, cfg.Replicas)
+		if err != nil {
+			return nil, err
+		}
+		s.set = set
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(uint64(i))
@@ -125,8 +148,26 @@ func NewScheduler(eng *accel.Engine, cfg Config) (*Scheduler, error) {
 	return s, nil
 }
 
-// Engine returns the mapped engine the pool evaluates against.
+// Engine returns the mapped engine the pool evaluates against (the primary
+// replica when replication is on).
 func (s *Scheduler) Engine() *accel.Engine { return s.eng }
+
+// ReplicaSet returns the replica set fronting the pool, nil when the pool
+// serves a single copy.
+func (s *Scheduler) ReplicaSet() *replica.Set { return s.set }
+
+// Canceled returns how many admitted requests were dropped because their
+// client disconnected while they sat in the queue.
+func (s *Scheduler) Canceled() uint64 { return s.canceled.Load() }
+
+// newSession builds one worker's evaluation stream: a routed replica
+// session when replication is on, the engine's own session otherwise.
+func (s *Scheduler) newSession(id uint64) poolSession {
+	if s.set != nil {
+		return s.set.NewSession(id)
+	}
+	return s.eng.NewSession(id)
+}
 
 // Workers returns the resolved session-pool size.
 func (s *Scheduler) Workers() int { return s.cfg.Workers }
@@ -224,7 +265,7 @@ func (s *Scheduler) submit(ctx context.Context, input *nn.Tensor, seed uint64, t
 // until the queue is closed and drained.
 func (s *Scheduler) worker(id uint64) {
 	defer s.wg.Done()
-	w := &workerState{sess: s.eng.NewSession(id), perLayer: make(map[int]accel.Stats)}
+	w := &workerState{sess: s.newSession(id), perLayer: make(map[int]accel.Stats)}
 	for j := range s.queue {
 		s.inflight.Add(1)
 		if s.cfg.dequeueHook != nil {
@@ -233,7 +274,12 @@ func (s *Scheduler) worker(id uint64) {
 		start := time.Now()
 		wait := start.Sub(j.enqueued)
 		if j.ctx != nil && j.ctx.Err() != nil {
-			s.answer(j, jobResult{err: j.ctx.Err()})
+			// The client vanished while the job was queued: no session slot
+			// is spent on it and it does not count as served — only the
+			// cancellation tally moves.
+			s.canceled.Add(1)
+			j.resp <- jobResult{err: j.ctx.Err()}
+			s.inflight.Add(-1)
 			continue
 		}
 		if wait > s.cfg.QueueTimeout {
@@ -269,6 +315,15 @@ func (s *Scheduler) serveJob(w *workerState, j *job) (Prediction, error) {
 		pred, err = s.recover(w, j, open)
 		if err != nil {
 			return pred, err
+		}
+	}
+	// The router keeps answers clean by steering around a sick replica,
+	// which also keeps the damage below the request-level trip rate — so
+	// degraded redundancy must be polled from the per-replica breakers, not
+	// inferred from this request's stats.
+	if s.set != nil {
+		if sick := s.set.OpenLayers(); len(sick) > 0 {
+			s.maintainReplicas(sick)
 		}
 	}
 	if pred.Stats.SoftMVMs > 0 {
@@ -308,6 +363,9 @@ type DrainSummary struct {
 	// Abandoned is how many admitted requests were still queued or in
 	// flight when the drain deadline expired (0 on a clean drain).
 	Abandoned int
+	// Canceled is how many admitted requests were dropped unserved because
+	// their client disconnected while they waited in the queue.
+	Canceled uint64
 	// ECC is the cumulative ECU activity of every successfully answered
 	// request.
 	ECC accel.Stats
@@ -337,12 +395,17 @@ func (s *Scheduler) Close(ctx context.Context) (DrainSummary, error) {
 	}()
 	select {
 	case <-done:
-		return DrainSummary{Served: s.served.Load(), ECC: s.ecc.Snapshot()}, nil
+		return DrainSummary{
+			Served:   s.served.Load(),
+			Canceled: s.canceled.Load(),
+			ECC:      s.ecc.Snapshot(),
+		}, nil
 	case <-ctx.Done():
 		abandoned := s.QueueLen() + int(s.inflight.Load())
 		return DrainSummary{
 			Served:    s.served.Load(),
 			Abandoned: abandoned,
+			Canceled:  s.canceled.Load(),
 			ECC:       s.ecc.Snapshot(),
 		}, ctx.Err()
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/accel"
 	"repro/internal/scrub"
 )
 
@@ -73,15 +74,19 @@ type ScrubStatus struct {
 	Stale bool
 }
 
-// patroller drives a scrub.Scrubber from a single background goroutine.
-// The scrubber itself is not concurrency-safe; all patrol calls happen
-// here, and array access is serialized against live traffic and remaps by
-// the engine's per-layer write lock.
+// patroller drives one scrub.Scrubber per programmed copy from a single
+// background goroutine. Scrubbers are not concurrency-safe; all patrol
+// calls happen here, and array access is serialized against live traffic
+// and remaps by each engine's per-layer write lock. With a replica set the
+// patroller detaches one copy per tick, scrubs it while its siblings absorb
+// the traffic, and rejoins it — so patrol no longer has to wait for idle
+// slots.
 type patroller struct {
 	sched    *Scheduler
-	sc       *scrub.Scrubber
+	scs      []*scrub.Scrubber // one per replica; a single entry without a set
 	interval time.Duration
 	maxStale time.Duration
+	cursor   int // replica rotation position
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -96,17 +101,8 @@ type patroller struct {
 // newPatroller builds and starts the patrol goroutine.
 func newPatroller(sched *Scheduler, cfg ScrubConfig) *patroller {
 	cfg = cfg.withDefaults()
-	iters := cfg.VerifyIters
-	if iters <= 0 {
-		iters = sched.eng.Config().VerifyIters
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = sched.eng.Config().Seed
-	}
 	p := &patroller{
 		sched:    sched,
-		sc:       scrub.New(sched.eng, scrub.Config{VerifyIters: iters, Seed: seed}),
 		interval: cfg.Interval,
 		maxStale: cfg.MaxStaleness,
 		stop:     make(chan struct{}),
@@ -114,11 +110,31 @@ func newPatroller(sched *Scheduler, cfg ScrubConfig) *patroller {
 		lastPass: make(map[int]time.Time),
 		started:  time.Now(),
 	}
+	engines := []*accel.Engine{sched.eng}
+	if sched.set != nil {
+		engines = engines[:0]
+		for r := 0; r < sched.set.Size(); r++ {
+			engines = append(engines, sched.set.Engine(r))
+		}
+	}
+	for _, eng := range engines {
+		iters := cfg.VerifyIters
+		if iters <= 0 {
+			iters = eng.Config().VerifyIters
+		}
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = eng.Config().Seed
+		}
+		p.scs = append(p.scs, scrub.New(eng, scrub.Config{VerifyIters: iters, Seed: seed}))
+	}
 	go p.run()
 	return p
 }
 
-// run is the patrol loop: tick, patrol one layer if the pool is idle.
+// run is the patrol loop: tick, patrol one layer of one copy. Without a
+// replica set the pool must be idle (patrol steals only idle slots); with
+// one, the patrolled copy is detached so traffic never waits on it.
 func (p *patroller) run() {
 	defer close(p.done)
 	ticker := time.NewTicker(p.interval)
@@ -128,7 +144,7 @@ func (p *patroller) run() {
 		case <-p.stop:
 			return
 		case <-ticker.C:
-			if !p.idle() {
+			if p.sched.set == nil && !p.idle() {
 				continue
 			}
 			p.patrolOnce()
@@ -137,14 +153,26 @@ func (p *patroller) run() {
 }
 
 // idle reports whether the pool has no queued or in-flight work — the only
-// slots patrol is allowed to steal.
+// slots single-copy patrol is allowed to steal.
 func (p *patroller) idle() bool {
 	return p.sched.inflight.Load() == 0 && p.sched.QueueLen() == 0
 }
 
-// patrolOnce runs one layer's patrol pass and publishes its outcome.
+// patrolOnce runs one layer's patrol pass on the next copy in rotation and
+// publishes its outcome.
 func (p *patroller) patrolOnce() {
-	rep, err := p.sc.Next()
+	r := p.cursor % len(p.scs)
+	p.cursor++
+	if set := p.sched.set; set != nil {
+		// Take the copy out of the rotation while its arrays are probed; if
+		// it is the last one attached, skip this tick rather than stall
+		// traffic behind the layer write lock.
+		if err := set.Detach(r); err != nil {
+			return
+		}
+		defer set.Attach(r)
+	}
+	rep, err := p.scs[r].Next()
 	if err != nil {
 		return
 	}
@@ -155,7 +183,11 @@ func (p *patroller) patrolOnce() {
 		p.sched.rec.mon.Reset(rep.Layer)
 	}
 	p.mu.Lock()
-	p.totals = p.sc.Totals()
+	var t scrub.Totals
+	for _, sc := range p.scs {
+		t.Merge(sc.Totals())
+	}
+	p.totals = t
 	p.lastPass[rep.Layer] = time.Now()
 	p.mu.Unlock()
 }
@@ -169,7 +201,7 @@ func (p *patroller) status() ScrubStatus {
 		LayerAge: make(map[int]time.Duration),
 	}
 	now := time.Now()
-	for _, layer := range p.sc.Layers() {
+	for _, layer := range p.scs[0].Layers() {
 		last, ok := p.lastPass[layer]
 		if !ok {
 			last = p.started

@@ -282,6 +282,20 @@ type readyzResponse struct {
 	// informational: the instance still serves (the reactive ladder is
 	// armed), but operators see the proactive loop has fallen behind.
 	ScrubStale bool `json:"scrub_stale,omitempty"`
+	// Replicas reports per-replica attachment and health when the layer
+	// slots are replicated (omitted otherwise).
+	Replicas []replicaJSON `json:"replicas,omitempty"`
+}
+
+// replicaJSON is one replica's row in /readyz.
+type replicaJSON struct {
+	ID       int  `json:"id"`
+	Attached bool `json:"attached"`
+	// BreakerOpenLayers lists layers whose routing breaker is open on this
+	// replica (traffic is steered to its siblings there).
+	BreakerOpenLayers []int  `json:"breaker_open_layers,omitempty"`
+	Failovers         uint64 `json:"failovers,omitempty"`
+	Detaches          uint64 `json:"detaches,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -299,6 +313,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.sched.ScrubStatus(); ok {
 		resp.ScrubOldestAgeSec = st.OldestAge.Seconds()
 		resp.ScrubStale = st.Stale
+	}
+	if set := s.sched.ReplicaSet(); set != nil {
+		for _, rs := range set.Status().Replicas {
+			resp.Replicas = append(resp.Replicas, replicaJSON{
+				ID: rs.ID, Attached: rs.Attached,
+				BreakerOpenLayers: rs.OpenLayers,
+				Failovers:         rs.Failovers,
+				Detaches:          rs.Detaches,
+			})
+		}
 	}
 	resp.Ready = !resp.Draining && resp.QueueLen < resp.QueueDepth
 	w.Header().Set("Content-Type", "application/json")
@@ -324,6 +348,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if verify.Cells > 0 {
 		g.Verify = &verify
+	}
+	if set := s.sched.ReplicaSet(); set != nil {
+		st := set.Status()
+		g.Replicas = &st
 	}
 	s.metrics.WritePrometheus(w, g)
 }
