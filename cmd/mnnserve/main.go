@@ -12,6 +12,9 @@
 //	GET  /healthz     — liveness + mapped configuration
 //	GET  /readyz      — readiness: drain state, queue headroom, breakers
 //	GET  /metrics     — Prometheus text format
+//	GET  /plan        — SLO-driven protection plan from the analytic
+//	                    predictor, recalibrated by live monitor rates;
+//	                    only with -plan
 //	GET  /debug/pprof — live profiling, only with -pprof
 //
 // Recovery (on by default, -recovery=false for pure replayable serving)
@@ -55,6 +58,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/expt"
 	"repro/internal/fault"
+	"repro/internal/predict"
 	"repro/internal/replica"
 	"repro/internal/serve"
 )
@@ -99,6 +103,10 @@ func run(args []string) error {
 	replicas := fs.Int("replicas", 1, "independent programmed copies per layer with health-aware routing (1 = no replication)")
 	voteThreshold := fs.Int("vote-threshold", 3, "consecutive flagged MVMs before a layer majority-votes across 3 replicas (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving address")
+	planOn := fs.Bool("plan", false, "expose GET /plan: the analytic protection planner recalibrated by live monitor rates")
+	planMiss := fs.Float64("plan-miss", 0.05, "plan: misclassification-rate SLO ceiling")
+	planAvail := fs.Float64("plan-availability", 0.999, "plan: availability SLO floor (0 disables the replication search)")
+	planImages := fs.Int("plan-images", 200, "plan: calibration images for the analytic predictor")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,6 +182,23 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "replicating onto %d independent array sets (%.0fx area)...\n",
 			*replicas, float64(*replicas))
+	}
+	if *planOn {
+		test := w.Test
+		if *planImages > 0 && *planImages < len(test) {
+			test = test[:*planImages]
+		}
+		cal, err := predict.Calibrate(w.Net, test, acfg.InputBits)
+		if err != nil {
+			return err
+		}
+		scfg.Plan = serve.PlanConfig{
+			Enabled:     true,
+			Calibration: cal,
+			SLO:         predict.SLO{MaxMiss: *planMiss, MinAvailability: *planAvail},
+		}
+		fmt.Fprintf(os.Stderr, "plan endpoint armed: SLO miss<=%.4f avail>=%.4f (%d calibration images)\n",
+			*planMiss, *planAvail, len(test))
 	}
 	srv, err := serve.NewServer(eng, serve.Model{Name: w.Name, InShape: w.Net.InShape}, scfg)
 	if err != nil {

@@ -19,7 +19,11 @@
 //	                 campaign against serving pools with R = 1, 2, 3 replica
 //	                 copies, reporting accuracy, availability, and the honest
 //	                 R× hardware bill
-//	mnnsim all     — everything above except faults, scrub, and replicas
+//	mnnsim plan    — analytic SLO planner: predict accuracy per protection
+//	                 config and print the cheapest per-layer ECC / replica /
+//	                 spare-row / scrub plan meeting -plan-miss without a
+//	                 single Monte-Carlo sweep
+//	mnnsim all     — everything above except faults, scrub, replicas, and plan
 //
 // Results print to stdout; CSVs land under -out when set.
 package main
@@ -29,12 +33,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/circuit"
 	"repro/internal/expt"
 	"repro/internal/fault"
 	"repro/internal/hwmodel"
+	"repro/internal/predict"
 )
 
 func main() {
@@ -66,12 +72,18 @@ func run(args []string) error {
 	scrubSlack := fs.Float64("scrub-slack", 0.05, "scrub: allowed miss-rate excess over the software baseline")
 	replicaList := fs.String("replicas", "1,2,3", "replicas: comma-separated R values to sweep")
 	voteThreshold := fs.Int("vote-threshold", 3, "replicas: consecutive flagged reads before majority voting (0 disables)")
+	planWorkload := fs.String("plan-workload", "MLP1", "plan: network to plan protection for (MLP1|MLP2|CNN1)")
+	planScheme := fs.String("plan-scheme", "ABN-9", "plan: currently deployed scheme anchoring the search")
+	planBits := fs.Int("plan-bits", 2, "plan: bits per cell")
+	planStuck := fs.Float64("plan-stuck", 0.001, "plan: stuck-cell failure rate")
+	planMiss := fs.Float64("plan-miss", 0.05, "plan: misclassification-rate SLO ceiling")
+	planAvail := fs.Float64("plan-availability", 0.999, "plan: availability SLO floor (0 disables the replication search)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|faults|scrub|replicas|all)")
+		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|plan|faults|scrub|replicas|all)")
 	}
 
 	opt := expt.DefaultSweepOptions()
@@ -125,16 +137,35 @@ func run(args []string) error {
 		SpareRows:     *spareRows,
 	}
 
+	planOpt := planOptions{
+		Workload: *planWorkload,
+		Scheme:   *planScheme,
+		Bits:     *planBits,
+		Stuck:    *planStuck,
+		MaxMiss:  *planMiss,
+		MinAvail: *planAvail,
+	}
+
 	cmds := fs.Args()
 	if len(cmds) == 1 && cmds[0] == "all" {
 		cmds = []string{"fig7", "sec4", "table4", "fig10", "fig11", "fig12", "table3", "ablate"}
 	}
 	for _, cmd := range cmds {
-		if err := dispatch(cmd, opt, *outDir, life, scrubOpt, repOpt); err != nil {
+		if err := dispatch(cmd, opt, *outDir, life, scrubOpt, repOpt, planOpt); err != nil {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 	}
 	return nil
+}
+
+// planOptions carries the plan-subcommand knobs through dispatch.
+type planOptions struct {
+	Workload string
+	Scheme   string
+	Bits     int
+	Stuck    float64
+	MaxMiss  float64
+	MinAvail float64
 }
 
 // scrubOptions carries the scrub-subcommand knobs through dispatch.
@@ -152,7 +183,7 @@ type replicaOptions struct {
 	SpareRows     int
 }
 
-func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams, scrubOpt scrubOptions, repOpt replicaOptions) error {
+func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams, scrubOpt scrubOptions, repOpt replicaOptions, planOpt planOptions) error {
 	switch cmd {
 	case "fig7":
 		res, err := expt.RunFig7(circuit.DefaultConfig())
@@ -237,6 +268,81 @@ func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.Lifet
 		fmt.Printf("\ninference-only lifetime at weekly reprogramming, 1e6 endurance: %.0f years\n",
 			hwmodel.SystemLifetimeYears(1e6, 1.0/7))
 		return nil
+	case "plan":
+		workloads, err := expt.DigitWorkloads(opt.Train)
+		if err != nil {
+			return err
+		}
+		var w *expt.Workload
+		for i := range workloads {
+			if strings.EqualFold(workloads[i].Name, planOpt.Workload) {
+				w = &workloads[i]
+				break
+			}
+		}
+		if w == nil {
+			return fmt.Errorf("plan: unknown workload %q", planOpt.Workload)
+		}
+		sch, err := accel.ParseScheme(planOpt.Scheme)
+		if err != nil {
+			return err
+		}
+		acfg := accel.DefaultConfig(sch)
+		acfg.Device.BitsPerCell = planOpt.Bits
+		acfg.Device.FailureRate = planOpt.Stuck
+		acfg.Seed = opt.Seed
+		test := w.Test
+		if opt.Images > 0 && opt.Images < len(test) {
+			test = test[:opt.Images]
+		}
+		cal, err := predict.Calibrate(w.Net, test, acfg.InputBits)
+		if err != nil {
+			return err
+		}
+		plan, err := predict.BuildPlan(w.Net, cal, predict.PlannerConfig{
+			Base: acfg,
+			SLO:  predict.SLO{MaxMiss: planOpt.MaxMiss, MinAvailability: planOpt.MinAvail},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nProtection plan for %s (base %s, %d-bit cells, stuck %.4g)\n",
+			w.Name, sch.Name, planOpt.Bits, planOpt.Stuck)
+		fmt.Printf("SLO: miss <= %.3f", planOpt.MaxMiss)
+		if planOpt.MinAvail > 0 {
+			fmt.Printf(", availability >= %.4f", planOpt.MinAvail)
+		}
+		fmt.Println()
+		fmt.Printf("%-6s %-10s %10s %12s %12s %10s %6s\n",
+			"layer", "scheme", "p_detect", "var_out", "area (mm2)", "power (mW)", "kappa")
+		for _, lp := range plan.Layers {
+			fmt.Printf("%-6d %-10s %10.3g %12.4g %12.4f %10.2f %6.2f\n",
+				lp.Layer, lp.Scheme, lp.PDetect, lp.VarOut, lp.AreaMM2, lp.PowerMW, lp.Kappa)
+		}
+		status := "satisfied"
+		if !plan.Satisfied {
+			status = "NOT satisfied (best effort)"
+		}
+		fmt.Printf("predicted miss %.4f (logit sigma %.4g)  availability %.6f  SLO %s\n",
+			plan.Predicted.Miss, plan.Predicted.LogitSigma, plan.Availability, status)
+		fmt.Printf("replicas %d  spare rows %d", plan.Replicas, plan.SpareRows)
+		if plan.ScrubEvery > 0 {
+			fmt.Printf("  scrub every %d inferences", plan.ScrubEvery)
+		}
+		fmt.Printf("  area %.2f mm2  power %.2f W  (%d configs searched)\n",
+			plan.Bill.Area.AreaMM2, plan.Bill.Area.PowerMW/1000, plan.Searched)
+		return writeCSV(outDir, "plan.csv", func(f *os.File) error {
+			if _, err := fmt.Fprintln(f, "layer,scheme,p_detect,var_out,area_mm2,power_mw,kappa"); err != nil {
+				return err
+			}
+			for _, lp := range plan.Layers {
+				if _, err := fmt.Fprintf(f, "%d,%s,%.6g,%.6g,%.6g,%.6g,%.4g\n",
+					lp.Layer, lp.Scheme, lp.PDetect, lp.VarOut, lp.AreaMM2, lp.PowerMW, lp.Kappa); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	case "ablate":
 		workloads, err := expt.DigitWorkloads(opt.Train)
 		if err != nil {

@@ -124,6 +124,10 @@ func Map(net *nn.Network, cfg Config) (*Engine, error) {
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Network returns the network the engine was mapped from. Callers must
+// treat it as read-only while sessions are live.
+func (e *Engine) Network() *nn.Network { return e.net }
+
 // Mapped returns the mapped matrix of a layer index (nil if unmapped).
 func (e *Engine) Mapped(layer int) *MappedMatrix {
 	sl := e.slot(layer)

@@ -1,0 +1,7 @@
+//go:build race
+
+package expt
+
+// raceEnabled reports whether the race detector instruments this build;
+// compute-bound validation tests skip themselves under it.
+const raceEnabled = true

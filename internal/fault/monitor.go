@@ -71,10 +71,11 @@ func (c MonitorConfig) Validate() error {
 
 // layerWindow is one layer's decayed ECU tally.
 type layerWindow struct {
-	reads    uint64 // Clean + Corrected + Detected seen in window
-	detected uint64
-	state    BreakerState
-	trips    uint64 // lifetime count of Closed -> Open transitions
+	reads     uint64 // Clean + Corrected + Detected seen in window
+	detected  uint64
+	corrected uint64
+	state     BreakerState
+	trips     uint64 // lifetime count of Closed -> Open transitions
 }
 
 // LayerHealth is a monitor snapshot row.
@@ -147,11 +148,13 @@ func (m *Monitor) observeLocked(layer int, st accel.Stats) BreakerState {
 	}
 	lw.reads += st.GroupReads()
 	lw.detected += st.Detected
+	lw.corrected += st.Corrected
 	// Exponential forgetting: halve the window once it overflows so the
 	// rate tracks recent behavior, not lifetime averages.
 	for lw.reads > m.cfg.Window {
 		lw.reads /= 2
 		lw.detected /= 2
+		lw.corrected /= 2
 	}
 	if lw.state == BreakerClosed && lw.reads >= m.cfg.MinReads {
 		if float64(lw.detected) > m.cfg.TripRate*float64(lw.reads) {
@@ -179,7 +182,7 @@ func (m *Monitor) Reset(layer int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if lw := m.layers[layer]; lw != nil {
-		lw.reads, lw.detected = 0, 0
+		lw.reads, lw.detected, lw.corrected = 0, 0, 0
 		lw.state = BreakerClosed
 	}
 }
@@ -191,7 +194,7 @@ func (m *Monitor) ResetAll() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, lw := range m.layers {
-		lw.reads, lw.detected = 0, 0
+		lw.reads, lw.detected, lw.corrected = 0, 0, 0
 		lw.state = BreakerClosed
 	}
 }
@@ -219,6 +222,36 @@ func (m *Monitor) OpenCount() int {
 		}
 	}
 	return n
+}
+
+// LayerRates is one layer's windowed ECU outcome rates as plain floats —
+// the measured-error interface the analytic predictor consumes (it needs
+// corrected rates too, which LayerHealth does not carry).
+type LayerRates struct {
+	Layer     int
+	Detected  float64 // detected-uncorrectable per group read
+	Corrected float64 // table-corrected per group read
+	Reads     uint64  // window size backing the rates
+}
+
+// Rates returns per-layer detected and corrected rates over the current
+// windows, sorted by layer index. Layers with empty windows report zero
+// rates rather than being omitted, so a caller can distinguish "observed
+// clean" from "never observed" via Reads.
+func (m *Monitor) Rates() []LayerRates {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LayerRates, 0, len(m.layers))
+	for layer, lw := range m.layers {
+		lr := LayerRates{Layer: layer, Reads: lw.reads}
+		if lw.reads > 0 {
+			lr.Detected = float64(lw.detected) / float64(lw.reads)
+			lr.Corrected = float64(lw.corrected) / float64(lw.reads)
+		}
+		out = append(out, lr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Layer < out[j].Layer })
+	return out
 }
 
 // Snapshot returns per-layer health rows sorted by layer index.

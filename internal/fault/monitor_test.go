@@ -68,3 +68,55 @@ func TestResetAllRestoresTrust(t *testing.T) {
 		}
 	}
 }
+
+// TestRatesExposesDetectedAndCorrected: the Rates() accessor reports both
+// windowed rates as plain floats, tracks the halving decay alongside reads,
+// and is cleared by Reset — the measured-error contract internal/predict
+// plans from.
+func TestRatesExposesDetectedAndCorrected(t *testing.T) {
+	mon, err := NewMonitor(MonitorConfig{Window: 1024, MinReads: 64, TripRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.ObserveOne(0, accel.Stats{Clean: 60, Corrected: 30, Detected: 10})
+	mon.ObserveOne(2, accel.Stats{Clean: 50})
+	rates := mon.Rates()
+	if len(rates) != 2 {
+		t.Fatalf("Rates rows = %d, want 2", len(rates))
+	}
+	if rates[0].Layer != 0 || rates[1].Layer != 2 {
+		t.Fatalf("Rates not sorted by layer: %+v", rates)
+	}
+	if got, want := rates[0].Detected, 0.1; got != want {
+		t.Fatalf("layer 0 detected rate = %g, want %g", got, want)
+	}
+	if got, want := rates[0].Corrected, 0.3; got != want {
+		t.Fatalf("layer 0 corrected rate = %g, want %g", got, want)
+	}
+	if rates[0].Reads != 100 {
+		t.Fatalf("layer 0 window reads = %d, want 100", rates[0].Reads)
+	}
+	if rates[1].Detected != 0 || rates[1].Corrected != 0 {
+		t.Fatalf("clean layer rates nonzero: %+v", rates[1])
+	}
+
+	// The corrected tally decays with the same halving as reads/detected,
+	// so the rate stays stable (not inflated) across window overflow.
+	for i := 0; i < 20; i++ {
+		mon.ObserveOne(0, accel.Stats{Clean: 600, Corrected: 300, Detected: 100})
+	}
+	r0 := mon.Rates()[0]
+	if r0.Corrected < 0.25 || r0.Corrected > 0.35 {
+		t.Fatalf("decayed corrected rate = %g, want about 0.3", r0.Corrected)
+	}
+	if r0.Reads > 1024 {
+		t.Fatalf("window reads %d exceed Window after decay", r0.Reads)
+	}
+
+	mon.Reset(0)
+	for _, lr := range mon.Rates() {
+		if lr.Layer == 0 && (lr.Corrected != 0 || lr.Detected != 0 || lr.Reads != 0) {
+			t.Fatalf("Reset left residue in rates: %+v", lr)
+		}
+	}
+}

@@ -22,3 +22,46 @@ func (t TechParams) PlanReplicatedNetwork(physicalRows, groups int, c TileConfig
 	fp.Area = fp.Area.Scale(float64(replicas))
 	return fp
 }
+
+// LayerDemand is one layer's mapped resource demand — the physical rows and
+// coded groups it occupies after bit slicing and ECC encoding.
+type LayerDemand struct {
+	PhysicalRows int
+	Groups       int
+}
+
+// ReplicatedPlan is a per-layer hardware bill for R replicated copies.
+// PerLayer[i] is layer i's own floorplan (its arrays, ECUs, tables, and
+// area/power, already multiplied by R); Total is the sum over layers.
+// Because every layer is rounded up to whole arrays/IMAs/tiles on its own,
+// Total is an upper bound on the pooled PlanReplicatedNetwork figure — the
+// honest per-layer attribution a per-layer protection search needs, at the
+// cost of not sharing partially filled arrays across layer boundaries.
+type ReplicatedPlan struct {
+	PerLayer []Floorplan
+	Total    Floorplan
+}
+
+// PlanReplicatedLayers sizes hardware for R copies of a network layer by
+// layer, reporting each layer's own area/power next to the total. A
+// replicas value below 1 clamps to a single copy, matching
+// PlanReplicatedNetwork.
+func (t TechParams) PlanReplicatedLayers(layers []LayerDemand, c TileConfig, spec ECUSpec, replicas int) ReplicatedPlan {
+	if replicas < 1 {
+		replicas = 1
+	}
+	plan := ReplicatedPlan{PerLayer: make([]Floorplan, len(layers))}
+	for i, d := range layers {
+		fp := t.PlanReplicatedNetwork(d.PhysicalRows, d.Groups, c, spec, replicas)
+		plan.PerLayer[i] = fp
+		plan.Total.PhysicalRows += fp.PhysicalRows
+		plan.Total.Groups += fp.Groups
+		plan.Total.Arrays += fp.Arrays
+		plan.Total.IMAs += fp.IMAs
+		plan.Total.Tiles += fp.Tiles
+		plan.Total.ECUs += fp.ECUs
+		plan.Total.Tables += fp.Tables
+		plan.Total.Area = plan.Total.Area.Add(fp.Area)
+	}
+	return plan
+}

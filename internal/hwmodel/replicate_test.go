@@ -37,3 +37,62 @@ func TestPlanReplicatedNetwork(t *testing.T) {
 		t.Fatalf("R=0 arrays %d, want the single-copy plan %d", fp.Arrays, base.Arrays)
 	}
 }
+
+// TestPlanReplicatedLayers: the per-layer variant attributes area/power to
+// each layer, sums to its own total, and clamps degenerate replica counts —
+// R=0 and R=1 both mean a single copy, byte for byte.
+func TestPlanReplicatedLayers(t *testing.T) {
+	tech := Default32nm()
+	cfg := DefaultTileConfig()
+	spec := DefaultECUSpec()
+	layers := []LayerDemand{
+		{PhysicalRows: 28000, Groups: 280},
+		{PhysicalRows: 12000, Groups: 120},
+		{PhysicalRows: 4000, Groups: 40},
+	}
+	for _, r := range []int{1, 2, 3} {
+		plan := tech.PlanReplicatedLayers(layers, cfg, spec, r)
+		if len(plan.PerLayer) != len(layers) {
+			t.Fatalf("R=%d: %d per-layer rows, want %d", r, len(plan.PerLayer), len(layers))
+		}
+		var area, power float64
+		var arrays int
+		for i, d := range layers {
+			want := tech.PlanReplicatedNetwork(d.PhysicalRows, d.Groups, cfg, spec, r)
+			if plan.PerLayer[i] != want {
+				t.Fatalf("R=%d layer %d: %+v, want %+v", r, i, plan.PerLayer[i], want)
+			}
+			area += want.Area.AreaMM2
+			power += want.Area.PowerMW
+			arrays += want.Arrays
+		}
+		if plan.Total.Arrays != arrays {
+			t.Fatalf("R=%d: total arrays %d, want sum %d", r, plan.Total.Arrays, arrays)
+		}
+		if math.Abs(plan.Total.Area.AreaMM2-area) > 1e-9*area {
+			t.Fatalf("R=%d: total area %g, want %g", r, plan.Total.Area.AreaMM2, area)
+		}
+		if math.Abs(plan.Total.Area.PowerMW-power) > 1e-9*power {
+			t.Fatalf("R=%d: total power %g, want %g", r, plan.Total.Area.PowerMW, power)
+		}
+	}
+	// Per-layer rounding means the per-layer total can only meet or exceed
+	// the pooled single bill — never undercount it.
+	pooled := tech.PlanNetwork(44000, 440, cfg, spec)
+	perLayer := tech.PlanReplicatedLayers(layers, cfg, spec, 1)
+	if perLayer.Total.Area.AreaMM2 < pooled.Area.AreaMM2 {
+		t.Fatalf("per-layer total %g mm^2 undercounts pooled %g",
+			perLayer.Total.Area.AreaMM2, pooled.Area.AreaMM2)
+	}
+	// R=0 clamps to one copy; R=1 is the identity.
+	r0 := tech.PlanReplicatedLayers(layers, cfg, spec, 0)
+	r1 := tech.PlanReplicatedLayers(layers, cfg, spec, 1)
+	if r0.Total != r1.Total {
+		t.Fatalf("R=0 total %+v differs from R=1 total %+v", r0.Total, r1.Total)
+	}
+	for i := range layers {
+		if r0.PerLayer[i] != r1.PerLayer[i] {
+			t.Fatalf("R=0 layer %d plan differs from R=1", i)
+		}
+	}
+}

@@ -165,3 +165,56 @@ func TestNoiseSigmas(t *testing.T) {
 		t.Errorf("thermal noise %g should be negligible vs step %g", rowThermal, di)
 	}
 }
+
+// TestTableIConstantsPinned pins DefaultDeviceParams against the paper's
+// Table I (and the Section II/VII constants PAPER.md carries over), field by
+// field. The analytic predictor in internal/predict derives error rates from
+// these numbers, so a silent transcription drift here would masquerade as a
+// predictor bug — this table makes any change an explicit diff.
+func TestTableIConstantsPinned(t *testing.T) {
+	p := DefaultDeviceParams()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"RLo (on-state resistance, 2 kOhm)", p.RLo, 2e3},
+		{"RHi (off-state resistance, 5 MOhm)", p.RHi, 5e6},
+		{"VHi (read voltage, 0.3 V)", p.VHi, 0.3},
+		{"TempK (operating temperature, 350 K)", p.TempK, 350},
+		{"BitsPerCell (2 bits/cell baseline)", float64(p.BitsPerCell), 2},
+		{"FilmThickness (20 nm oxide)", p.FilmThickness, 20e-9},
+		{"FilmResistivity (100 uOhm-cm)", p.FilmResistivity, 1e-6},
+		{"AlphaRTN (Ielmini exponent)", p.AlphaRTN, 2},
+		{"EpsilonR (relative permittivity)", p.EpsilonR, 12},
+		{"DeltaRLoFrac (2.8% RTN amplitude at RLo)", p.DeltaRLoFrac, 0.028},
+		{"DeltaRSat (50% RTN saturation)", p.DeltaRSat, 0.50},
+		{"PRTN (trap occupancy probability)", p.PRTN, 0.27},
+		{"CompensationFactor (93% write compensation)", p.CompensationFactor, 0.93},
+		{"GiantProneProb (1e-4 giant-RTN cells)", p.GiantProneProb, 1e-4},
+		{"GiantFlickerProb (6% per-read flicker)", p.GiantFlickerProb, 0.06},
+		{"GiantDeltaR (35% giant amplitude)", p.GiantDeltaR, 0.35},
+		{"GiantHighFrac (85% giants in high-R states)", p.GiantHighFrac, 0.85},
+		{"RTNAveraging (128-sample read averaging)", float64(p.RTNAveraging), 128},
+		{"SampleFreq (1 GHz sampling)", p.SampleFreq, 1e9},
+		{"ProgErrFrac (1% iterative-programming error)", p.ProgErrFrac, 0.01},
+		{"ProgVerifyLSB (write-verify tolerance)", p.ProgVerifyLSB, 0.015},
+		{"FailureRate (stuck faults off by default)", p.FailureRate, 0},
+		{"StuckCharacterizedFrac (97% map coverage)", p.StuckCharacterizedFrac, 0.97},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+	// Derived anchors the predictor leans on, pinned alongside the raw
+	// constants: 4 levels at 2 bits/cell and the fig11 stuck-fault rate.
+	if p.NumLevels() != 4 {
+		t.Errorf("NumLevels() = %d, want 4 at 2 bits/cell", p.NumLevels())
+	}
+	const fig11StuckRate = 0.001 // 0.1% stuck cells, Section VII-C sweeps
+	p.FailureRate = fig11StuckRate
+	if err := p.Validate(); err != nil {
+		t.Errorf("fig11 stuck rate %g rejected: %v", fig11StuckRate, err)
+	}
+}

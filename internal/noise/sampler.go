@@ -243,6 +243,50 @@ func (s *RowSampler) AggregateRowLevelsIdeal(levels []uint8, counts []int) (RowA
 	return s.finishAgg(n, sbar, meanExcess-comp, statVar, dynVar), ideal
 }
 
+// AggregateActivity reduces a row's full programmed-level histogram under a
+// mean column-activity alpha to two things: the expected-activity aggregate
+// (each level contributes alpha*count cells) and the standard deviation, in
+// steps, of the residual mean shift across random activity patterns. Each
+// cell is active independently with probability alpha and contributes
+// r_k = PRTN*stepExcess_k - compSteps_k to the row's mean shift when it is,
+// so across patterns the shift fluctuates with variance
+// alpha*(1-alpha)*sum_k hist_k*r_k^2 around the mean AggregateRow sees. The
+// pattern — and hence the shift — is frozen for the duration of one read's
+// retry loop (the input does not change between attempts), which is what
+// makes this spread matter: rows whose mean sits inside the rounding window
+// can still land persistently outside it on unlucky activity draws.
+func (s *RowSampler) AggregateActivity(hist []int, alpha float64) (RowAgg, float64) {
+	var stepSum, meanExcess, comp, curSteps, statVar, dynVar, nF, residVar float64
+	p := s.params.PRTN
+	av := alpha * (1 - alpha)
+	for k, c := range hist {
+		if c == 0 {
+			continue
+		}
+		fc := alpha * float64(c)
+		t := &s.terms[k]
+		rk := -t.compSteps
+		if t.rtnActive {
+			nF += fc
+			stepSum += fc * t.stepExcess
+			meanExcess += fc * p * t.stepExcess
+			rk += p * t.stepExcess
+		}
+		comp += fc * t.compSteps
+		statVar += fc * t.progVar
+		dynVar += fc * t.thermVar
+		curSteps += fc * t.gSteps
+		residVar += av * float64(c) * rk * rk
+	}
+	dynVar += s.shotVarPerStep * curSteps
+	n := int(math.Round(nF))
+	var sbar float64
+	if n > 0 {
+		sbar = stepSum / nF
+	}
+	return s.finishAgg(n, sbar, meanExcess-comp, statVar, dynVar), math.Sqrt(residVar)
+}
+
 func (s *RowSampler) finishAgg(n int, sbar, residMean, statVar, dynVar float64) RowAgg {
 	agg := RowAgg{N: n, Sbar: sbar, Resid: residMean}
 	if v := statVar + dynVar*s.invSqrtK*s.invSqrtK; v > 0 {
@@ -359,6 +403,94 @@ func (s *RowSampler) PredictStepProbs(counts []int) StepProbs {
 	sp[2] += hi2
 	sp[3] += lo2
 	return sp
+}
+
+// StepDistribution computes the full quantized error distribution of one
+// row read from its precomputed aggregate: P(rounded deviation = s) for
+// s in -maxStep..maxStep, returned as a slice of length 2*maxStep+1 indexed
+// by s+maxStep, with the tail mass beyond +/-maxStep folded into the end
+// buckets. Unlike PredictStepProbs — a syndrome-ranking heuristic that keeps
+// only the binomial RTN crossing — this includes the Gaussian
+// programming/thermal core, which dominates at fine cell precisions, and
+// resolves magnitudes beyond +/-2, which decide whether an error's syndrome
+// is correctable at all. The exact binomial mixture is evaluated term by
+// term (each occupancy m shifts the Gaussian mean), so the result matches
+// what SampleAgg draws, in distribution, up to rounding.
+func (s *RowSampler) StepDistribution(agg RowAgg, maxStep int, out []float64) []float64 {
+	width := 2*maxStep + 1
+	if cap(out) < width {
+		out = make([]float64, width)
+	}
+	out = out[:width]
+	for i := range out {
+		out[i] = 0
+	}
+	p := s.params.PRTN
+	scale := agg.Sbar * s.invSqrtK
+	// fold adds P(deviation in [s-0.5, s+0.5)) for a Gaussian centered at
+	// mu with deviation sigma, weighted by w, clamping s into the range.
+	fold := func(mu, w, sigma float64) {
+		if w <= 0 {
+			return
+		}
+		if sigma <= 0 {
+			st := int(math.Round(mu))
+			if st > maxStep {
+				st = maxStep
+			}
+			if st < -maxStep {
+				st = -maxStep
+			}
+			out[st+maxStep] += w
+			return
+		}
+		inv := 1 / (sigma * math.Sqrt2)
+		lo := 0.0 // CDF at the lower edge of the current bucket
+		for st := -maxStep; st <= maxStep; st++ {
+			var hi float64
+			if st == maxStep {
+				hi = 1
+			} else {
+				hi = 0.5 * (1 + math.Erf((float64(st)+0.5-mu)*inv))
+			}
+			out[st+maxStep] += w * (hi - lo)
+			lo = hi
+		}
+	}
+	if agg.N == 0 || p <= 0 || scale == 0 {
+		fold(agg.Resid, 1, agg.Sigma)
+		return out
+	}
+	np := float64(agg.N) * p
+	if np*(1-p) > 9 {
+		// CLT fast path: a well-populated binomial is indistinguishable from
+		// the Gaussian it converges to at the +/-0.5 bucket resolution, so
+		// absorb its variance into one fold instead of enumerating N terms.
+		fold(agg.Resid, 1, math.Sqrt(agg.Sigma*agg.Sigma+np*(1-p)*scale*scale))
+		return out
+	}
+	for m := 0; m <= agg.N; m++ {
+		w := stats.BinomPMF(m, agg.N, p)
+		if w < 1e-14 {
+			// The PMF is unimodal: skip the left tail, stop after the right.
+			if float64(m) > np {
+				break
+			}
+			continue
+		}
+		fold(agg.Resid+(float64(m)-np)*scale, w, agg.Sigma)
+	}
+	// Renormalize the PMF truncation so the buckets sum to one.
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 && math.Abs(total-1) > 1e-12 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
 }
 
 // WorstCaseRowCounts returns the all-ones-input cell population of a row

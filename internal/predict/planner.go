@@ -1,0 +1,383 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/accel"
+	"repro/internal/hwmodel"
+	"repro/internal/nn"
+)
+
+// SLO is the service-level objective the planner sizes protection for.
+type SLO struct {
+	// MaxMiss is the top-1 misclassification ceiling.
+	MaxMiss float64
+	// MinAvailability is the minimum fraction of inferences that must
+	// complete without any final detected-uncorrectable group read; 0
+	// disables the replication search.
+	MinAvailability float64
+}
+
+// MeasuredRates carries one layer's live monitor-measured ECU rates, the
+// serve-side recalibration input (fault.LayerRates without the dependency).
+type MeasuredRates struct {
+	Detected float64
+	Reads    uint64
+}
+
+// PlannerConfig drives one protection-space search.
+type PlannerConfig struct {
+	// Base is the accelerator configuration the candidates vary around:
+	// device, precision, retries, seed. Scheme (plus LayerSchemes) names
+	// the currently deployed protection, which anchors the measured-rate
+	// recalibration; candidates override it.
+	Base accel.Config
+	// Schemes is the candidate ladder (default: NoECC, ABN-7..10,
+	// Static16, Static128).
+	Schemes []accel.Scheme
+	// Tech, Tile, ECU size the hardware bill (zero values take the
+	// hwmodel defaults).
+	Tech hwmodel.TechParams
+	Tile hwmodel.TileConfig
+	ECU  hwmodel.ECUSpec
+	// MaxReplicas bounds the availability search (default 3).
+	MaxReplicas int
+	SLO         SLO
+	// Measured, when non-empty, recalibrates the analytic rates per layer:
+	// kappa = measured detected rate / predicted detected rate of the
+	// deployed scheme, clamped to [0.1, 10], scales every candidate's
+	// noise variance and detect rate for that layer.
+	Measured map[int]MeasuredRates
+	// MinReads is the minimum monitor window backing a measured rate
+	// before it is trusted (default 256, matching fault.MonitorConfig).
+	MinReads uint64
+}
+
+// LayerPlan is one layer's chosen protection and its predicted behavior.
+type LayerPlan struct {
+	Layer        int
+	Scheme       string
+	PhysicalRows int
+	Groups       int
+	// PDetect is the predicted final detected-uncorrectable rate per
+	// group read under the chosen scheme (after recalibration).
+	PDetect float64
+	// VarOut is the layer's predicted per-output error variance.
+	VarOut float64
+	// AreaMM2/PowerMW are the layer's share of the hardware bill
+	// (replicas included).
+	AreaMM2, PowerMW float64
+	// Kappa is the measured/predicted recalibration factor applied
+	// (1 when no measurement informed this layer).
+	Kappa float64
+}
+
+// Plan is the planner's output: per-layer protection choices, the global
+// knobs, the predicted accuracy, and the hardware bill.
+type Plan struct {
+	Layers   []LayerPlan
+	Replicas int
+	// SpareRows is the suggested spare lines per array for endurance
+	// sparing (0 when no stuck-fault exposure is modelled).
+	SpareRows int
+	// ScrubEvery is the suggested patrol-scrub cadence in inferences
+	// between visits (0 when predicted error rates make patrols
+	// unnecessary).
+	ScrubEvery   int
+	Predicted    Prediction
+	Availability float64
+	// Satisfied reports whether the SLO was met within the searched
+	// space; when false the plan is the best-effort endpoint.
+	Satisfied bool
+	// Bill is the total hardware floorplan at the chosen replication.
+	Bill hwmodel.Floorplan
+	// Searched counts the protection configurations examined.
+	Searched int
+}
+
+// DefaultSchemes is the planner's candidate ladder.
+func DefaultSchemes() []accel.Scheme {
+	return []accel.Scheme{
+		accel.SchemeNoECC(),
+		accel.SchemeABN(7),
+		accel.SchemeABN(8),
+		accel.SchemeABN(9),
+		accel.SchemeABN(10),
+		accel.SchemeStatic16(),
+		accel.SchemeStatic128(),
+	}
+}
+
+func (cfg PlannerConfig) withDefaults() PlannerConfig {
+	if len(cfg.Schemes) == 0 {
+		cfg.Schemes = DefaultSchemes()
+	}
+	if cfg.Tech.GateArea == 0 {
+		cfg.Tech = hwmodel.Default32nm()
+	}
+	if cfg.Tile.ArraySize == 0 {
+		cfg.Tile = hwmodel.DefaultTileConfig()
+	}
+	if cfg.ECU.DataWidth == 0 {
+		cfg.ECU = hwmodel.DefaultECUSpec()
+	}
+	if cfg.MaxReplicas <= 0 {
+		cfg.MaxReplicas = 3
+	}
+	if cfg.MinReads == 0 {
+		cfg.MinReads = 256
+	}
+	return cfg
+}
+
+// candidate is one (layer, scheme) evaluation.
+type candidate struct {
+	scheme accel.Scheme
+	noise  LayerNoise
+	demand hwmodel.LayerDemand
+	area   hwmodel.AreaPower // single-copy per-layer bill
+	kappa  float64
+}
+
+// stripECC removes the error-correction periphery from a floorplan — the
+// honest bill for the NoECC baseline, which has no ECUs or tables at all.
+func stripECC(t hwmodel.TechParams, spec hwmodel.ECUSpec, fp hwmodel.Floorplan) hwmodel.Floorplan {
+	fp.Area = fp.Area.Add(t.ECU(spec).Scale(-float64(fp.ECUs)))
+	fp.Area = fp.Area.Add(t.Table(spec).Scale(-float64(fp.Tables)))
+	fp.ECUs, fp.Tables = 0, 0
+	return fp
+}
+
+// Plan searches the protection space for the cheapest configuration meeting
+// the SLO. The search is deterministic for fixed inputs: candidates are
+// evaluated with the same per-layer mapping seeds the engine uses
+// (layer index), ordered cheapest-first, and upgraded greedily by variance
+// reduction per unit area with index-order tie breaking.
+func BuildPlan(net *nn.Network, cal *Calibration, cfg PlannerConfig) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SLO.MaxMiss <= 0 {
+		return nil, fmt.Errorf("predict: SLO needs a positive MaxMiss")
+	}
+
+	// Evaluate every candidate scheme on every mappable layer.
+	type layerCands struct {
+		layer int
+		cands []candidate
+	}
+	var layers []layerCands
+	for i, l := range net.Layers {
+		var outDim, inDim int
+		var weightAt func(r, c int) float64
+		switch v := l.(type) {
+		case *nn.Dense:
+			outDim, inDim, weightAt = v.Out, v.In, v.WeightAt
+		case *nn.Conv2D:
+			outDim, inDim, weightAt = v.OutC, v.PatchLen(), v.WeightAt
+		default:
+			continue
+		}
+		deployed := cfg.Base.Scheme
+		if override, ok := cfg.Base.LayerSchemes[i]; ok {
+			deployed = override
+		}
+		var cands []candidate
+		deployedPDet := -1.0
+		for _, s := range cfg.Schemes {
+			c := cfg.Base
+			c.Scheme = s
+			c.LayerSchemes = nil
+			m, err := accel.MapMatrix(c, outDim, inDim, weightAt, uint64(i))
+			if err != nil {
+				return nil, fmt.Errorf("predict: mapping layer %d under %s: %w", i, s.Name, err)
+			}
+			lm := m.Moments(cal.Alphas(i))
+			ln, err := cal.NoiseFromMoments(i, lm)
+			if err != nil {
+				return nil, err
+			}
+			fp := cfg.Tech.PlanNetwork(m.PhysicalRows, m.NumGroups(), cfg.Tile, cfg.ECU)
+			if s.Kind == accel.KindNone {
+				fp = stripECC(cfg.Tech, cfg.ECU, fp)
+			}
+			cands = append(cands, candidate{
+				scheme: s,
+				noise:  ln,
+				demand: hwmodel.LayerDemand{PhysicalRows: m.PhysicalRows, Groups: m.NumGroups()},
+				area:   fp.Area,
+				kappa:  1,
+			})
+			if s.Name == deployed.Name {
+				deployedPDet = ln.PDetect
+			}
+		}
+		// Live recalibration: scale the analytic rates by how far the
+		// deployed scheme's measured detected rate sits from its
+		// prediction.
+		if mr, ok := cfg.Measured[i]; ok && mr.Reads >= cfg.MinReads && deployedPDet >= 0 {
+			kappa := 1.0
+			if deployedPDet > 1e-12 {
+				kappa = mr.Detected / deployedPDet
+			} else if mr.Detected > 0 {
+				kappa = 10
+			}
+			kappa = math.Min(10, math.Max(0.1, kappa))
+			for j := range cands {
+				c := &cands[j]
+				c.kappa = kappa
+				c.noise.VarOut = (c.noise.VarOut - c.noise.NoiseVar) + kappa*c.noise.NoiseVar
+				c.noise.NoiseVar *= kappa
+				c.noise.PDetect = math.Min(1, kappa*c.noise.PDetect)
+			}
+		}
+		// Cheapest first; names break area ties deterministically.
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].area.AreaMM2 != cands[b].area.AreaMM2 {
+				return cands[a].area.AreaMM2 < cands[b].area.AreaMM2
+			}
+			return cands[a].scheme.Name < cands[b].scheme.Name
+		})
+		layers = append(layers, layerCands{layer: i, cands: cands})
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("predict: network %s has no mappable layers", net.Name)
+	}
+
+	// Greedy upgrade from the all-cheapest configuration: at each step take
+	// the (layer, scheme) swap with the largest logit-variance reduction
+	// per unit of added area until the miss SLO holds.
+	downGain := make(map[int]float64, len(layers))
+	for _, lc := range layers {
+		g := 1.0
+		for k := lc.layer + 1; k < len(cal.Gains); k++ {
+			g *= cal.Gains[k]
+		}
+		downGain[lc.layer] = g
+	}
+	sel := make([]int, len(layers))
+	predictSel := func() Prediction {
+		noises := make([]LayerNoise, len(layers))
+		for li, lc := range layers {
+			noises[li] = lc.cands[sel[li]].noise
+		}
+		return cal.Predict(noises)
+	}
+	searched := 1
+	pred := predictSel()
+	for pred.Miss > cfg.SLO.MaxMiss {
+		bestLayer, bestCand := -1, -1
+		bestScore := 0.0
+		for li, lc := range layers {
+			cur := lc.cands[sel[li]]
+			for ci, c := range lc.cands {
+				if ci == sel[li] || c.noise.VarOut >= cur.noise.VarOut {
+					continue
+				}
+				dvar := (cur.noise.VarOut - c.noise.VarOut) * downGain[lc.layer]
+				dcost := math.Max(c.area.AreaMM2-cur.area.AreaMM2, 1e-9)
+				score := dvar / dcost
+				if score > bestScore {
+					bestScore, bestLayer, bestCand = score, li, ci
+				}
+			}
+		}
+		if bestLayer < 0 {
+			break
+		}
+		sel[bestLayer] = bestCand
+		searched++
+		pred = predictSel()
+	}
+	missOK := pred.Miss <= cfg.SLO.MaxMiss
+
+	// Availability: one copy completes an inference cleanly when no group
+	// read ends detected; independent replicas (their own seeds, their own
+	// fault populations) retry a flagged inference, so coverage compounds.
+	a1 := 1.0
+	for li, lc := range layers {
+		c := lc.cands[sel[li]]
+		a1 *= math.Pow(1-c.noise.PDetect, float64(c.noise.GroupReads))
+	}
+	replicas := 1
+	avail := a1
+	availOK := true
+	if cfg.SLO.MinAvailability > 0 {
+		for avail < cfg.SLO.MinAvailability && replicas < cfg.MaxReplicas {
+			replicas++
+			searched++
+			avail = 1 - math.Pow(1-a1, float64(replicas))
+		}
+		availOK = avail >= cfg.SLO.MinAvailability
+	}
+
+	// Spare rows: two spare lines per expected endurance-failed cell per
+	// array, so the patrol scrubber has headroom to retire worn rows.
+	spare := 0
+	if fr := cfg.Base.Device.FailureRate; fr > 0 {
+		maxRows := 0
+		for li, lc := range layers {
+			d := lc.cands[sel[li]].demand
+			if d.Groups > 0 {
+				if r := d.PhysicalRows / d.Groups; r > maxRows {
+					maxRows = r
+				}
+			}
+		}
+		spare = int(math.Ceil(2 * fr * float64(maxRows) * float64(cfg.Base.ArraySize)))
+	}
+	// Scrub cadence: patrol often enough that fewer than one group read per
+	// inference window is expected to end detected-uncorrectable.
+	scrubEvery := 0
+	var detPerInf float64
+	for li, lc := range layers {
+		c := lc.cands[sel[li]]
+		detPerInf += c.noise.PDetect * float64(c.noise.GroupReads)
+	}
+	if detPerInf > 1e-9 {
+		scrubEvery = int(math.Max(1, 1/detPerInf))
+	}
+
+	// Final bill at the chosen replication, per layer.
+	demands := make([]hwmodel.LayerDemand, len(layers))
+	for li, lc := range layers {
+		demands[li] = lc.cands[sel[li]].demand
+	}
+	rp := cfg.Tech.PlanReplicatedLayers(demands, cfg.Tile, cfg.ECU, replicas)
+	plan := &Plan{
+		Replicas:     replicas,
+		SpareRows:    spare,
+		ScrubEvery:   scrubEvery,
+		Predicted:    pred,
+		Availability: avail,
+		Satisfied:    missOK && availOK,
+		Searched:     searched,
+	}
+	for li, lc := range layers {
+		c := lc.cands[sel[li]]
+		fp := rp.PerLayer[li]
+		if c.scheme.Kind == accel.KindNone {
+			// The per-layer totals must not bill ECC periphery the NoECC
+			// baseline does not have.
+			adj := stripECC(cfg.Tech, cfg.ECU, fp)
+			rp.Total.Area = rp.Total.Area.Add(adj.Area).Add(fp.Area.Scale(-1))
+			rp.Total.ECUs -= fp.ECUs
+			rp.Total.Tables -= fp.Tables
+			fp = adj
+			rp.PerLayer[li] = adj
+		}
+		plan.Layers = append(plan.Layers, LayerPlan{
+			Layer:        lc.layer,
+			Scheme:       c.scheme.Name,
+			PhysicalRows: fp.PhysicalRows,
+			Groups:       fp.Groups,
+			PDetect:      c.noise.PDetect,
+			VarOut:       c.noise.VarOut,
+			AreaMM2:      fp.Area.AreaMM2,
+			PowerMW:      fp.Area.PowerMW,
+			Kappa:        c.kappa,
+		})
+	}
+	plan.Bill = rp.Total
+	return plan, nil
+}

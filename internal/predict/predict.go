@@ -1,0 +1,325 @@
+// Package predict is the analytic accuracy predictor: a MemSE-style moment
+// propagator that turns the per-layer error model of the mapped accelerator
+// (accel.LayerMoments) into an end-to-end logit noise variance and an
+// estimated misclassification rate in one pass — no Monte-Carlo sweep — and
+// an SLO planner on top that searches the protection space (ECC scheme,
+// replica count, spare rows, scrub cadence) for the cheapest hardware
+// configuration meeting an accuracy/availability target.
+//
+// The propagation model: each mapped layer contributes an independent
+// zero-mean error of variance V_l per output element (from the analytic
+// event enumeration in accel, plus the deterministic quantization floor).
+// Downstream layers scale a white perturbation's variance by a per-layer
+// gain — sum of squared weights for MVM layers, the measured pass fraction
+// for ReLU, one for pooling and reshaping — so the logit variance is
+// sigma^2 = sum_l V_l * prod_{k>l} gain_k. Misclassification is then read
+// off the calibration images' logit margins: a correct image flips when
+// Gaussian logit noise overcomes its margin, P = 0.5*erfc(m/(2*sigma)) per
+// runner-up, capped at the 1-1/C chance level.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/accel"
+	"repro/internal/fixed"
+	"repro/internal/nn"
+)
+
+// LayerStats is the measured input statistics of one mappable layer: what
+// the analytic error model needs to know about the data the layer sees.
+type LayerStats struct {
+	// Alphas[b] is the mean fraction of MVM input entries with quantized
+	// bit b set — the per-bit-plane column activity driving row error
+	// probabilities.
+	Alphas []float64
+	// EScaleX2 is E[s_x^2] over MVM calls, where s_x is the per-call input
+	// quantization scale (per patch for convolutions).
+	EScaleX2 float64
+	// ESumX2 is E[sum_c x_c^2] over MVM calls — the weight-quantization
+	// noise amplifier.
+	ESumX2 float64
+	// Gain is the layer's own white-noise variance gain, mean over output
+	// rows of sum_c W_rc^2.
+	Gain float64
+	// Calls is the number of MVM calls the statistics were averaged over.
+	Calls int
+
+	// cols is the total observed input entries, for alpha normalization.
+	cols int
+}
+
+// ImageCalib is one calibration image's margin profile under the software
+// forward pass.
+type ImageCalib struct {
+	// Correct reports whether the software argmax matched the label.
+	Correct bool
+	// Margins are logit(top) - logit(j) for every runner-up j, for correct
+	// images (nil otherwise).
+	Margins []float64
+}
+
+// Calibration holds everything the propagator derives from one software
+// forward sweep over a set of examples: per-layer gains, per-mappable-layer
+// input statistics, and per-image logit margins. It is independent of the
+// protection scheme and cell precision, so one calibration serves every
+// candidate configuration of the same network.
+type Calibration struct {
+	InputBits int
+	Classes   int
+	// Gains[i] is the white-noise variance gain of network layer i.
+	Gains []float64
+	// Mapped is keyed by mappable layer index.
+	Mapped map[int]*LayerStats
+	Images []ImageCalib
+	// SoftwareMiss is the float-baseline misclassification over the
+	// calibration set — the floor every prediction sits on.
+	SoftwareMiss float64
+}
+
+// Calibrate runs the software forward pass over the examples, recording the
+// per-layer statistics the moment propagator needs. inputBits is the
+// accelerator's input DAC precision (accel.Config.InputBits).
+func Calibrate(net *nn.Network, examples []nn.Example, inputBits int) (*Calibration, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("predict: calibration needs at least one example")
+	}
+	if inputBits < 1 || inputBits > 62 {
+		return nil, fmt.Errorf("predict: input bits %d out of range", inputBits)
+	}
+	cal := &Calibration{
+		InputBits: inputBits,
+		Gains:     make([]float64, len(net.Layers)),
+		Mapped:    make(map[int]*LayerStats),
+	}
+	// Weight-only gains are data independent; ReLU pass fractions are
+	// accumulated during the sweep below.
+	reluPass := make([]float64, len(net.Layers))
+	reluSeen := make([]float64, len(net.Layers))
+	for i, l := range net.Layers {
+		switch v := l.(type) {
+		case *nn.Dense:
+			cal.Gains[i] = meanRowSq(v.Out, v.In, v.WeightAt)
+			cal.Mapped[i] = &LayerStats{Alphas: make([]float64, inputBits), Gain: cal.Gains[i]}
+		case *nn.Conv2D:
+			cal.Gains[i] = meanRowSq(v.OutC, v.PatchLen(), v.WeightAt)
+			cal.Mapped[i] = &LayerStats{Alphas: make([]float64, inputBits), Gain: cal.Gains[i]}
+		default:
+			cal.Gains[i] = 1
+		}
+	}
+
+	var patch []float64
+	wrong := 0
+	for _, ex := range examples {
+		x := ex.Input
+		for i, l := range net.Layers {
+			switch v := l.(type) {
+			case *nn.Dense:
+				cal.Mapped[i].observe(x.Data, inputBits)
+			case *nn.Conv2D:
+				if len(patch) < v.PatchLen() {
+					patch = make([]float64, v.PatchLen())
+				}
+				out := v.OutShape(x.Shape)
+				for oy := 0; oy < out[1]; oy++ {
+					for ox := 0; ox < out[2]; ox++ {
+						v.Patch(x, oy, ox, patch[:v.PatchLen()])
+						cal.Mapped[i].observe(patch[:v.PatchLen()], inputBits)
+					}
+				}
+			case *nn.ReLU:
+				n := 0
+				for _, val := range x.Data {
+					if val > 0 {
+						n++
+					}
+				}
+				reluPass[i] += float64(n) / float64(len(x.Data))
+				reluSeen[i]++
+			}
+			x = l.Forward(x)
+		}
+		logits := x
+		cal.Classes = len(logits.Data)
+		top := logits.ArgMax()
+		ic := ImageCalib{Correct: top == ex.Label}
+		if ic.Correct {
+			for j, v := range logits.Data {
+				if j != top {
+					ic.Margins = append(ic.Margins, logits.Data[top]-v)
+				}
+			}
+		} else {
+			wrong++
+		}
+		cal.Images = append(cal.Images, ic)
+	}
+	for i := range net.Layers {
+		if reluSeen[i] > 0 {
+			cal.Gains[i] = reluPass[i] / reluSeen[i]
+		}
+	}
+	for _, ls := range cal.Mapped {
+		ls.finish()
+	}
+	cal.SoftwareMiss = float64(wrong) / float64(len(examples))
+	return cal, nil
+}
+
+// observe folds one MVM input vector into the running statistics.
+func (ls *LayerStats) observe(x []float64, bits int) {
+	q := fixed.QuantizeUnsigned(x, bits)
+	for _, v := range q.Values {
+		for b := 0; b < bits; b++ {
+			if v>>uint(b)&1 == 1 {
+				ls.Alphas[b]++
+			}
+		}
+	}
+	var sumSq float64
+	for _, v := range x {
+		sumSq += v * v
+	}
+	ls.EScaleX2 += q.Scale * q.Scale
+	ls.ESumX2 += sumSq
+	ls.Calls++
+	ls.cols += len(x)
+}
+
+func (ls *LayerStats) finish() {
+	if ls.Calls == 0 {
+		return
+	}
+	for b := range ls.Alphas {
+		ls.Alphas[b] /= float64(ls.cols)
+	}
+	ls.EScaleX2 /= float64(ls.Calls)
+	ls.ESumX2 /= float64(ls.Calls)
+}
+
+// meanRowSq is the mean over rows of the squared-weight row sums.
+func meanRowSq(rows, cols int, weightAt func(r, c int) float64) float64 {
+	var total float64
+	for r := 0; r < rows; r++ {
+		var s float64
+		for c := 0; c < cols; c++ {
+			w := weightAt(r, c)
+			s += w * w
+		}
+		total += s
+	}
+	return total / float64(rows)
+}
+
+// LayerNoise is one mapped layer's predicted contribution in output units.
+type LayerNoise struct {
+	Layer int
+	// VarOut is the per-output-element error variance of one MVM through
+	// this layer, in the layer's output units (noise events plus the
+	// quantization floor).
+	VarOut float64
+	// NoiseVar is the event-driven part of VarOut (excludes quantization),
+	// the component that scales when measured error rates disagree with
+	// the model.
+	NoiseVar float64
+	// PDetect and PCorrect are per-group-read ECU outcome rates.
+	PDetect, PCorrect float64
+	// GroupReads per inference through this layer.
+	GroupReads int
+}
+
+// NoiseFromMoments converts a layer's accelerator moments to output units
+// using the calibrated input statistics: scales the accumulator variance by
+// the quantization scales and adds the deterministic weight/input
+// quantization floor.
+func (c *Calibration) NoiseFromMoments(layer int, lm accel.LayerMoments) (LayerNoise, error) {
+	ls := c.Mapped[layer]
+	if ls == nil {
+		return LayerNoise{}, fmt.Errorf("predict: layer %d not in calibration", layer)
+	}
+	noiseVar := lm.VarAcc * lm.WeightScale * lm.WeightScale * ls.EScaleX2
+	// Quantization floor: weights land within +/- half an LSB (variance
+	// s_w^2/12 each, amplified by the input energy), inputs likewise
+	// (amplified by the layer's squared weights).
+	wq := lm.WeightScale * lm.WeightScale / 12 * ls.ESumX2
+	xq := ls.EScaleX2 / 12 * ls.Gain
+	return LayerNoise{
+		Layer:      layer,
+		VarOut:     noiseVar + wq + xq,
+		NoiseVar:   noiseVar,
+		PDetect:    lm.PDetect,
+		PCorrect:   lm.PCorrect,
+		GroupReads: lm.GroupReadsPerMVM,
+	}, nil
+}
+
+// Alphas returns a mappable layer's calibrated bit-plane activity (nil when
+// the layer is unknown, which Moments treats as balanced 0.5 activity).
+func (c *Calibration) Alphas(layer int) []float64 {
+	if ls := c.Mapped[layer]; ls != nil {
+		return ls.Alphas
+	}
+	return nil
+}
+
+// Prediction is the end-to-end analytic accuracy estimate.
+type Prediction struct {
+	// LogitSigma is the predicted per-logit noise standard deviation.
+	LogitSigma float64
+	// Miss is the predicted top-1 misclassification rate.
+	Miss float64
+	// Drift is the predicted mean absolute logit deviation, comparable to
+	// the drift column of the Monte-Carlo sweep CSVs.
+	Drift float64
+}
+
+// Predict propagates the per-layer noise contributions to the logits and
+// estimates misclassification from the calibrated margins.
+func (c *Calibration) Predict(noises []LayerNoise) Prediction {
+	var logitVar float64
+	for _, ln := range noises {
+		gain := 1.0
+		for k := ln.Layer + 1; k < len(c.Gains); k++ {
+			gain *= c.Gains[k]
+		}
+		logitVar += ln.VarOut * gain
+	}
+	sigma := math.Sqrt(logitVar)
+	return Prediction{
+		LogitSigma: sigma,
+		Miss:       c.missAtSigma(sigma),
+		Drift:      math.Sqrt(2/math.Pi) * sigma,
+	}
+}
+
+// missAtSigma evaluates the margin model at a given logit noise level.
+func (c *Calibration) missAtSigma(sigma float64) float64 {
+	if len(c.Images) == 0 {
+		return 0
+	}
+	chance := 1.0
+	if c.Classes > 1 {
+		chance = 1 - 1/float64(c.Classes)
+	}
+	var miss float64
+	for _, ic := range c.Images {
+		if !ic.Correct {
+			miss++
+			continue
+		}
+		if sigma <= 0 {
+			continue
+		}
+		var pflip float64
+		for _, m := range ic.Margins {
+			pflip += 0.5 * math.Erfc(m/(2*sigma))
+		}
+		if pflip > chance {
+			pflip = chance
+		}
+		miss += pflip
+	}
+	return miss / float64(len(c.Images))
+}

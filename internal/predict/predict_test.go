@@ -1,0 +1,215 @@
+package predict
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/nn"
+)
+
+// tinyNet builds a deterministic two-Dense network for fast tests.
+func tinyNet() *nn.Network {
+	rng := rand.New(rand.NewPCG(7, 11))
+	return &nn.Network{
+		Name:    "tiny",
+		InShape: []int{8},
+		Layers: []nn.Layer{
+			nn.NewDense(8, 6, rng),
+			&nn.ReLU{},
+			nn.NewDense(6, 4, rng),
+		},
+	}
+}
+
+// tinyExamples labels random inputs with the network's own argmax, so the
+// software baseline is perfect and margins exist for every image.
+func tinyExamples(net *nn.Network, n int) []nn.Example {
+	rng := rand.New(rand.NewPCG(3, 5))
+	var exs []nn.Example
+	for i := 0; i < n; i++ {
+		x := nn.NewTensor(8)
+		for j := range x.Data {
+			x.Data[j] = rng.Float64()
+		}
+		exs = append(exs, nn.Example{Input: x, Label: net.Forward(x).ArgMax()})
+	}
+	return exs
+}
+
+func TestCalibrateStatistics(t *testing.T) {
+	net := tinyNet()
+	cal, err := Calibrate(net, tinyExamples(net, 20), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.SoftwareMiss != 0 {
+		t.Fatalf("self-labelled calibration must have zero software miss, got %v", cal.SoftwareMiss)
+	}
+	if cal.Classes != 4 {
+		t.Fatalf("classes = %d, want 4", cal.Classes)
+	}
+	if len(cal.Mapped) != 2 {
+		t.Fatalf("mapped layers = %d, want 2 (the two Dense layers)", len(cal.Mapped))
+	}
+	for i, ls := range cal.Mapped {
+		if ls.Calls == 0 || ls.EScaleX2 <= 0 || ls.Gain <= 0 {
+			t.Fatalf("layer %d stats not populated: %+v", i, ls)
+		}
+		for b, a := range ls.Alphas {
+			if a < 0 || a > 1 {
+				t.Fatalf("layer %d alpha[%d] = %v out of [0,1]", i, b, a)
+			}
+		}
+	}
+	// ReLU gain is the measured pass fraction, strictly inside (0,1] here.
+	if g := cal.Gains[1]; g <= 0 || g > 1 {
+		t.Fatalf("relu gain = %v, want in (0,1]", g)
+	}
+}
+
+func TestPredictMonotoneInNoise(t *testing.T) {
+	net := tinyNet()
+	cal, err := Calibrate(net, tinyExamples(net, 20), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := cal.Predict(nil); p.Miss != cal.SoftwareMiss || p.LogitSigma != 0 {
+		t.Fatalf("zero-noise prediction = %+v, want software baseline", p)
+	}
+	prev := -1.0
+	for _, v := range []float64{1e-6, 1e-3, 1e-1, 10, 1e4} {
+		p := cal.Predict([]LayerNoise{{Layer: 2, VarOut: v}})
+		if p.Miss < prev {
+			t.Fatalf("miss not monotone in noise: %v after %v", p.Miss, prev)
+		}
+		if chance := 1 - 1/float64(cal.Classes); p.Miss > chance+1e-12 {
+			t.Fatalf("miss %v exceeds chance level %v", p.Miss, chance)
+		}
+		prev = p.Miss
+	}
+	if prev < 0.5 {
+		t.Fatalf("huge noise should drive miss near chance (0.75), got %v", prev)
+	}
+}
+
+func TestNoiseFromMomentsUnits(t *testing.T) {
+	net := tinyNet()
+	cal, err := Calibrate(net, tinyExamples(net, 8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := accel.LayerMoments{VarAcc: 2, WeightScale: 0.5, PDetect: 0.01, PCorrect: 0.02, GroupReadsPerMVM: 16}
+	ln, err := cal.NoiseFromMoments(0, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := cal.Mapped[0]
+	wantNoise := 2 * 0.25 * ls.EScaleX2
+	if math.Abs(ln.NoiseVar-wantNoise) > 1e-12 {
+		t.Fatalf("NoiseVar = %v, want %v", ln.NoiseVar, wantNoise)
+	}
+	wantVar := wantNoise + 0.25/12*ls.ESumX2 + ls.EScaleX2/12*ls.Gain
+	if math.Abs(ln.VarOut-wantVar) > 1e-12 {
+		t.Fatalf("VarOut = %v, want %v", ln.VarOut, wantVar)
+	}
+	if ln.PDetect != 0.01 || ln.GroupReads != 16 {
+		t.Fatalf("rates not forwarded: %+v", ln)
+	}
+	if _, err := cal.NoiseFromMoments(1, lm); err == nil {
+		t.Fatal("unmapped layer must error")
+	}
+}
+
+func TestBuildPlanDeterministicAndBilled(t *testing.T) {
+	net := tinyNet()
+	cal, err := Calibrate(net, tinyExamples(net, 20), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PlannerConfig{
+		Base: accel.DefaultConfig(accel.SchemeNoECC()),
+		SLO:  SLO{MaxMiss: 0.2, MinAvailability: 0.99},
+	}
+	p1, err := BuildPlan(net, cal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildPlan(net, cal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("plan not deterministic:\n%+v\nvs\n%+v", p1, p2)
+	}
+	if len(p1.Layers) != 2 {
+		t.Fatalf("planned layers = %d, want 2", len(p1.Layers))
+	}
+	var sumArea float64
+	for _, lp := range p1.Layers {
+		if lp.AreaMM2 <= 0 || lp.PowerMW <= 0 || lp.Groups <= 0 {
+			t.Fatalf("layer plan not billed: %+v", lp)
+		}
+		if lp.Kappa != 1 {
+			t.Fatalf("no measurements given, kappa = %v", lp.Kappa)
+		}
+		sumArea += lp.AreaMM2
+	}
+	if math.Abs(sumArea-p1.Bill.Area.AreaMM2) > 1e-9 {
+		t.Fatalf("per-layer areas %.6f != total bill %.6f", sumArea, p1.Bill.Area.AreaMM2)
+	}
+	if !p1.Satisfied {
+		t.Fatalf("clean device at loose SLO must be satisfiable: %+v", p1.Predicted)
+	}
+	if p1.Predicted.Miss > cfg.SLO.MaxMiss {
+		t.Fatalf("satisfied plan misses SLO: %v > %v", p1.Predicted.Miss, cfg.SLO.MaxMiss)
+	}
+	if p1.Availability < cfg.SLO.MinAvailability || p1.Availability > 1 {
+		t.Fatalf("availability %v outside [%v, 1]", p1.Availability, cfg.SLO.MinAvailability)
+	}
+	if p1.Searched < 1 || p1.Replicas < 1 {
+		t.Fatalf("search bookkeeping off: %+v", p1)
+	}
+}
+
+func TestBuildPlanRecalibration(t *testing.T) {
+	net := tinyNet()
+	cal, err := Calibrate(net, tinyExamples(net, 20), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := PlannerConfig{
+		Base: accel.DefaultConfig(accel.SchemeABN(9)),
+		SLO:  SLO{MaxMiss: 0.2},
+	}
+	// A measured detected rate far above the prediction must surface as a
+	// kappa > 1 on that layer; a starved window must be ignored.
+	meas := base
+	meas.Measured = map[int]MeasuredRates{
+		0: {Detected: 0.2, Reads: 10_000},
+		2: {Detected: 0.2, Reads: 3},
+	}
+	pm, err := BuildPlan(net, cal, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := pm.Layers[0].Kappa; k <= 1 {
+		t.Fatalf("layer 0 kappa = %v, want > 1 for inflated measured rate", k)
+	}
+	if k := pm.Layers[1].Kappa; k != 1 {
+		t.Fatalf("layer 2 kappa = %v, want 1 (window below MinReads)", k)
+	}
+}
+
+func TestBuildPlanRejectsBadSLO(t *testing.T) {
+	net := tinyNet()
+	cal, err := Calibrate(net, tinyExamples(net, 4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildPlan(net, cal, PlannerConfig{Base: accel.DefaultConfig(accel.SchemeNoECC())}); err == nil {
+		t.Fatal("zero MaxMiss must be rejected")
+	}
+}

@@ -51,6 +51,10 @@ type Config struct {
 	// detach-for-maintenance without pausing traffic. N <= 1 (the default)
 	// keeps the single-copy path byte for byte.
 	Replicas replica.Config
+	// Plan wires GET /plan: the analytic protection planner run against the
+	// live engine, recalibrated by the health monitor's measured rates.
+	// Disabled by default (requires an offline calibration).
+	Plan PlanConfig
 
 	// dequeueHook, when set, runs in the worker loop after each dequeue and
 	// before deadline checks (test instrumentation: lets tests hold a
@@ -91,6 +95,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Replicas.Validate(); err != nil {
+		return err
+	}
+	if err := c.Plan.Validate(); err != nil {
 		return err
 	}
 	return c.Recovery.Validate()

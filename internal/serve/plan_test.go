@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/predict"
+)
+
+// testCalibration calibrates the tiny test network on self-labelled random
+// inputs (labels from the software forward pass, so every margin is defined).
+func testCalibration(t *testing.T, net *nn.Network, inputBits int) *predict.Calibration {
+	t.Helper()
+	var examples []nn.Example
+	for s := uint64(1); s <= 24; s++ {
+		x := testInput(s)
+		examples = append(examples, nn.Example{Input: x, Label: net.Predict(x)})
+	}
+	cal, err := predict.Calibrate(net, examples, inputBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	eng, net := testEngine(t, 0)
+	cal := testCalibration(t, net, eng.Config().InputBits)
+	cfg := Config{Workers: 1, Plan: PlanConfig{
+		Enabled:     true,
+		Calibration: cal,
+		SLO:         predict.SLO{MaxMiss: 0.2},
+	}}
+	srv, err := NewServer(eng, Model{Name: net.Name, InShape: net.InShape}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown(t.Context()) })
+
+	get := func() planResponse {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/plan", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /plan status %d: %s", rec.Code, rec.Body)
+		}
+		var resp planResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := get()
+	if resp.Workload != "tiny" || resp.Deployed != "ABN-8" {
+		t.Fatalf("identity fields wrong: %+v", resp)
+	}
+	if resp.SLOMaxMiss != 0.2 {
+		t.Fatalf("SLO echo wrong: %+v", resp)
+	}
+	if len(resp.Layers) == 0 {
+		t.Fatal("plan has no per-layer rows")
+	}
+	for _, lp := range resp.Layers {
+		if lp.Scheme == "" || lp.Kappa <= 0 {
+			t.Fatalf("layer row malformed: %+v", lp)
+		}
+	}
+	if resp.PredictedMiss < 0 || resp.PredictedMiss > 1 {
+		t.Fatalf("predicted miss out of range: %v", resp.PredictedMiss)
+	}
+	if resp.Searched <= 0 {
+		t.Fatalf("planner searched nothing: %+v", resp)
+	}
+	if resp.TotalAreaMM2 <= 0 || resp.TotalPowerMW <= 0 {
+		t.Fatalf("hardware bill missing: %+v", resp)
+	}
+	// No recovery monitor is armed, so no measured rates informed the plan.
+	if resp.MeasuredLayers != 0 {
+		t.Fatalf("measured layers %d without a monitor", resp.MeasuredLayers)
+	}
+
+	// Determinism: a second request must return the identical plan.
+	if again := get(); again.PredictedMiss != resp.PredictedMiss ||
+		again.Searched != resp.Searched || len(again.Layers) != len(resp.Layers) {
+		t.Fatalf("plan not deterministic: %+v vs %+v", resp, again)
+	}
+}
+
+func TestPlanEndpointMethodAndConfig(t *testing.T) {
+	eng, net := testEngine(t, 0)
+	cal := testCalibration(t, net, eng.Config().InputBits)
+
+	// Enabled without a calibration must be rejected at config time.
+	bad := Config{Plan: PlanConfig{Enabled: true, SLO: predict.SLO{MaxMiss: 0.1}}}
+	if _, err := NewServer(eng, Model{Name: net.Name}, bad); err == nil {
+		t.Fatal("plan endpoint without calibration must fail validation")
+	}
+	// Enabled without a positive SLO likewise.
+	bad = Config{Plan: PlanConfig{Enabled: true, Calibration: cal}}
+	if _, err := NewServer(eng, Model{Name: net.Name}, bad); err == nil {
+		t.Fatal("plan endpoint without SLO must fail validation")
+	}
+
+	// POST is rejected; disabled config leaves /plan unregistered.
+	srv, err := NewServer(eng, Model{Name: net.Name, InShape: net.InShape},
+		Config{Workers: 1, Plan: PlanConfig{Enabled: true, Calibration: cal, SLO: predict.SLO{MaxMiss: 0.2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown(t.Context()) })
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/plan", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /plan = %d, want 405", rec.Code)
+	}
+
+	off, err := NewServer(eng, Model{Name: net.Name, InShape: net.InShape}, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { off.Shutdown(t.Context()) })
+	rec = httptest.NewRecorder()
+	off.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/plan", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /plan on disabled server = %d, want 404", rec.Code)
+	}
+}

@@ -36,6 +36,7 @@ type Server struct {
 	inLen   int
 	mux     *http.ServeMux
 	ready   atomic.Bool
+	plan    PlanConfig
 }
 
 // NewServer builds the scheduler pool over a mapped engine and wires the
@@ -52,11 +53,14 @@ func NewServer(eng *accel.Engine, model Model, cfg Config) (*Server, error) {
 	if len(model.InShape) == 0 || inLen <= 0 {
 		return nil, fmt.Errorf("serve: model %q has no input shape", model.Name)
 	}
-	s := &Server{sched: sched, metrics: newMetrics(), model: model, inLen: inLen, mux: http.NewServeMux()}
+	s := &Server{sched: sched, metrics: newMetrics(), model: model, inLen: inLen, mux: http.NewServeMux(), plan: cfg.Plan}
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Plan.Enabled {
+		s.mux.HandleFunc("/plan", s.handlePlan)
+	}
 	if cfg.Pprof {
 		// The stdlib handlers, on our mux rather than DefaultServeMux, so
 		// profiling shares the admin surface and honors the same listener.
