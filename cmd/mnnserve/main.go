@@ -40,6 +40,19 @@
 //
 //	mnnserve -workload MLP1 -replicas 2 -fault-steps 4 -fault-every 50
 //
+// -device selects a named cell profile from the device library (see
+// `mnnsim devices`); the device's own bits-per-cell applies unless -bits is
+// passed explicitly. -scenario replays a deterministic environment timeline
+// on the served-request clock — temperature excursions, wear-acceleration
+// windows, transient RTN bursts — retuning the live arrays one environment
+// step per -scenario-every requests and rescaling any armed fault campaign's
+// arrival rates. -controller closes the loop: measured error rates and
+// breaker state feed back into patrol cadence, vote thresholds, proactive
+// replica repair, and pre-emptive degradation, with hysteresis:
+//
+//	mnnserve -workload MLP1 -device high-rtn -scenario heatwave \
+//	    -scrub -replicas 2 -controller -fault-steps 6 -fault-every 50
+//
 // SIGINT/SIGTERM drain the admission queue before exiting.
 package main
 
@@ -58,8 +71,10 @@ import (
 	"repro/internal/accel"
 	"repro/internal/expt"
 	"repro/internal/fault"
+	"repro/internal/noise"
 	"repro/internal/predict"
 	"repro/internal/replica"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 )
 
@@ -75,7 +90,8 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8420", "listen address")
 	workload := fs.String("workload", "MLP1", "network to serve (MLP1|MLP2|CNN1)")
 	scheme := fs.String("scheme", "ABN-9", "protection scheme (NoECC|Static16|Static128|ABN-<bits>)")
-	bits := fs.Int("bits", 2, "bits per cell")
+	deviceName := fs.String("device", noise.DefaultDeviceName, "named device profile (list with: mnnsim devices)")
+	bits := fs.Int("bits", 2, "bits per cell (unset = the device profile's own width)")
 	stuck := fs.Float64("stuck", 0, "stuck-cell failure rate (Figure 11 uses 0.001)")
 	retries := fs.Int("retries", 6, "ECU re-reads on detected-uncorrectable errors")
 	workers := fs.Int("workers", 0, "session-pool size (0 = GOMAXPROCS)")
@@ -107,12 +123,32 @@ func run(args []string) error {
 	planMiss := fs.Float64("plan-miss", 0.05, "plan: misclassification-rate SLO ceiling")
 	planAvail := fs.Float64("plan-availability", 0.999, "plan: availability SLO floor (0 disables the replication search)")
 	planImages := fs.Int("plan-images", 200, "plan: calibration images for the analytic predictor")
+	scenarioName := fs.String("scenario", "", fmt.Sprintf("environment timeline to replay on the request clock (%v; empty disables)", scenario.Names()))
+	scenarioSteps := fs.Int("scenario-steps", 8, "scenario: timeline steps")
+	scenarioEvery := fs.Uint64("scenario-every", 50, "scenario: served requests between environment steps")
+	controllerOn := fs.Bool("controller", false, "enable the closed-loop protection controller (requires -recovery)")
+	controllerInterval := fs.Duration("controller-interval", time.Second, "controller: decision tick interval")
+	controllerTighten := fs.Float64("controller-tighten", 0.01, "controller: detected-rate pressure threshold that tightens protection")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *faultSteps > 0 && *faultEvery == 0 {
 		return fmt.Errorf("-fault-every must be >= 1 when -fault-steps is set")
 	}
+	if *scenarioName != "" && *scenarioEvery == 0 {
+		return fmt.Errorf("-scenario-every must be >= 1 when -scenario is set")
+	}
+	if *controllerOn && !*recovery {
+		return fmt.Errorf("-controller needs -recovery: the health monitor is its sensor")
+	}
+	// An explicit -bits wins; otherwise the device profile's own cell width
+	// applies (fast-lowprec is a 1-bit cell, the rest are 2-bit).
+	bitsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "bits" {
+			bitsSet = true
+		}
+	})
 
 	sch, err := accel.ParseScheme(*scheme)
 	if err != nil {
@@ -139,14 +175,23 @@ func run(args []string) error {
 		return fmt.Errorf("unknown workload %q (want MLP1|MLP2|CNN1)", *workload)
 	}
 
+	dev, err := noise.Device(*deviceName)
+	if err != nil {
+		return err
+	}
 	acfg := accel.DefaultConfig(sch)
-	acfg.Device.BitsPerCell = *bits
+	acfg.Device = dev
+	acfg.DeviceName = *deviceName
+	if bitsSet {
+		acfg.Device.BitsPerCell = *bits
+	}
 	acfg.Device.FailureRate = *stuck
 	acfg.Retries = *retries
 	acfg.Seed = *seed
 	acfg.SpareRows = *spareRows
 	acfg.VerifyIters = *verifyIters
-	fmt.Fprintf(os.Stderr, "mapping %s under %s at %d bits/cell...\n", w.Name, sch.Name, *bits)
+	fmt.Fprintf(os.Stderr, "mapping %s under %s on %s at %d bits/cell...\n",
+		w.Name, sch.Name, *deviceName, acfg.Device.BitsPerCell)
 	eng, err := accel.Map(w.Net, acfg)
 	if err != nil {
 		return err
@@ -183,6 +228,15 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "replicating onto %d independent array sets (%.0fx area)...\n",
 			*replicas, float64(*replicas))
 	}
+	if *controllerOn {
+		scfg.Controller = serve.ControllerConfig{
+			Enabled:     true,
+			Interval:    *controllerInterval,
+			TightenRate: *controllerTighten,
+		}
+		fmt.Fprintf(os.Stderr, "protection controller armed: tick %v, tighten at detected rate >= %.3g\n",
+			*controllerInterval, *controllerTighten)
+	}
 	if *planOn {
 		test := w.Test
 		if *planImages > 0 && *planImages < len(test) {
@@ -209,12 +263,29 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var tl scenario.Timeline
+	if *scenarioName != "" {
+		tl, err = scenario.Generate(*scenarioName, *seed, *scenarioSteps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scenario %q armed: %d env steps, one per %d served requests (peak wear x%.1f)\n",
+			tl.Spec, tl.Steps(), *scenarioEvery, tl.MaxWearScale())
+		go driveScenario(ctx, tl, srv.Scheduler(), acfg.Device, *scenarioEvery)
+	}
 	if *faultSteps > 0 {
 		life := fault.LifetimeParams{
 			Steps: *faultSteps, StuckPerStep: *faultStuck, LRSFrac: *faultLRS,
 			DriftEvery: *faultDriftEvery, DriftRate: *faultDriftRate,
 		}
-		runner, err := fault.NewRunner(fault.LifetimeCampaign(*seed, eng.Layers(), life), eng)
+		campaign := fault.LifetimeCampaign(*seed, eng.Layers(), life)
+		if tl.Steps() > 0 {
+			// The scenario's wear windows rescale the campaign's arrival
+			// rates per step; the campaign's own RNG streams are untouched,
+			// so the run stays exactly replayable from the seed.
+			campaign = tl.ScaleCampaign(campaign)
+		}
+		runner, err := fault.NewRunner(campaign, eng)
 		if err != nil {
 			return err
 		}
@@ -293,5 +364,40 @@ func driveCampaign(ctx context.Context, runner *fault.Runner, sched *serve.Sched
 		applied = target
 		fmt.Fprintf(os.Stderr, "fault campaign: advanced to step %d/%d (%d events applied)\n",
 			applied, steps, len(events))
+	}
+}
+
+// driveScenario advances the environment timeline on the served-request
+// clock, mirroring driveCampaign: step k applies once Served() crosses
+// k*every. Each step re-derives the device from the unmodified base, so
+// excursions never compound across steps and the sequence replays exactly.
+func driveScenario(ctx context.Context, tl scenario.Timeline, sched *serve.Scheduler, base noise.DeviceParams, every uint64) {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	applied := -1
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		target := int(sched.Served() / every)
+		if target >= tl.Steps() {
+			target = tl.Steps() - 1
+		}
+		if target <= applied {
+			continue
+		}
+		env := tl.At(target)
+		if err := sched.ApplyEnv(env.Apply(base)); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			return
+		}
+		applied = target
+		fmt.Fprintf(os.Stderr, "scenario %s: step %d/%d (temp %+.0f K, rtn x%.2f, wear x%.2f, burst x%.2f)\n",
+			tl.Spec, applied, tl.Steps()-1, env.TempDeltaK, env.RTNScale, env.WearScale, env.BurstScale)
+		if applied == tl.Steps()-1 {
+			return
+		}
 	}
 }

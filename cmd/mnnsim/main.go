@@ -23,7 +23,19 @@
 //	                 config and print the cheapest per-layer ECC / replica /
 //	                 spare-row / scrub plan meeting -plan-miss without a
 //	                 single Monte-Carlo sweep
-//	mnnsim all     — everything above except faults, scrub, replicas, and plan
+//	mnnsim devices — list the named device library: every registered
+//	                 resistive-cell profile with its headline parameters
+//	mnnsim scenarios — environment-adaptation matrix: device x scenario
+//	                 timelines (heatwave, wear-spike, burst-storm) served
+//	                 with a static vs closed-loop-adaptive protection
+//	                 posture, reporting which arm holds accuracy and
+//	                 availability
+//	mnnsim all     — everything above except faults, scrub, replicas, plan,
+//	                 and scenarios
+//
+// -device selects a named device profile from the library for the fault,
+// scrub, replica, scenario, and plan studies (default hpca2018-rram, the
+// paper's Table I cell).
 //
 // Results print to stdout; CSVs land under -out when set.
 package main
@@ -40,7 +52,9 @@ import (
 	"repro/internal/expt"
 	"repro/internal/fault"
 	"repro/internal/hwmodel"
+	"repro/internal/noise"
 	"repro/internal/predict"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -56,6 +70,8 @@ func run(args []string) error {
 	trainN := fs.Int("train", 4000, "training examples per dataset")
 	epochs := fs.Int("epochs", 5, "training epochs")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	deviceName := fs.String("device", noise.DefaultDeviceName,
+		"named device profile for the lifetime/scenario/plan studies (list with: mnnsim devices)")
 	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines per cell (0 = GOMAXPROCS)")
 	bits := fs.String("bits", "1,2,3,4,5", "comma-separated bits-per-cell sweep")
 	outDir := fs.String("out", "", "directory for CSV outputs (optional)")
@@ -78,15 +94,25 @@ func run(args []string) error {
 	planStuck := fs.Float64("plan-stuck", 0.001, "plan: stuck-cell failure rate")
 	planMiss := fs.Float64("plan-miss", 0.05, "plan: misclassification-rate SLO ceiling")
 	planAvail := fs.Float64("plan-availability", 0.999, "plan: availability SLO floor (0 disables the replication search)")
+	scenarioList := fs.String("scenarios", "", fmt.Sprintf("scenarios: comma-separated timeline names (empty = all: %v)", scenario.Names()))
+	scenarioSteps := fs.Int("scenario-steps", 6, "scenarios: lifetime steps per matrix cell")
+	scenarioScheme := fs.String("scenario-scheme", "ABN-9", "scenarios: protection scheme for the matrix")
+	scenarioStuck := fs.Float64("scenario-stuck", 5e-7, "scenarios: per-cell stuck arrival probability per step that the wear windows multiply (breaker-armed serving needs far gentler wear than -fault-stuck)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|plan|faults|scrub|replicas|all)")
+		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|plan|faults|scrub|replicas|devices|scenarios|all)")
+	}
+
+	dev, err := noise.Device(*deviceName)
+	if err != nil {
+		return err
 	}
 
 	opt := expt.DefaultSweepOptions()
+	opt.Device = dev
 	opt.Images = *images
 	opt.Seed = *seed
 	opt.Workers = *workers
@@ -144,6 +170,16 @@ func run(args []string) error {
 		Stuck:    *planStuck,
 		MaxMiss:  *planMiss,
 		MinAvail: *planAvail,
+		Device:   *deviceName,
+	}
+
+	scenOpt := scenarioOptions{
+		Device:    *deviceName,
+		Scenarios: splitCSV(*scenarioList),
+		Steps:     *scenarioSteps,
+		Scheme:    *scenarioScheme,
+		Stuck:     *scenarioStuck,
+		LRSFrac:   *faultLRS,
 	}
 
 	cmds := fs.Args()
@@ -151,11 +187,21 @@ func run(args []string) error {
 		cmds = []string{"fig7", "sec4", "table4", "fig10", "fig11", "fig12", "table3", "ablate"}
 	}
 	for _, cmd := range cmds {
-		if err := dispatch(cmd, opt, *outDir, life, scrubOpt, repOpt, planOpt); err != nil {
+		if err := dispatch(cmd, opt, *outDir, life, scrubOpt, repOpt, planOpt, scenOpt); err != nil {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 	}
 	return nil
+}
+
+// scenarioOptions carries the scenarios-subcommand knobs through dispatch.
+type scenarioOptions struct {
+	Device    string
+	Scenarios []string
+	Steps     int
+	Scheme    string
+	Stuck     float64
+	LRSFrac   float64
 }
 
 // planOptions carries the plan-subcommand knobs through dispatch.
@@ -166,6 +212,7 @@ type planOptions struct {
 	Stuck    float64
 	MaxMiss  float64
 	MinAvail float64
+	Device   string
 }
 
 // scrubOptions carries the scrub-subcommand knobs through dispatch.
@@ -183,8 +230,72 @@ type replicaOptions struct {
 	SpareRows     int
 }
 
-func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams, scrubOpt scrubOptions, repOpt replicaOptions, planOpt planOptions) error {
+func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams, scrubOpt scrubOptions, repOpt replicaOptions, planOpt planOptions, scenOpt scenarioOptions) error {
 	switch cmd {
+	case "devices":
+		fmt.Printf("\nNamed device library (-device NAME)\n")
+		fmt.Printf("%-16s %5s %10s %10s %6s %8s %10s  %s\n",
+			"name", "bits", "RLo", "RHi", "PRTN", "temp K", "sample", "description")
+		for _, e := range noise.Devices() {
+			name := e.Name
+			if name == noise.DefaultDeviceName {
+				name += "*"
+			}
+			fmt.Printf("%-16s %5d %10.3g %10.3g %6.3g %8.0f %10.3g  %s\n",
+				name, e.Params.BitsPerCell, e.Params.RLo, e.Params.RHi,
+				e.Params.PRTN, e.Params.TempK, e.Params.SampleFreq, e.Description)
+		}
+		fmt.Printf("(* = default, the paper's Table I cell)\n")
+		return nil
+	case "scenarios":
+		sch, err := accel.ParseScheme(scenOpt.Scheme)
+		if err != nil {
+			return err
+		}
+		workloads, err := expt.DigitWorkloads(opt.Train)
+		if err != nil {
+			return err
+		}
+		// The matrix runs its own stuck-only wear, far gentler than
+		// -fault-stuck: with the reactive ladder's breakers armed, one
+		// stuck cell flags its whole column group on every read, so the
+		// usable arrival range is ~1e-6..1e-5 per cell per step — the
+		// band where patrol cadence (the controller's knob) decides
+		// whether a layer's accumulated damage crosses the trip rate.
+		// Drift stays off: wave rates big enough to move accuracy flag
+		// effectively every group and trip every breaker instantly.
+		cfg := expt.ScenarioSweepConfig{
+			Scheme:    sch,
+			Scenarios: scenOpt.Scenarios,
+			Retries:   opt.Retries,
+			Images:    opt.Images,
+			Seed:      opt.Seed,
+			Steps:     scenOpt.Steps,
+			Lifetime: fault.LifetimeParams{
+				StuckPerStep: scenOpt.Stuck,
+				LRSFrac:      scenOpt.LRSFrac,
+			},
+		}
+		// The matrix always spans the default three-device contrast; an
+		// explicitly chosen fourth profile joins it.
+		cfg.Devices = []string{noise.DefaultDeviceName, "high-rtn", "pcm-drift"}
+		extra := true
+		for _, d := range cfg.Devices {
+			if d == scenOpt.Device {
+				extra = false
+			}
+		}
+		if extra {
+			cfg.Devices = append(cfg.Devices, scenOpt.Device)
+		}
+		points, err := expt.RunScenarioSweep(workloads[0], cfg, opt.Progress)
+		if err != nil {
+			return err
+		}
+		expt.RenderScenarios(os.Stdout, points)
+		return writeCSV(outDir, "scenarios.csv", func(f *os.File) error {
+			return expt.WriteScenariosCSV(f, points)
+		})
 	case "fig7":
 		res, err := expt.RunFig7(circuit.DefaultConfig())
 		if err != nil {
@@ -288,6 +399,8 @@ func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.Lifet
 			return err
 		}
 		acfg := accel.DefaultConfig(sch)
+		acfg.Device = opt.Device
+		acfg.DeviceName = planOpt.Device
 		acfg.Device.BitsPerCell = planOpt.Bits
 		acfg.Device.FailureRate = planOpt.Stuck
 		acfg.Seed = opt.Seed

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/crossbar"
 	"repro/internal/nn"
+	"repro/internal/noise"
 	"repro/internal/stats"
 )
 
@@ -27,8 +28,13 @@ type layerSlot struct {
 	// fallback routes the layer to the digital fixed-point path.
 	fallback bool
 	soft     *SoftMatrix
-	// rebuild re-runs the mapping with a given fault-injection seed.
-	rebuild func(seed uint64) (*MappedMatrix, error)
+	// dev is the currently active device model — the map-time device until
+	// an environment Retune swaps it. Remaps rebuild under this device so a
+	// repair does not silently revert an excursion adjustment.
+	dev noise.DeviceParams
+	// rebuild re-runs the mapping with a given device model and
+	// fault-injection seed.
+	rebuild func(dev noise.DeviceParams, seed uint64) (*MappedMatrix, error)
 	// mkSoft builds the fallback matrix lazily on first degradation.
 	mkSoft func() (*SoftMatrix, error)
 }
@@ -99,14 +105,17 @@ func Map(net *nn.Network, cfg Config) (*Engine, error) {
 		}
 		lc, oD, iD, wA := layerCfg, outDim, inDim, weightAt
 		sl := &layerSlot{
-			rebuild: func(seed uint64) (*MappedMatrix, error) {
-				return MapMatrix(lc, oD, iD, wA, seed)
+			dev: layerCfg.Device,
+			rebuild: func(dev noise.DeviceParams, seed uint64) (*MappedMatrix, error) {
+				c := lc
+				c.Device = dev
+				return MapMatrix(c, oD, iD, wA, seed)
 			},
 			mkSoft: func() (*SoftMatrix, error) {
 				return NewSoftMatrix(oD, iD, lc.WeightBits, lc.InputBits, wA)
 			},
 		}
-		m, err := sl.rebuild(uint64(i))
+		m, err := sl.rebuild(sl.dev, uint64(i))
 		if err != nil {
 			return nil, fmt.Errorf("accel: mapping layer %d (%s): %w", i, l.Name(), err)
 		}
@@ -226,7 +235,7 @@ func (e *Engine) Remap(layer int) error {
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
 	epoch := sl.remaps + 1
-	m, err := sl.rebuild(uint64(layer) + uint64(epoch)*remapSeedStride)
+	m, err := sl.rebuild(sl.dev, uint64(layer)+uint64(epoch)*remapSeedStride)
 	if err != nil {
 		return fmt.Errorf("accel: remapping layer %d: %w", layer, err)
 	}
@@ -234,6 +243,50 @@ func (e *Engine) Remap(layer int) error {
 	sl.remaps = epoch
 	sl.fallback = false
 	return nil
+}
+
+// Retune applies an environment-adjusted device model to every mapped
+// layer without re-programming: per slot, under the write lock, the noise
+// sampler and verify-miss table are rebuilt from the new device while the
+// digital cell state, codes, and static tables stay put — a scenario
+// engine's temperature or RTN excursion takes effect between in-flight
+// MVMs with zero hot-path cost. Subsequent remaps rebuild under the
+// retuned device. Structural parameters (BitsPerCell, which fixes the
+// array level count) cannot change without a remap.
+func (e *Engine) Retune(dev noise.DeviceParams) error {
+	if err := dev.Validate(); err != nil {
+		return err
+	}
+	for i, sl := range e.slots {
+		if sl == nil {
+			continue
+		}
+		sl.mu.Lock()
+		err := sl.m.retuneDevice(dev)
+		if err == nil {
+			sl.dev = dev
+		}
+		sl.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("accel: retuning layer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ActiveDevice returns the device model currently driving the noise
+// sampler — the map-time device until a Retune swaps it.
+func (e *Engine) ActiveDevice() noise.DeviceParams {
+	for _, sl := range e.slots {
+		if sl == nil {
+			continue
+		}
+		sl.mu.RLock()
+		dev := sl.dev
+		sl.mu.RUnlock()
+		return dev
+	}
+	return e.cfg.Device
 }
 
 // RemapCount returns how many times a layer has been re-programmed.

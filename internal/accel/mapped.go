@@ -92,6 +92,31 @@ type MappedMatrix struct {
 // MapMatrix quantizes and programs a weight matrix. weightAt(r, c) returns
 // the float weight of output r, input c. seed drives fault injection and
 // must differ across layers for independent fault populations.
+// retuneDevice swaps the device model under an environment change without
+// re-programming the arrays: digital cell state, codes, and the static
+// allocation tables are untouched; only the noise sampler and the verify
+// pulse-miss probabilities derive from the new device. The caller must hold
+// the owning slot's write lock. Structural parameters (BitsPerCell — the
+// array level count) cannot change without a remap.
+func (m *MappedMatrix) retuneDevice(dev noise.DeviceParams) error {
+	if dev.BitsPerCell != m.cfg.Device.BitsPerCell {
+		return fmt.Errorf("accel: retune cannot change bits/cell %d -> %d without a remap",
+			m.cfg.Device.BitsPerCell, dev.BitsPerCell)
+	}
+	sampler, err := noise.NewRowSampler(dev)
+	if err != nil {
+		return err
+	}
+	m.cfg.Device = dev
+	m.sampler = sampler
+	m.pulseFail = sampler.PulseFailProbs()
+	return nil
+}
+
+// Device returns the device model currently driving this matrix's noise
+// sampler.
+func (m *MappedMatrix) Device() noise.DeviceParams { return m.cfg.Device }
+
 func MapMatrix(cfg Config, outDim, inDim int, weightAt func(r, c int) float64, seed uint64) (*MappedMatrix, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -137,6 +137,23 @@ func TestRaceTrafficVsMutators(t *testing.T) {
 		}
 	}()
 
+	// Mutator 5: environment retunes swap the noise sampler under traffic —
+	// the scenario-engine path.
+	mut.Add(1)
+	go func() {
+		defer mut.Done()
+		for i := 0; i < iters; i++ {
+			dev := cfg.Device
+			dev.TempK = 350 + float64(i%60)
+			dev.PRTN = float64(i%10) / 20
+			if err := eng.Retune(dev); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = eng.ActiveDevice()
+		}
+	}()
+
 	mut.Wait()
 	close(stop)
 	traffic.Wait()

@@ -1,0 +1,90 @@
+package accel
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func retuneTestEngine(t *testing.T) (*Engine, *nn.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(31, 7))
+	net := &nn.Network{Name: "retune", InShape: []int{10},
+		Layers: []nn.Layer{nn.NewDense(10, 12, rng), &nn.ReLU{}, nn.NewDense(12, 4, rng)}}
+	eng, err := Map(net, quietConfig(SchemeABN(8), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := nn.FromSlice([]float64{0.1, 0.9, 0.3, 0.5, 0.2, 0.7, 0.4, 0.8, 0.6, 0.05}, 10)
+	return eng, x
+}
+
+// Retuning to a device and back must restore bit-identical outputs: the
+// sampler is a pure function of the device parameters, so the environment
+// loop composes with the (engine, seed) determinism contract.
+func TestRetuneRoundTripDeterminism(t *testing.T) {
+	eng, x := retuneTestEngine(t)
+	base := eng.Config().Device
+
+	sess := eng.NewSession(1)
+	sess.Reseed(77)
+	want := append([]float64(nil), sess.Forward(x).Data...)
+
+	hot := base
+	hot.TempK += 60
+	hot.PRTN = 0.5
+	hot.GiantFlickerProb = 0.5
+	if err := eng.Retune(hot); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.ActiveDevice(); got.TempK != base.TempK+60 {
+		t.Fatalf("ActiveDevice TempK = %g, want %g", got.TempK, base.TempK+60)
+	}
+	sess.Reseed(77)
+	_ = sess.Forward(x)
+
+	if err := eng.Retune(base); err != nil {
+		t.Fatal(err)
+	}
+	sess.Reseed(77)
+	got := sess.Forward(x).Data
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("retune round trip changed output: %v vs %v", got, want)
+	}
+}
+
+// A remap after a retune must rebuild under the retuned device, not
+// silently revert the excursion adjustment.
+func TestRemapKeepsRetunedDevice(t *testing.T) {
+	eng, _ := retuneTestEngine(t)
+	hot := eng.Config().Device
+	hot.TempK += 40
+	if err := eng.Retune(hot); err != nil {
+		t.Fatal(err)
+	}
+	layer := eng.Layers()[0]
+	if err := eng.Remap(layer); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Mapped(layer).Device().TempK; got != hot.TempK {
+		t.Fatalf("remapped layer device TempK = %g, want %g", got, hot.TempK)
+	}
+}
+
+// Structural parameters cannot change without a remap, and invalid devices
+// are rejected before any slot is touched.
+func TestRetuneRejectsStructuralAndInvalid(t *testing.T) {
+	eng, _ := retuneTestEngine(t)
+	bad := eng.Config().Device
+	bad.BitsPerCell = 4
+	if err := eng.Retune(bad); err == nil {
+		t.Fatal("want error for bits/cell change")
+	}
+	invalid := eng.Config().Device
+	invalid.PRTN = 2
+	if err := eng.Retune(invalid); err == nil {
+		t.Fatal("want error for invalid device")
+	}
+}

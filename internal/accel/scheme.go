@@ -139,6 +139,10 @@ const (
 type Config struct {
 	// Device is the cell and noise model (Table I).
 	Device noise.DeviceParams
+	// DeviceName labels Device with its noise-library registry name for
+	// observability (metrics, /plan, /readyz). Informational only — empty
+	// means a custom or hand-tuned parameter set.
+	DeviceName string
 	// ArraySize is the crossbar column count per array (128).
 	ArraySize int
 	// WeightBits is the fixed-point weight width (16).
@@ -181,6 +185,7 @@ type Config struct {
 func DefaultConfig(s Scheme) Config {
 	return Config{
 		Device:      noise.DefaultDeviceParams(),
+		DeviceName:  noise.DefaultDeviceName,
 		ArraySize:   128,
 		WeightBits:  16,
 		InputBits:   8,

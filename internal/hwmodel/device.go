@@ -1,0 +1,50 @@
+package hwmodel
+
+import "repro/internal/noise"
+
+// Device pricing: the calibrated 32 nm constants assume the Table-I RRAM
+// cell — 2 kΩ LRS, 0.3 V reads, a 1 GS/s sense path, 2 bits per cell. A
+// different device profile moves the periphery bill: faster sampling burns
+// proportionally more ADC power, a more conductive LRS draws more array
+// read current (P = V²/R), and fewer bits per cell demands more physical
+// arrays for the same weight bits. These hooks re-anchor the constants so
+// the planner's area/power accounting tracks the device the engine is
+// actually modeling.
+
+// Calibration anchors: the default device (Table I) the base constants
+// were priced against.
+const (
+	refSampleHz = 1e9
+	refRLo      = 2e3
+	refVHi      = 0.3
+)
+
+// ForDevice scales the ADC and array pricing to a device profile. ADC
+// power scales linearly with sampling bandwidth (SAR energy per conversion
+// is roughly constant); array read power scales with V²/RLo, the dominant
+// LRS read current. Area is left alone — the periphery is pitch-limited,
+// not power-limited. Zero-valued device fields keep the calibration anchor.
+func (t TechParams) ForDevice(dev noise.DeviceParams) TechParams {
+	if dev.SampleFreq > 0 {
+		t.ADC.PowerMW *= dev.SampleFreq / refSampleHz
+	}
+	if dev.RLo > 0 && dev.VHi > 0 {
+		t.Array.PowerMW *= (dev.VHi * dev.VHi / dev.RLo) / (refVHi * refVHi / refRLo)
+	}
+	return t
+}
+
+// TileFor adapts the tile geometry to a device: a weight needs
+// WeightBits/BitsPerCell cell columns, so halving the cell width doubles
+// the arrays (and their ADCs and drivers) for the same network.
+func TileFor(c TileConfig, dev noise.DeviceParams) TileConfig {
+	if dev.BitsPerCell > 0 && dev.BitsPerCell != c.BitsPerCell {
+		scale := float64(c.BitsPerCell) / float64(dev.BitsPerCell)
+		c.ArraysPerIMA = int(float64(c.ArraysPerIMA)*scale + 0.5)
+		if c.ArraysPerIMA < 1 {
+			c.ArraysPerIMA = 1
+		}
+		c.BitsPerCell = dev.BitsPerCell
+	}
+	return c
+}

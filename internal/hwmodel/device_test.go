@@ -1,0 +1,57 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+// rel is the relative difference of two positive values.
+func rel(a, b float64) float64 { return math.Abs(a-b) / math.Max(math.Abs(b), 1e-300) }
+
+func TestForDeviceNeutralOnTableI(t *testing.T) {
+	base := Default32nm()
+	got := base.ForDevice(noise.DefaultDeviceParams())
+	// Power may round-trip through the ratio math; anything beyond float
+	// noise is a real derate.
+	if rel(got.ADC.PowerMW, base.ADC.PowerMW) > 1e-12 || rel(got.Array.PowerMW, base.Array.PowerMW) > 1e-12 {
+		t.Fatalf("Table-I device must keep the calibration anchor: %+v != %+v", got, base)
+	}
+}
+
+func TestForDeviceScalesPeripheryPower(t *testing.T) {
+	base := Default32nm()
+	fast := noise.MustDevice("fast-lowprec")
+	got := base.ForDevice(fast)
+	if got.ADC.PowerMW <= base.ADC.PowerMW {
+		t.Errorf("4 GS/s sampling should raise ADC power: %g <= %g", got.ADC.PowerMW, base.ADC.PowerMW)
+	}
+	if got.Array.PowerMW <= base.Array.PowerMW {
+		t.Errorf("1 kΩ LRS should raise array read power: %g <= %g", got.Array.PowerMW, base.Array.PowerMW)
+	}
+	if got.ADC.AreaMM2 != base.ADC.AreaMM2 || got.GateArea != base.GateArea {
+		t.Errorf("area must not move with the device")
+	}
+
+	pcm := noise.MustDevice("pcm-drift")
+	slow := base.ForDevice(pcm)
+	if slow.Array.PowerMW >= base.Array.PowerMW {
+		t.Errorf("5 kΩ LRS should lower array read power: %g >= %g", slow.Array.PowerMW, base.Array.PowerMW)
+	}
+}
+
+func TestTileForRescalesArrays(t *testing.T) {
+	tile := DefaultTileConfig() // 2 bits/cell, 8 arrays/IMA
+	one := TileFor(tile, noise.MustDevice("fast-lowprec"))
+	if one.BitsPerCell != 1 {
+		t.Fatalf("BitsPerCell = %d, want 1", one.BitsPerCell)
+	}
+	if one.ArraysPerIMA != 2*tile.ArraysPerIMA {
+		t.Errorf("1 bit/cell needs double the arrays: got %d, want %d", one.ArraysPerIMA, 2*tile.ArraysPerIMA)
+	}
+	same := TileFor(tile, noise.DefaultDeviceParams())
+	if same != tile {
+		t.Errorf("matching cell width must keep the tile: %+v", same)
+	}
+}

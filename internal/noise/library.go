@@ -1,0 +1,134 @@
+package noise
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultDeviceName is the registry entry matching DefaultDeviceParams():
+// the paper's Table I RRAM corner.
+const DefaultDeviceName = "hpca2018-rram"
+
+// DeviceEntry is one named device model in the library: the full parameter
+// set plus a one-line operator-facing description for discovery listings.
+type DeviceEntry struct {
+	Name        string
+	Description string
+	Params      DeviceParams
+}
+
+// deviceBuilders maps each registry name to a constructor. Builders (not
+// stored values) so every lookup hands out a fresh DeviceParams — callers
+// mutate their copy freely without poisoning the registry.
+var deviceBuilders = map[string]struct {
+	desc  string
+	build func() DeviceParams
+}{
+	DefaultDeviceName: {
+		desc:  "Table I NiO RRAM, the paper's evaluation corner (2 kΩ–5 MΩ, 2 b/cell)",
+		build: DefaultDeviceParams,
+	},
+	"high-rtn": {
+		desc:  "RTN-dominated RRAM corner: long error-state dwell, larger amplitudes, 4x the giant-prone population",
+		build: highRTNDeviceParams,
+	},
+	"pcm-drift": {
+		desc:  "slow-drift PCM-like cell: wide resistance window, loose programming that drifts, quiet RTN",
+		build: pcmDriftDeviceParams,
+	},
+	"fast-lowprec": {
+		desc:  "low-precision fast-read cell: 1 b/cell binary storage at 4 GS/s with short conversion averaging",
+		build: fastLowPrecDeviceParams,
+	},
+}
+
+// highRTNDeviceParams is the RTN-dominated corner of the Section II-C3
+// survey: dwell-time asymmetry near the top of the Figure 12 sweep
+// (tauErr close to tauNormal), a larger Ielmini amplitude anchor, and a
+// giant-prone population four times the Table I estimate with faster
+// flicker. Everything else stays at the Table I values so the contrast
+// against hpca2018-rram isolates the RTN axis.
+func highRTNDeviceParams() DeviceParams {
+	p := DefaultDeviceParams()
+	p.PRTN = PRTNFromDwellTimes(3, 5) // 0.375, top of the Figure 12 sweep
+	p.DeltaRLoFrac = 0.042
+	p.GiantProneProb = 4e-4
+	p.GiantFlickerProb = 0.12
+	p.RTNAveraging = 64 // shorter conversion window averages less of it away
+	return p
+}
+
+// pcmDriftDeviceParams is a slow-drift PCM-like profile: a wider resistance
+// window (phase-change cells separate states further than NiO), a thicker
+// chalcogenide film, quiet RTN (drift, not telegraph noise, dominates PCM),
+// but loose iterative programming whose placements relax over time — the
+// corner that stresses the scrub path rather than the retry path.
+func pcmDriftDeviceParams() DeviceParams {
+	p := DefaultDeviceParams()
+	p.RLo = 5e3
+	p.RHi = 2e7
+	p.FilmThickness = 50e-9
+	p.FilmResistivity = 3e-6
+	p.PRTN = 0.08
+	p.DeltaRLoFrac = 0.015
+	p.GiantProneProb = 2e-5
+	p.GiantFlickerProb = 0.03
+	p.ProgErrFrac = 0.03
+	p.ProgVerifyLSB = 0.03
+	return p
+}
+
+// fastLowPrecDeviceParams is the low-precision-fast corner: binary (1 bit
+// per cell) storage read at 4 GS/s with a short conversion window. The
+// wide level spacing buys error margin back from the higher thermal noise
+// floor and the reduced RTN averaging — the trade the multi-level sweeps
+// of Section VII probe from the other side.
+func fastLowPrecDeviceParams() DeviceParams {
+	p := DefaultDeviceParams()
+	p.BitsPerCell = 1
+	p.RLo = 1e3
+	p.RHi = 1e6
+	p.SampleFreq = 4e9
+	p.RTNAveraging = 16
+	p.ProgErrFrac = 0.02
+	return p
+}
+
+// Device returns a fresh copy of the named device model. Unknown names
+// list the valid registry so flag errors are self-documenting.
+func Device(name string) (DeviceParams, error) {
+	e, ok := deviceBuilders[name]
+	if !ok {
+		return DeviceParams{}, fmt.Errorf("noise: unknown device %q (valid: %v)", name, DeviceNames())
+	}
+	return e.build(), nil
+}
+
+// MustDevice is Device for registry names known at compile time.
+func MustDevice(name string) DeviceParams {
+	p, err := Device(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// DeviceNames returns the registry names in sorted order.
+func DeviceNames() []string {
+	names := make([]string, 0, len(deviceBuilders))
+	for n := range deviceBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Devices returns every registry entry, sorted by name, for listings.
+func Devices() []DeviceEntry {
+	out := make([]DeviceEntry, 0, len(deviceBuilders))
+	for _, n := range DeviceNames() {
+		e := deviceBuilders[n]
+		out = append(out, DeviceEntry{Name: n, Description: e.desc, Params: e.build()})
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package noise
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Every registered device must pass parameter validation — the registry is
+// the operator-facing surface, so a bad entry is a library bug, not a
+// runtime configuration error.
+func TestDeviceRegistryValidates(t *testing.T) {
+	names := DeviceNames()
+	if len(names) < 4 {
+		t.Fatalf("registry has %d devices, want at least 4", len(names))
+	}
+	for _, name := range names {
+		p, err := Device(name)
+		if err != nil {
+			t.Fatalf("Device(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("device %q fails validation: %v", name, err)
+		}
+	}
+}
+
+// The default entry must stay pinned to the paper's Table I parameters.
+func TestDefaultDeviceMatchesTableI(t *testing.T) {
+	got := MustDevice(DefaultDeviceName)
+	if want := DefaultDeviceParams(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Device(%q) = %+v, want DefaultDeviceParams() = %+v", DefaultDeviceName, got, want)
+	}
+}
+
+// Lookups must hand out fresh copies: mutating one must not leak into the
+// next.
+func TestDeviceLookupIsolation(t *testing.T) {
+	a := MustDevice(DefaultDeviceName)
+	a.TempK = 999
+	b := MustDevice(DefaultDeviceName)
+	if b.TempK == 999 {
+		t.Fatal("registry handed out a shared DeviceParams")
+	}
+}
+
+func TestDeviceUnknownNameListsRegistry(t *testing.T) {
+	_, err := Device("no-such-device")
+	if err == nil {
+		t.Fatal("want error for unknown device")
+	}
+	for _, name := range DeviceNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention valid device %q", err, name)
+		}
+	}
+}
+
+// The contrasting profiles must actually contrast on their headline axis.
+func TestDeviceProfilesContrast(t *testing.T) {
+	base := MustDevice(DefaultDeviceName)
+	if hr := MustDevice("high-rtn"); hr.PRTN <= base.PRTN {
+		t.Errorf("high-rtn PRTN %g not above baseline %g", hr.PRTN, base.PRTN)
+	}
+	if pcm := MustDevice("pcm-drift"); pcm.ProgErrFrac <= base.ProgErrFrac || pcm.PRTN >= base.PRTN {
+		t.Errorf("pcm-drift should trade quiet RTN for loose programming: got ProgErrFrac %g PRTN %g", pcm.ProgErrFrac, pcm.PRTN)
+	}
+	if fl := MustDevice("fast-lowprec"); fl.BitsPerCell != 1 || fl.SampleFreq <= base.SampleFreq {
+		t.Errorf("fast-lowprec should be 1 b/cell at a faster sample rate: got %d b/cell %g Hz", fl.BitsPerCell, fl.SampleFreq)
+	}
+	if entries := Devices(); len(entries) != len(DeviceNames()) {
+		t.Errorf("Devices() returned %d entries, want %d", len(entries), len(DeviceNames()))
+	}
+}

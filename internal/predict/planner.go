@@ -77,6 +77,9 @@ type LayerPlan struct {
 // Plan is the planner's output: per-layer protection choices, the global
 // knobs, the predicted accuracy, and the hardware bill.
 type Plan struct {
+	// Device names the device profile the plan was priced against (empty
+	// when the base config carries no name).
+	Device   string
 	Layers   []LayerPlan
 	Replicas int
 	// SpareRows is the suggested spare lines per array for endurance
@@ -115,10 +118,13 @@ func (cfg PlannerConfig) withDefaults() PlannerConfig {
 		cfg.Schemes = DefaultSchemes()
 	}
 	if cfg.Tech.GateArea == 0 {
-		cfg.Tech = hwmodel.Default32nm()
+		// Price the periphery for the device the engine models, not the
+		// Table-I anchor: faster sampling and a hotter LRS both move the
+		// power bill.
+		cfg.Tech = hwmodel.Default32nm().ForDevice(cfg.Base.Device)
 	}
 	if cfg.Tile.ArraySize == 0 {
-		cfg.Tile = hwmodel.DefaultTileConfig()
+		cfg.Tile = hwmodel.TileFor(hwmodel.DefaultTileConfig(), cfg.Base.Device)
 	}
 	if cfg.ECU.DataWidth == 0 {
 		cfg.ECU = hwmodel.DefaultECUSpec()
@@ -345,6 +351,7 @@ func BuildPlan(net *nn.Network, cal *Calibration, cfg PlannerConfig) (*Plan, err
 	}
 	rp := cfg.Tech.PlanReplicatedLayers(demands, cfg.Tile, cfg.ECU, replicas)
 	plan := &Plan{
+		Device:       cfg.Base.DeviceName,
 		Replicas:     replicas,
 		SpareRows:    spare,
 		ScrubEvery:   scrubEvery,

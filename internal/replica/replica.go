@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/fault"
+	"repro/internal/noise"
 )
 
 // maxReplicas bounds the set size: past a handful of copies the area cost
@@ -90,6 +91,11 @@ type Set struct {
 	detaches      []atomic.Uint64 // maintenance detach count per replica
 	votes         atomic.Uint64   // majority-vote rounds
 	disagreements atomic.Uint64   // output elements where a voter was outvoted
+
+	// voteThreshold is the live vote trigger, seeded from
+	// cfg.VoteThreshold and adjustable at runtime by the protection
+	// controller while sessions read it per flagged MVM.
+	voteThreshold atomic.Int64
 }
 
 // NewSet programs cfg.N independent copies of the primary engine's network
@@ -111,6 +117,7 @@ func NewSet(primary *accel.Engine, cfg Config) (*Set, error) {
 		failovers: make([]atomic.Uint64, cfg.N),
 		detaches:  make([]atomic.Uint64, cfg.N),
 	}
+	s.voteThreshold.Store(int64(cfg.VoteThreshold))
 	for r := 0; r < cfg.N; r++ {
 		eng, err := primary.Replicate(uint64(r))
 		if err != nil {
@@ -129,11 +136,39 @@ func NewSet(primary *accel.Engine, cfg Config) (*Set, error) {
 // Size returns the replica count R.
 func (s *Set) Size() int { return len(s.engines) }
 
-// Config returns the resolved replication configuration.
+// Config returns the resolved replication configuration. Its
+// VoteThreshold field is the configured starting point; VoteThreshold()
+// reports the live value.
 func (s *Set) Config() Config { return s.cfg }
+
+// VoteThreshold returns the live vote trigger: how many consecutive
+// flagged reads move a layer to 3-copy voting (0 disables voting).
+func (s *Set) VoteThreshold() int { return int(s.voteThreshold.Load()) }
+
+// SetVoteThreshold adjusts the live vote trigger. Negative values clamp
+// to 0 (voting off). Safe against concurrent serving sessions — the
+// threshold is consulted per flagged MVM, so a tightened value takes
+// effect on the next flag.
+func (s *Set) SetVoteThreshold(th int) {
+	if th < 0 {
+		th = 0
+	}
+	s.voteThreshold.Store(int64(th))
+}
 
 // Engine returns replica r's engine (panics out of range, like a slice).
 func (s *Set) Engine(r int) *accel.Engine { return s.engines[r] }
+
+// Retune applies an environment-adjusted device model to every replica,
+// attached or not — the environment is shared by all physical copies.
+func (s *Set) Retune(dev noise.DeviceParams) error {
+	for r, eng := range s.engines {
+		if err := eng.Retune(dev); err != nil {
+			return fmt.Errorf("replica: retuning replica %d: %w", r, err)
+		}
+	}
+	return nil
+}
 
 // Monitor returns replica r's routing health monitor.
 func (s *Set) Monitor(r int) *fault.Monitor { return s.mons[r] }

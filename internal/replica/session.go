@@ -87,7 +87,7 @@ func (s *Session) mvmLayer(layer int, x []float64) []float64 {
 		return out
 	}
 	s.flagged[layer]++
-	if th := s.set.cfg.VoteThreshold; th > 0 && s.flagged[layer] >= th {
+	if th := s.set.VoteThreshold(); th > 0 && s.flagged[layer] >= th {
 		if v, ok := s.vote(layer, x); ok {
 			return v
 		}

@@ -1,0 +1,254 @@
+// Package scenario generates deterministic, seeded environment timelines on
+// the served-request clock. A Timeline assigns every campaign step an Env —
+// temperature excursion, RTN dwell-time shift, wear acceleration, transient
+// burst intensity — that the serving stack replays bit-for-bit the way
+// fault campaigns replay: the timeline is a pure function of (spec, seed,
+// steps), environment retunes derive from Env.Apply on the base device, and
+// wear windows rescale fault.Campaign arrival rates without touching the
+// campaign's own RNG streams.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/noise"
+	"repro/internal/stats"
+)
+
+// Env is the environment at one step of the served-request clock. The
+// neutral element is TempDeltaK 0 with every scale 1.
+type Env struct {
+	// Step is the campaign step this state applies to.
+	Step int
+	// TempDeltaK is added to DeviceParams.TempK: thermal noise sigma
+	// scales as sqrt(T) (ThermalNoiseSigma), so a +60 K excursion raises
+	// the Johnson-Nyquist floor ~8.2%.
+	TempDeltaK float64
+	// RTNScale multiplies PRTN — the dwell-time asymmetry of
+	// PRTNFromDwellTimes shifts with temperature, putting cells in their
+	// error state a larger fraction of each conversion.
+	RTNScale float64
+	// WearScale multiplies fault-campaign arrival rates at this step
+	// (ScaleCampaign): thermal stress accelerates endurance failures.
+	WearScale float64
+	// BurstScale multiplies the giant-RTN flicker probability — transient
+	// burst events where the defective population flickers far faster.
+	BurstScale float64
+}
+
+// Neutral is the identity environment: applying it leaves a device as-is.
+func Neutral(step int) Env {
+	return Env{Step: step, RTNScale: 1, WearScale: 1, BurstScale: 1}
+}
+
+// IsNeutral reports whether the Env changes nothing.
+func (e Env) IsNeutral() bool {
+	return e.TempDeltaK == 0 && e.RTNScale == 1 && e.WearScale == 1 && e.BurstScale == 1
+}
+
+func clamp01(x float64) float64 {
+	return math.Min(1, math.Max(0, x))
+}
+
+// Apply derives the environment-adjusted device from a base device. The
+// result always passes DeviceParams.Validate() when the base does: the
+// probability terms clamp to [0,1] and temperature floors at 1 K, so a
+// hostile timeline can degrade a device but never produce an invalid one.
+func (e Env) Apply(base noise.DeviceParams) noise.DeviceParams {
+	p := base
+	p.TempK = math.Max(1, p.TempK+e.TempDeltaK)
+	p.PRTN = clamp01(p.PRTN * e.RTNScale)
+	p.GiantFlickerProb = clamp01(p.GiantFlickerProb * e.BurstScale)
+	return p
+}
+
+// Timeline is a dense per-step environment schedule.
+type Timeline struct {
+	// Spec and Seed identify the generation inputs for replay.
+	Spec string
+	Seed uint64
+	Envs []Env
+}
+
+// Steps returns the timeline length.
+func (t Timeline) Steps() int { return len(t.Envs) }
+
+// At returns the environment at a step, clamped to the timeline ends, and
+// neutral for an empty timeline.
+func (t Timeline) At(step int) Env {
+	if len(t.Envs) == 0 {
+		return Neutral(step)
+	}
+	if step < 0 {
+		step = 0
+	}
+	if step >= len(t.Envs) {
+		step = len(t.Envs) - 1
+	}
+	return t.Envs[step]
+}
+
+// ScaleCampaign rescales a fault campaign's arrival rates by the wear
+// window at each event's step, clamped to [0,1]. The campaign's seed and
+// event structure are untouched, so the scaled campaign replays exactly
+// like any other: the scenario changes how many faults arrive, never which
+// RNG stream decides where they land.
+func (t Timeline) ScaleCampaign(c fault.Campaign) fault.Campaign {
+	out := fault.Campaign{Seed: c.Seed, Events: make([]fault.Event, len(c.Events))}
+	for i, ev := range c.Events {
+		ev.Rate = clamp01(ev.Rate * t.At(ev.Step).WearScale)
+		out.Events[i] = ev
+	}
+	return out
+}
+
+// MaxWearScale reports the peak wear window, for logging and assertions.
+func (t Timeline) MaxWearScale() float64 {
+	peak := 1.0
+	for _, e := range t.Envs {
+		peak = math.Max(peak, e.WearScale)
+	}
+	return peak
+}
+
+// Names returns the registered scenario specs in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(specs))
+	for n := range specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// rng streams per generated quantity, keyed off the timeline seed so each
+// spec parameter draws from an independent deterministic stream.
+const (
+	streamWindow = 0x5ce1
+	streamPeak   = 0x5ce2
+	streamBurst  = 0x5ce3
+)
+
+type specFn func(seed uint64, steps int) []Env
+
+var specs = map[string]specFn{
+	// calm is the identity timeline: the control arm of every matrix.
+	"calm": func(_ uint64, steps int) []Env {
+		envs := make([]Env, steps)
+		for i := range envs {
+			envs[i] = Neutral(i)
+		}
+		return envs
+	},
+	// heatwave is a temperature excursion: a seeded window covering about
+	// a third of the run ramps to a +40..+80 K peak, scaling the thermal
+	// floor and stretching RTN error-state dwell up to 1.5x at the peak.
+	"heatwave": genHeatwave,
+	// wear-spike is a wear-acceleration window: a seeded half-run window
+	// multiplies fault arrival rates 4..8x at its plateau, with a mild
+	// +15 K thermal signature. The window is long on purpose: sustained
+	// elevated arrivals are what separate a fixed patrol rotation (stale
+	// layers accumulate several steps of damage) from an adaptive one.
+	"wear-spike": genWearSpike,
+	// burst-storm is a train of 1-2 step transient bursts: giant-RTN
+	// flicker scaled 6..10x at seeded positions, roughly one burst per
+	// six steps.
+	"burst-storm": genBurstStorm,
+}
+
+// window picks a deterministic excursion window [start, start+span) within
+// steps, with span = steps*frac (at least 1 step).
+func window(seed uint64, steps int, frac float64) (start, span int) {
+	span = int(math.Max(1, math.Round(float64(steps)*frac)))
+	if span >= steps {
+		return 0, steps
+	}
+	r := stats.SubRNG(seed, streamWindow)
+	start = r.IntN(steps - span)
+	return start, span
+}
+
+// ramp is a plateau profile over [0, span): it climbs linearly from the
+// window edges to exactly 1 at the middle and never evaluates to 0 inside
+// the window — a 2-step window is two full-intensity steps, not two zeros,
+// so short timelines still feel their excursions.
+func ramp(i, span int) float64 {
+	if span <= 1 {
+		return 1
+	}
+	half := (span + 1) / 2
+	d := i
+	if span-1-i < d {
+		d = span - 1 - i
+	}
+	f := float64(d+1) / float64(half)
+	return math.Min(1, f)
+}
+
+func genHeatwave(seed uint64, steps int) []Env {
+	start, span := window(seed, steps, 1.0/3)
+	peakK := 40 + 40*stats.SubRNG(seed, streamPeak).Float64() // +40..+80 K
+	envs := make([]Env, steps)
+	for i := range envs {
+		envs[i] = Neutral(i)
+		if i >= start && i < start+span {
+			f := ramp(i-start, span)
+			envs[i].TempDeltaK = peakK * f
+			envs[i].RTNScale = 1 + 0.5*f
+		}
+	}
+	return envs
+}
+
+func genWearSpike(seed uint64, steps int) []Env {
+	start, span := window(seed, steps, 1.0/2)
+	peak := 4 + 4*stats.SubRNG(seed, streamPeak).Float64() // 4..8x arrivals
+	envs := make([]Env, steps)
+	for i := range envs {
+		envs[i] = Neutral(i)
+		if i >= start && i < start+span {
+			f := ramp(i-start, span)
+			envs[i].WearScale = 1 + (peak-1)*f
+			envs[i].TempDeltaK = 15 * f
+		}
+	}
+	return envs
+}
+
+func genBurstStorm(seed uint64, steps int) []Env {
+	envs := make([]Env, steps)
+	for i := range envs {
+		envs[i] = Neutral(i)
+	}
+	r := stats.SubRNG(seed, streamBurst)
+	bursts := steps / 6
+	if bursts < 1 {
+		bursts = 1
+	}
+	for b := 0; b < bursts; b++ {
+		at := r.IntN(steps)
+		width := 1 + r.IntN(2)
+		scale := 6 + 4*r.Float64() // 6..10x flicker
+		for i := at; i < at+width && i < steps; i++ {
+			envs[i].BurstScale = math.Max(envs[i].BurstScale, scale)
+			envs[i].RTNScale = math.Max(envs[i].RTNScale, 1.2)
+		}
+	}
+	return envs
+}
+
+// Generate builds the named scenario's timeline for a run of the given
+// length. The result is a pure function of (name, seed, steps).
+func Generate(name string, seed uint64, steps int) (Timeline, error) {
+	fn, ok := specs[name]
+	if !ok {
+		return Timeline{}, fmt.Errorf("scenario: unknown scenario %q (valid: %v)", name, Names())
+	}
+	if steps < 1 {
+		return Timeline{}, fmt.Errorf("scenario: need at least 1 step, got %d", steps)
+	}
+	return Timeline{Spec: name, Seed: seed, Envs: fn(seed, steps)}, nil
+}

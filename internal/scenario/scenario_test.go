@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/noise"
+)
+
+// Same (spec, seed, steps) → bit-identical timeline. This is the replay
+// contract the chaos drill and the expt matrix lean on.
+func TestTimelineDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, err := Generate(name, 42, 24)
+		if err != nil {
+			t.Fatalf("Generate(%q): %v", name, err)
+		}
+		b, _ := Generate(name, 42, 24)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("scenario %q: same seed produced different timelines", name)
+		}
+		if len(a.Envs) != 24 {
+			t.Errorf("scenario %q: %d envs, want 24", name, len(a.Envs))
+		}
+	}
+}
+
+// Different seeds must be able to move the excursion windows — otherwise
+// the seed is decorative.
+func TestTimelineSeedMatters(t *testing.T) {
+	for _, name := range []string{"heatwave", "wear-spike", "burst-storm"} {
+		var distinct bool
+		base, _ := Generate(name, 1, 48)
+		for seed := uint64(2); seed < 12 && !distinct; seed++ {
+			other, _ := Generate(name, seed, 48)
+			distinct = !reflect.DeepEqual(base.Envs, other.Envs)
+		}
+		if !distinct {
+			t.Errorf("scenario %q: ten seeds produced identical timelines", name)
+		}
+	}
+}
+
+// Applying any generated Env to any registry device must keep the device
+// valid: the serve retune path calls Validate-sensitive code with the result.
+func TestEnvApplyKeepsDevicesValid(t *testing.T) {
+	for _, name := range Names() {
+		tl, _ := Generate(name, 7, 32)
+		for _, dev := range noise.DeviceNames() {
+			base := noise.MustDevice(dev)
+			for _, env := range tl.Envs {
+				adj := env.Apply(base)
+				if err := adj.Validate(); err != nil {
+					t.Fatalf("scenario %q step %d on device %q: %v", name, env.Step, dev, err)
+				}
+			}
+		}
+	}
+	// Extreme hand-built Env still clamps to validity.
+	hostile := Env{TempDeltaK: -1e6, RTNScale: 1e9, WearScale: 1e9, BurstScale: 1e9}
+	if err := hostile.Apply(noise.DefaultDeviceParams()).Validate(); err != nil {
+		t.Fatalf("hostile env produced invalid device: %v", err)
+	}
+}
+
+func TestScenarioShapes(t *testing.T) {
+	heat, _ := Generate("heatwave", 5, 30)
+	var peakT float64
+	for _, e := range heat.Envs {
+		if e.TempDeltaK > peakT {
+			peakT = e.TempDeltaK
+		}
+	}
+	if peakT < 40 || peakT > 80 {
+		t.Errorf("heatwave peak %g K outside [40,80]", peakT)
+	}
+
+	wear, _ := Generate("wear-spike", 5, 30)
+	if peak := wear.MaxWearScale(); peak < 4 || peak > 8 {
+		t.Errorf("wear-spike peak %gx outside [4,8]", peak)
+	}
+
+	calm, _ := Generate("calm", 5, 30)
+	for _, e := range calm.Envs {
+		if !e.IsNeutral() {
+			t.Fatalf("calm step %d not neutral: %+v", e.Step, e)
+		}
+	}
+
+	if _, err := Generate("no-such", 1, 10); err == nil {
+		t.Fatal("want error for unknown scenario")
+	}
+	if _, err := Generate("calm", 1, 0); err == nil {
+		t.Fatal("want error for zero steps")
+	}
+}
+
+// Wear windows rescale campaign arrival rates at window steps, leave the
+// seed untouched, and keep every event valid.
+func TestScaleCampaign(t *testing.T) {
+	camp := fault.LifetimeCampaign(9, []int{0, 2, 4}, fault.LifetimeParams{
+		Steps: 30, StuckPerStep: 0.002, DriftEvery: 4, DriftRate: 0.01,
+	})
+	wear, _ := Generate("wear-spike", 5, 30)
+	scaled := wear.ScaleCampaign(camp)
+	if scaled.Seed != camp.Seed {
+		t.Fatalf("ScaleCampaign changed seed %d → %d", camp.Seed, scaled.Seed)
+	}
+	if err := scaled.Validate(); err != nil {
+		t.Fatalf("scaled campaign invalid: %v", err)
+	}
+	var boosted bool
+	for i, ev := range scaled.Events {
+		orig := camp.Events[i]
+		if ev.Rate > orig.Rate {
+			boosted = true
+		}
+		if ev.Rate < orig.Rate {
+			t.Fatalf("event %d rate shrank %g → %g (wear windows only accelerate)", i, orig.Rate, ev.Rate)
+		}
+	}
+	if !boosted {
+		t.Fatal("wear-spike scaled no event rates up")
+	}
+
+	calm, _ := Generate("calm", 5, 30)
+	if got := calm.ScaleCampaign(camp); !reflect.DeepEqual(got.Events, camp.Events) {
+		t.Fatal("calm timeline changed the campaign")
+	}
+}

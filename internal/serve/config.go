@@ -55,6 +55,11 @@ type Config struct {
 	// live engine, recalibrated by the health monitor's measured rates.
 	// Disabled by default (requires an offline calibration).
 	Plan PlanConfig
+	// Controller wires the closed-loop protection controller: measured
+	// rates and breaker state fed back into scrub cadence, vote
+	// thresholds, proactive replica maintenance, and pre-emptive
+	// degradation, with hysteresis. Requires Recovery.Enabled.
+	Controller ControllerConfig
 
 	// dequeueHook, when set, runs in the worker loop after each dequeue and
 	// before deadline checks (test instrumentation: lets tests hold a
@@ -99,6 +104,12 @@ func (c Config) Validate() error {
 	}
 	if err := c.Plan.Validate(); err != nil {
 		return err
+	}
+	if err := c.Controller.Validate(); err != nil {
+		return err
+	}
+	if c.Controller.Enabled && !c.Recovery.Enabled {
+		return fmt.Errorf("serve: the controller needs Recovery.Enabled — the health monitor is its sensor")
 	}
 	return c.Recovery.Validate()
 }

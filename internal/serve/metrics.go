@@ -92,12 +92,22 @@ type GaugeView struct {
 	Verify *crossbar.VerifyTally
 	// Replicas is the replica-set snapshot (nil without replication).
 	Replicas *replica.SetStatus
+	// Controller is the protection-controller snapshot (nil when disabled).
+	Controller *ControllerStatus
+	// Device is the active device model's library name ("" when custom).
+	Device string
+	// Scheme is the deployed protection scheme name.
+	Scheme string
 }
 
 // WritePrometheus renders every metric.
 func (m *Metrics) WritePrometheus(w io.Writer, g GaugeView) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP mnn_build_info Deployment identity; the labels carry the active device model and protection scheme.\n")
+	fmt.Fprintf(w, "# TYPE mnn_build_info gauge\n")
+	fmt.Fprintf(w, "mnn_build_info{device=%q,scheme=%q} 1\n", g.Device, g.Scheme)
 
 	fmt.Fprintf(w, "# HELP mnn_requests_total Predict requests by outcome.\n")
 	fmt.Fprintf(w, "# TYPE mnn_requests_total counter\n")
@@ -243,6 +253,33 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeView) {
 		sort.Ints(layers)
 		for _, l := range layers {
 			fmt.Fprintf(w, "mnn_scrub_layer_age_seconds{layer=\"%d\"} %g\n", l, g.Scrub.LayerAge[l].Seconds())
+		}
+	}
+
+	if g.Controller != nil {
+		c := g.Controller
+		fmt.Fprintf(w, "# HELP mnn_controller_level Protection level (0 = configured baseline).\n")
+		fmt.Fprintf(w, "# TYPE mnn_controller_level gauge\n")
+		fmt.Fprintf(w, "mnn_controller_level %d\n", c.Level)
+
+		fmt.Fprintf(w, "# HELP mnn_controller_scrub_interval_seconds Live patrol cadence chosen by the controller.\n")
+		fmt.Fprintf(w, "# TYPE mnn_controller_scrub_interval_seconds gauge\n")
+		fmt.Fprintf(w, "mnn_controller_scrub_interval_seconds %g\n", c.ScrubInterval.Seconds())
+
+		if c.VoteThreshold >= 0 {
+			fmt.Fprintf(w, "# HELP mnn_controller_vote_threshold Live replica vote trigger chosen by the controller.\n")
+			fmt.Fprintf(w, "# TYPE mnn_controller_vote_threshold gauge\n")
+			fmt.Fprintf(w, "mnn_controller_vote_threshold %d\n", c.VoteThreshold)
+		}
+
+		fmt.Fprintf(w, "# HELP mnn_controller_ticks_total Decision-loop iterations.\n")
+		fmt.Fprintf(w, "# TYPE mnn_controller_ticks_total counter\n")
+		fmt.Fprintf(w, "mnn_controller_ticks_total %d\n", c.Ticks)
+
+		fmt.Fprintf(w, "# HELP mnn_controller_decisions_total Applied controller actions by name.\n")
+		fmt.Fprintf(w, "# TYPE mnn_controller_decisions_total counter\n")
+		for _, a := range []string{"tighten", "relax", "repair", "degrade"} {
+			fmt.Fprintf(w, "mnn_controller_decisions_total{action=%q} %d\n", a, c.Decisions[a])
 		}
 	}
 

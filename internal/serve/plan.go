@@ -56,6 +56,8 @@ type planLayerJSON struct {
 // planResponse is the GET /plan body.
 type planResponse struct {
 	Workload string `json:"workload"`
+	// Device names the device profile the plan was priced against.
+	Device string `json:"device,omitempty"`
 	// Deployed is the scheme currently serving traffic; the plan below may
 	// disagree with it, which is the point.
 	Deployed        string          `json:"deployed_scheme"`
@@ -108,6 +110,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := planResponse{
 		Workload:        s.model.Name,
+		Device:          eng.Config().DeviceName,
 		Deployed:        eng.Config().Scheme.Name,
 		SLOMaxMiss:      s.plan.SLO.MaxMiss,
 		SLOAvailability: s.plan.SLO.MinAvailability,

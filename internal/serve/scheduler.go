@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/nn"
+	"repro/internal/noise"
 	"repro/internal/replica"
 )
 
@@ -111,6 +112,9 @@ type Scheduler struct {
 	// pat is the background patrol scrubber (nil when disabled).
 	pat *patroller
 
+	// ctl is the closed-loop protection controller (nil when disabled).
+	ctl *controller
+
 	served   atomic.Uint64 // requests answered (success or error)
 	canceled atomic.Uint64 // requests whose client vanished while queued
 	inflight atomic.Int64  // dequeued but not yet answered
@@ -145,7 +149,20 @@ func NewScheduler(eng *accel.Engine, cfg Config) (*Scheduler, error) {
 	if cfg.Scrub.Enabled {
 		s.pat = newPatroller(s, cfg.Scrub)
 	}
+	if cfg.Controller.Enabled {
+		s.ctl = newController(s, cfg.Controller)
+	}
 	return s, nil
+}
+
+// ApplyEnv retunes every programmed copy to an environment-adjusted device
+// model — the scenario engine's actuator. With a replica set, all copies
+// share the environment; without one, only the primary exists.
+func (s *Scheduler) ApplyEnv(dev noise.DeviceParams) error {
+	if s.set != nil {
+		return s.set.Retune(dev)
+	}
+	return s.eng.Retune(dev)
 }
 
 // Engine returns the mapped engine the pool evaluates against (the primary
@@ -376,9 +393,12 @@ type DrainSummary struct {
 // returns ctx's error together with a partial summary counting the
 // requests left behind, so operators still see what the pool did.
 func (s *Scheduler) Close(ctx context.Context) (DrainSummary, error) {
-	// Halt the patroller first: a patrol pass holds a layer write lock, and
-	// draining workers must not compete with background repairs on the way
-	// out.
+	// Halt the controller first (it turns the patroller's knobs), then the
+	// patroller: a patrol pass holds a layer write lock, and draining
+	// workers must not compete with background repairs on the way out.
+	if s.ctl != nil {
+		s.ctl.halt()
+	}
 	if s.pat != nil {
 		s.pat.halt()
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/accel"
@@ -34,6 +35,10 @@ type ScrubConfig struct {
 	// Seed drives the verify-comparator draws of repair programming
 	// (0 = the engine seed).
 	Seed uint64
+	// Manual builds the patroller without its background loop: passes run
+	// only when the owner calls Scheduler.PatrolNow. Deterministic sweeps
+	// and drills use this to put scrubbing on the request-step clock.
+	Manual bool
 }
 
 // withDefaults resolves the zero values.
@@ -82,11 +87,15 @@ type ScrubStatus struct {
 // the traffic, and rejoins it — so patrol no longer has to wait for idle
 // slots.
 type patroller struct {
-	sched    *Scheduler
-	scs      []*scrub.Scrubber // one per replica; a single entry without a set
-	interval time.Duration
-	maxStale time.Duration
-	cursor   int // replica rotation position
+	sched *Scheduler
+	scs   []*scrub.Scrubber // one per replica; a single entry without a set
+	// baseInterval is the configured cadence; curInterval (nanoseconds) is
+	// the live one, adjustable by the protection controller between ticks.
+	baseInterval time.Duration
+	curInterval  atomic.Int64
+	maxStale     time.Duration
+	manual       bool
+	cursor       int // replica rotation position
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -102,14 +111,16 @@ type patroller struct {
 func newPatroller(sched *Scheduler, cfg ScrubConfig) *patroller {
 	cfg = cfg.withDefaults()
 	p := &patroller{
-		sched:    sched,
-		interval: cfg.Interval,
-		maxStale: cfg.MaxStaleness,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		lastPass: make(map[int]time.Time),
-		started:  time.Now(),
+		sched:        sched,
+		baseInterval: cfg.Interval,
+		maxStale:     cfg.MaxStaleness,
+		manual:       cfg.Manual,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		lastPass:     make(map[int]time.Time),
+		started:      time.Now(),
 	}
+	p.curInterval.Store(int64(cfg.Interval))
 	engines := []*accel.Engine{sched.eng}
 	if sched.set != nil {
 		engines = engines[:0]
@@ -128,8 +139,25 @@ func newPatroller(sched *Scheduler, cfg ScrubConfig) *patroller {
 		}
 		p.scs = append(p.scs, scrub.New(eng, scrub.Config{VerifyIters: iters, Seed: seed}))
 	}
-	go p.run()
+	if p.manual {
+		close(p.done) // no loop to wait for in halt
+	} else {
+		go p.run()
+	}
 	return p
+}
+
+// interval returns the live patrol cadence.
+func (p *patroller) interval() time.Duration {
+	return time.Duration(p.curInterval.Load())
+}
+
+// setInterval adjusts the live patrol cadence; the loop picks the new value
+// up when its current wait fires. Non-positive values are ignored.
+func (p *patroller) setInterval(d time.Duration) {
+	if d > 0 {
+		p.curInterval.Store(int64(d))
+	}
 }
 
 // run is the patrol loop: tick, patrol one layer of one copy. Without a
@@ -137,17 +165,17 @@ func newPatroller(sched *Scheduler, cfg ScrubConfig) *patroller {
 // one, the patrolled copy is detached so traffic never waits on it.
 func (p *patroller) run() {
 	defer close(p.done)
-	ticker := time.NewTicker(p.interval)
-	defer ticker.Stop()
+	timer := time.NewTimer(p.interval())
+	defer timer.Stop()
 	for {
 		select {
 		case <-p.stop:
 			return
-		case <-ticker.C:
-			if p.sched.set == nil && !p.idle() {
-				continue
+		case <-timer.C:
+			if p.sched.set != nil || p.idle() {
+				p.patrolOnce()
 			}
-			p.patrolOnce()
+			timer.Reset(p.interval())
 		}
 	}
 }
@@ -229,4 +257,27 @@ func (s *Scheduler) ScrubStatus() (ScrubStatus, bool) {
 		return ScrubStatus{}, false
 	}
 	return s.pat.status(), true
+}
+
+// ScrubInterval returns the live patrol cadence (0 when scrubbing is
+// disabled) — the knob the protection controller turns.
+func (s *Scheduler) ScrubInterval() time.Duration {
+	if s.pat == nil {
+		return 0
+	}
+	return s.pat.interval()
+}
+
+// PatrolNow runs one synchronous patrol pass. Only manual-mode patrollers
+// allow it: scrubbers are not concurrency-safe, so a running background
+// loop owns them exclusively.
+func (s *Scheduler) PatrolNow() error {
+	if s.pat == nil {
+		return fmt.Errorf("serve: scrubbing is disabled")
+	}
+	if !s.pat.manual {
+		return fmt.Errorf("serve: patroller runs in the background; PatrolNow needs ScrubConfig.Manual")
+	}
+	s.pat.patrolOnce()
+	return nil
 }

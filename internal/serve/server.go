@@ -238,6 +238,7 @@ type healthzResponse struct {
 	Status   string `json:"status"`
 	Workload string `json:"workload"`
 	Scheme   string `json:"scheme"`
+	Device   string `json:"device,omitempty"`
 	Bits     int    `json:"bits_per_cell"`
 	Workers  int    `json:"workers"`
 	Queue    int    `json:"queue_depth"`
@@ -249,6 +250,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:   "ok",
 		Workload: s.model.Name,
 		Scheme:   cfg.Scheme.Name,
+		Device:   cfg.DeviceName,
 		Bits:     cfg.Device.BitsPerCell,
 		Workers:  s.sched.Workers(),
 		Queue:    s.sched.QueueDepth(),
@@ -267,6 +269,8 @@ type readyzResponse struct {
 	Ready bool `json:"ready"`
 	// Draining is true once shutdown began.
 	Draining bool `json:"draining,omitempty"`
+	// Device names the active device profile the arrays are modeled on.
+	Device string `json:"device,omitempty"`
 	// QueueLen / QueueDepth expose admission backpressure; a wedged-full
 	// queue makes the instance not ready so load balancers route around
 	// it instead of collecting 429s.
@@ -289,6 +293,24 @@ type readyzResponse struct {
 	// Replicas reports per-replica attachment and health when the layer
 	// slots are replicated (omitted otherwise).
 	Replicas []replicaJSON `json:"replicas,omitempty"`
+	// Controller reports the protection controller's posture (omitted when
+	// it is not wired).
+	Controller *controllerJSON `json:"controller,omitempty"`
+}
+
+// controllerJSON is the protection controller's row in /readyz.
+type controllerJSON struct {
+	// Level is the current protection level, 0 (baseline) .. MaxLevel.
+	Level    int `json:"level"`
+	MaxLevel int `json:"max_level"`
+	// ScrubIntervalSec is the live patrol cadence under the current level.
+	ScrubIntervalSec float64 `json:"scrub_interval_sec,omitempty"`
+	// VoteThreshold is the live majority-vote trigger (omitted without a
+	// replica set).
+	VoteThreshold int    `json:"vote_threshold,omitempty"`
+	Ticks         uint64 `json:"ticks"`
+	// Decisions counts applied actions by name (tighten/relax/repair/degrade).
+	Decisions map[string]uint64 `json:"decisions,omitempty"`
 }
 
 // replicaJSON is one replica's row in /readyz.
@@ -305,6 +327,7 @@ type replicaJSON struct {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	resp := readyzResponse{
 		Draining:       !s.ready.Load(),
+		Device:         s.sched.Engine().Config().DeviceName,
 		QueueLen:       s.sched.QueueLen(),
 		QueueDepth:     s.sched.QueueDepth(),
 		DegradedLayers: s.sched.Engine().DegradedLayers(),
@@ -328,6 +351,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
+	if cs, ok := s.sched.ControllerStatus(); ok {
+		cj := &controllerJSON{
+			Level:            cs.Level,
+			MaxLevel:         cs.MaxLevel,
+			ScrubIntervalSec: cs.ScrubInterval.Seconds(),
+			Ticks:            cs.Ticks,
+			Decisions:        cs.Decisions,
+		}
+		if cs.VoteThreshold >= 0 {
+			cj.VoteThreshold = cs.VoteThreshold
+		}
+		resp.Controller = cj
+	}
 	resp.Ready = !resp.Draining && resp.QueueLen < resp.QueueDepth
 	w.Header().Set("Content-Type", "application/json")
 	if !resp.Ready {
@@ -338,12 +374,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	cfg := s.sched.Engine().Config()
 	g := GaugeView{
 		QueueDepth:     s.sched.QueueLen(),
 		Workers:        s.sched.Workers(),
 		Health:         s.sched.Health(),
 		DegradedLayers: s.sched.Engine().DegradedLayers(),
 		Recovery:       s.sched.RecoveryCounters(),
+		Device:         cfg.DeviceName,
+		Scheme:         cfg.Scheme.Name,
+	}
+	if cs, ok := s.sched.ControllerStatus(); ok {
+		g.Controller = &cs
 	}
 	verify := s.sched.Engine().VerifyStats()
 	if st, ok := s.sched.ScrubStatus(); ok {
