@@ -129,6 +129,8 @@ func run(args []string) error {
 	controllerOn := fs.Bool("controller", false, "enable the closed-loop protection controller (requires -recovery)")
 	controllerInterval := fs.Duration("controller-interval", time.Second, "controller: decision tick interval")
 	controllerTighten := fs.Float64("controller-tighten", 0.01, "controller: detected-rate pressure threshold that tightens protection")
+	stateDir := fs.String("state-dir", "", "crash-consistent state directory: snapshot device+protection state there and restore it at boot (empty disables)")
+	persistEvery := fs.Uint64("persist-every", 0, "served requests between background snapshots (0 = 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -254,9 +256,29 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "plan endpoint armed: SLO miss<=%.4f avail>=%.4f (%d calibration images)\n",
 			*planMiss, *planAvail, len(test))
 	}
+	if *stateDir != "" {
+		scfg.Persist = serve.PersistConfig{Dir: *stateDir, Every: *persistEvery}
+	}
 	srv, err := serve.NewServer(eng, serve.Model{Name: w.Name, InShape: w.Net.InShape}, scfg)
 	if err != nil {
 		return err
+	}
+	if ps, ok := srv.Scheduler().PersistStatus(); ok {
+		switch ps.Outcome {
+		case serve.RestoreRestored:
+			fmt.Fprintf(os.Stderr, "state restored from %s: resuming at %d served requests\n",
+				*stateDir, srv.Scheduler().Served())
+		case serve.RestoreFallback:
+			fmt.Fprintf(os.Stderr, "SNAPSHOT REFUSED in %s: %s — serving from a fresh map\n",
+				*stateDir, ps.RestoreErr)
+		default:
+			every := *persistEvery
+			if every == 0 {
+				every = 256
+			}
+			fmt.Fprintf(os.Stderr, "no snapshot in %s: fresh boot, snapshotting every %d requests\n",
+				*stateDir, every)
+		}
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -289,8 +311,15 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "fault campaign armed: %d steps, one step per %d served requests\n",
-			*faultSteps, *faultEvery)
+		// Register the runner so snapshots capture its cursor; a restored
+		// snapshot positions it now. A cursor from a different campaign is
+		// refused — logged loudly, and the campaign starts from its own
+		// position (the arrays still carry the restored fault history).
+		if err := srv.Scheduler().SetCampaign(runner); err != nil {
+			fmt.Fprintf(os.Stderr, "SNAPSHOT CAMPAIGN CURSOR REFUSED: %v — campaign restarts from step 0\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "fault campaign armed: %d steps, one step per %d served requests (%d remaining)\n",
+			*faultSteps, *faultEvery, runner.Remaining())
 		go driveCampaign(ctx, runner, srv.Scheduler(), *faultSteps, *faultEvery)
 	}
 	errc := make(chan error, 1)

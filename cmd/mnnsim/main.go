@@ -82,6 +82,7 @@ func run(args []string) error {
 	faultLRS := fs.Float64("fault-lrs", 0.7, "faults: fraction of stuck faults pinned at LRS")
 	faultDriftEvery := fs.Int("fault-drift-every", 2, "faults: drift wave every N steps (0 disables)")
 	faultDriftRate := fs.Float64("fault-drift-rate", 0.002, "faults: per-cell drift probability per wave")
+	stateDir := fs.String("state-dir", "", "faults: checkpoint aged arrays + campaign cursor per step and resume interrupted campaigns from there (empty disables)")
 	spareRows := fs.Int("spare-rows", 8, "scrub: spare lines per array available for sparing")
 	verifyIters := fs.Int("verify-iters", 5, "scrub: max write-verify pulses per programmed cell")
 	scrubSteps := fs.Int("scrub-steps", 6, "scrub: lifetime steps in the scrub-on/off comparison")
@@ -187,7 +188,7 @@ func run(args []string) error {
 		cmds = []string{"fig7", "sec4", "table4", "fig10", "fig11", "fig12", "table3", "ablate"}
 	}
 	for _, cmd := range cmds {
-		if err := dispatch(cmd, opt, *outDir, life, scrubOpt, repOpt, planOpt, scenOpt); err != nil {
+		if err := dispatch(cmd, opt, *outDir, *stateDir, life, scrubOpt, repOpt, planOpt, scenOpt); err != nil {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 	}
@@ -230,7 +231,7 @@ type replicaOptions struct {
 	SpareRows     int
 }
 
-func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.LifetimeParams, scrubOpt scrubOptions, repOpt replicaOptions, planOpt planOptions, scenOpt scenarioOptions) error {
+func dispatch(cmd string, opt expt.SweepOptions, outDir, stateDirOpt string, life fault.LifetimeParams, scrubOpt scrubOptions, repOpt replicaOptions, planOpt planOptions, scenOpt scenarioOptions) error {
 	switch cmd {
 	case "devices":
 		fmt.Printf("\nNamed device library (-device NAME)\n")
@@ -488,6 +489,7 @@ func dispatch(cmd string, opt expt.SweepOptions, outDir string, life fault.Lifet
 			Seed:     opt.Seed,
 			Workers:  opt.Workers,
 			Lifetime: life,
+			StateDir: stateDirOpt,
 		}
 		points, err := expt.RunFaultCampaign(w, cfg, opt.Progress)
 		if err != nil {

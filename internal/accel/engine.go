@@ -32,6 +32,12 @@ type layerSlot struct {
 	// an environment Retune swaps it. Remaps rebuild under this device so a
 	// repair does not silently revert an excursion adjustment.
 	dev noise.DeviceParams
+	// mapDev is the device model the current mapping was *built* under (set
+	// at Map and Remap, untouched by Retune). The A-code search is
+	// device-dependent, so a restart must rebuild the mapping under this
+	// device — not the retuned one — to reproduce the programmed arrays
+	// bit-identically, then retune to dev.
+	mapDev noise.DeviceParams
 	// rebuild re-runs the mapping with a given device model and
 	// fault-injection seed.
 	rebuild func(dev noise.DeviceParams, seed uint64) (*MappedMatrix, error)
@@ -105,7 +111,8 @@ func Map(net *nn.Network, cfg Config) (*Engine, error) {
 		}
 		lc, oD, iD, wA := layerCfg, outDim, inDim, weightAt
 		sl := &layerSlot{
-			dev: layerCfg.Device,
+			dev:    layerCfg.Device,
+			mapDev: layerCfg.Device,
 			rebuild: func(dev noise.DeviceParams, seed uint64) (*MappedMatrix, error) {
 				c := lc
 				c.Device = dev
@@ -241,6 +248,7 @@ func (e *Engine) Remap(layer int) error {
 	}
 	sl.m = m
 	sl.remaps = epoch
+	sl.mapDev = sl.dev
 	sl.fallback = false
 	return nil
 }

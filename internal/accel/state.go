@@ -1,0 +1,195 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/crossbar"
+	"repro/internal/noise"
+)
+
+// LayerState is the durable state of one mapped layer: the remap epoch and
+// device models that deterministically regenerate the mapping pipeline's
+// outputs (codes, tables, map-time fault metadata), plus the digital array
+// state that overlays the online-fault history on top.
+type LayerState struct {
+	Layer  int `json:"layer"`
+	Remaps int `json:"remaps"`
+	// Fallback records whether the layer was routed to the digital
+	// fixed-point path when the snapshot was taken.
+	Fallback bool `json:"fallback,omitempty"`
+	// MapDevice is the device model the current mapping was built under;
+	// restore reruns the mapping pipeline with it so the A-code search
+	// reproduces the same choices the persisted arrays were encoded with.
+	MapDevice noise.DeviceParams `json:"map_device"`
+	// Device is the active (possibly retuned) device model; restore applies
+	// it after the rebuild when it differs from MapDevice.
+	Device noise.DeviceParams `json:"device"`
+	// Arrays holds the crossbar states in the engine's deterministic
+	// (chunk, group) order.
+	Arrays []crossbar.ArrayState `json:"arrays"`
+}
+
+// EngineState is the durable state of a mapped engine, plus the identity
+// fingerprint (seed, scheme, network) a restore refuses to cross.
+type EngineState struct {
+	Seed    uint64       `json:"seed"`
+	Scheme  string       `json:"scheme"`
+	Network string       `json:"network"`
+	Layers  []LayerState `json:"layers"`
+}
+
+// Snapshot captures the engine's durable state. Each layer is captured
+// under its read lock, so the per-layer state is internally consistent;
+// cross-layer consistency is up to the caller (quiesce, or accept a
+// point-in-time-per-layer snapshot).
+func (e *Engine) Snapshot() EngineState {
+	st := EngineState{
+		Seed:    e.cfg.Seed,
+		Scheme:  e.cfg.Scheme.Name,
+		Network: e.net.Name,
+		Layers:  make([]LayerState, 0, e.mapped),
+	}
+	for i, sl := range e.slots {
+		if sl == nil {
+			continue
+		}
+		sl.mu.RLock()
+		ls := LayerState{
+			Layer:     i,
+			Remaps:    sl.remaps,
+			Fallback:  sl.fallback,
+			MapDevice: sl.mapDev,
+			Device:    sl.dev,
+		}
+		arrays := sl.m.Arrays()
+		ls.Arrays = make([]crossbar.ArrayState, len(arrays))
+		for j, a := range arrays {
+			ls.Arrays[j] = a.Snapshot()
+		}
+		sl.mu.RUnlock()
+		st.Layers = append(st.Layers, ls)
+	}
+	return st
+}
+
+// CheckRestore validates a snapshot against this engine without touching
+// any state: identity fingerprint, layer coverage, per-layer array counts
+// and geometry, and every array payload. The geometry of a layer's arrays
+// is fixed by the configuration (remaps redraw faults, not shapes), so the
+// current mapping stands in for the rebuilt one.
+func (e *Engine) CheckRestore(st EngineState) error {
+	if st.Seed != e.cfg.Seed {
+		return fmt.Errorf("accel: snapshot seed %d does not match engine seed %d", st.Seed, e.cfg.Seed)
+	}
+	if st.Scheme != e.cfg.Scheme.Name {
+		return fmt.Errorf("accel: snapshot scheme %q does not match engine scheme %q", st.Scheme, e.cfg.Scheme.Name)
+	}
+	if st.Network != e.net.Name {
+		return fmt.Errorf("accel: snapshot network %q does not match engine network %q", st.Network, e.net.Name)
+	}
+	covered := make(map[int]bool, len(st.Layers))
+	for _, ls := range st.Layers {
+		if covered[ls.Layer] {
+			return fmt.Errorf("accel: snapshot describes layer %d twice", ls.Layer)
+		}
+		covered[ls.Layer] = true
+		sl := e.slot(ls.Layer)
+		if sl == nil {
+			return fmt.Errorf("accel: snapshot describes layer %d, which is not mapped", ls.Layer)
+		}
+		if ls.Remaps < 0 {
+			return fmt.Errorf("accel: snapshot layer %d has negative remap epoch", ls.Layer)
+		}
+		if err := ls.MapDevice.Validate(); err != nil {
+			return fmt.Errorf("accel: snapshot layer %d map device: %w", ls.Layer, err)
+		}
+		if err := ls.Device.Validate(); err != nil {
+			return fmt.Errorf("accel: snapshot layer %d device: %w", ls.Layer, err)
+		}
+		if ls.Device.BitsPerCell != ls.MapDevice.BitsPerCell {
+			return fmt.Errorf("accel: snapshot layer %d retuned across a BitsPerCell change (%d -> %d)",
+				ls.Layer, ls.MapDevice.BitsPerCell, ls.Device.BitsPerCell)
+		}
+		sl.mu.RLock()
+		arrays := sl.m.Arrays()
+		err := func() error {
+			if len(ls.Arrays) != len(arrays) {
+				return fmt.Errorf("accel: snapshot layer %d has %d arrays, mapping has %d", ls.Layer, len(ls.Arrays), len(arrays))
+			}
+			for j, as := range ls.Arrays {
+				if err := arrays[j].CheckState(as); err != nil {
+					return fmt.Errorf("accel: snapshot layer %d array %d: %w", ls.Layer, j, err)
+				}
+			}
+			return nil
+		}()
+		sl.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	for _, i := range e.Layers() {
+		if !covered[i] {
+			return fmt.Errorf("accel: snapshot is missing mapped layer %d", i)
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds the engine bit-identically from a snapshot: per layer it
+// reruns the deterministic mapping pipeline at the persisted remap epoch
+// under the persisted map-time device (reproducing codes, tables, and
+// map-time fault metadata), retunes to the persisted active device, and
+// overlays the persisted array state (online faults, drift, row sparing).
+// The snapshot is fully validated first (CheckRestore); after validation
+// the only failure mode left is a mapping-pipeline error, which the
+// identical configuration already survived once at boot.
+func (e *Engine) Restore(st EngineState) error {
+	if err := e.CheckRestore(st); err != nil {
+		return err
+	}
+	for _, ls := range st.Layers {
+		sl := e.slot(ls.Layer)
+		sl.mu.Lock()
+		err := func() error {
+			// Epoch 0 is the original Map seed; epoch n is Remap's stream.
+			seed := uint64(ls.Layer) + uint64(ls.Remaps)*remapSeedStride
+			m, err := sl.rebuild(ls.MapDevice, seed)
+			if err != nil {
+				return fmt.Errorf("accel: rebuilding layer %d at epoch %d: %w", ls.Layer, ls.Remaps, err)
+			}
+			if ls.Device != ls.MapDevice {
+				if err := m.retuneDevice(ls.Device); err != nil {
+					return fmt.Errorf("accel: retuning restored layer %d: %w", ls.Layer, err)
+				}
+			}
+			arrays := m.Arrays()
+			if len(arrays) != len(ls.Arrays) {
+				return fmt.Errorf("accel: rebuilt layer %d has %d arrays, snapshot has %d", ls.Layer, len(arrays), len(ls.Arrays))
+			}
+			for j, as := range ls.Arrays {
+				if err := arrays[j].Restore(as); err != nil {
+					return fmt.Errorf("accel: restoring layer %d array %d: %w", ls.Layer, j, err)
+				}
+			}
+			if ls.Fallback && sl.soft == nil {
+				soft, err := sl.mkSoft()
+				if err != nil {
+					return fmt.Errorf("accel: building fallback for restored layer %d: %w", ls.Layer, err)
+				}
+				sl.soft = soft
+			}
+			sl.m = m
+			sl.remaps = ls.Remaps
+			sl.dev = ls.Device
+			sl.mapDev = ls.MapDevice
+			sl.fallback = ls.Fallback
+			return nil
+		}()
+		sl.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package accel
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/crossbar"
+	"repro/internal/nn"
+	"repro/internal/noise"
+)
+
+// stateNet builds a deterministic two-dense network for snapshot tests.
+func stateNet(t *testing.T) *nn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(5, 6))
+	return &nn.Network{Name: "statenet", InShape: []int{10},
+		Layers: []nn.Layer{nn.NewDense(10, 12, rng), &nn.ReLU{}, nn.NewDense(12, 4, rng)}}
+}
+
+// ageEngine walks an engine through a representative lifetime: online
+// faults, drift, a remap, a retune, and one layer forced to the digital
+// fallback — every transition the snapshot must survive.
+func ageEngine(t *testing.T, eng *Engine) {
+	t.Helper()
+	layers := eng.Layers()
+	if err := eng.WithArrays(layers[0], func(arrays []*crossbar.Array) {
+		for _, a := range arrays {
+			a.SetStuck(0, 1, uint8(a.NumLevels()-1))
+			a.DriftCell(1, 0, -1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Remap(layers[0]); err != nil {
+		t.Fatal(err)
+	}
+	// More online damage on the post-remap mapping.
+	if err := eng.WithArrays(layers[0], func(arrays []*crossbar.Array) {
+		arrays[0].SetStuck(2, 3, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dev := eng.ActiveDevice()
+	dev.PRTN = 0.002
+	if err := eng.Retune(dev); err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) > 1 {
+		if err := eng.SetFallback(layers[1], true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// forwardTrace runs a deterministic burst of reseeded forwards and returns
+// the raw outputs.
+func forwardTrace(eng *Engine, n int) [][]float64 {
+	sess := eng.NewSession(0)
+	x := nn.FromSlice([]float64{0.1, 0.9, 0.3, 0.5, 0.2, 0.7, 0.4, 0.8, 0.6, 0.05}, 10)
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		sess.Reseed(uint64(1000 + i))
+		out[i] = append([]float64(nil), sess.Forward(x).Data...)
+	}
+	return out
+}
+
+// TestEngineStateRoundTrip: snapshot an aged engine (remapped, retuned,
+// fallback, online faults), restore onto a freshly-mapped twin, and demand
+// bit-identical forward outputs and a byte-identical re-snapshot.
+func TestEngineStateRoundTrip(t *testing.T) {
+	cfg := quietConfig(SchemeABN(8), 2)
+	cfg.SpareRows = 4
+	cfg.Device.PRTN = 0.001 // live noise source, reconstructed from seed cursors
+	eng, err := Map(stateNet(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageEngine(t, eng)
+	want := forwardTrace(eng, 8)
+	st := eng.Snapshot()
+
+	twin, err := Map(stateNet(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	got := forwardTrace(twin, 8)
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				t.Fatalf("forward %d output %d: restored %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	// The restored engine must re-snapshot identically: same remap epochs,
+	// same fallback flags, same array payloads.
+	st2 := twin.Snapshot()
+	if len(st.Layers) != len(st2.Layers) {
+		t.Fatalf("re-snapshot has %d layers, want %d", len(st2.Layers), len(st.Layers))
+	}
+	for i := range st.Layers {
+		a, b := st.Layers[i], st2.Layers[i]
+		if a.Remaps != b.Remaps || a.Fallback != b.Fallback || a.MapDevice != b.MapDevice || a.Device != b.Device {
+			t.Fatalf("layer %d metadata diverges after restore: %+v vs %+v", a.Layer, a, b)
+		}
+	}
+	// And the lifetime continues identically: another remap on both sides
+	// draws the same post-remap fault population.
+	l0 := eng.Layers()[0]
+	if err := eng.Remap(l0); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.Remap(l0); err != nil {
+		t.Fatal(err)
+	}
+	w2, g2 := forwardTrace(eng, 2), forwardTrace(twin, 2)
+	for i := range w2 {
+		for j := range w2[i] {
+			if w2[i][j] != g2[i][j] {
+				t.Fatalf("post-restore remap diverges at forward %d output %d", i, j)
+			}
+		}
+	}
+}
+
+// TestEngineCheckRestoreRefusals: snapshots from a different identity or
+// with malformed payloads are refused without touching the engine.
+func TestEngineCheckRestoreRefusals(t *testing.T) {
+	cfg := quietConfig(SchemeABN(8), 2)
+	eng, err := Map(stateNet(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := eng.Snapshot()
+	before := forwardTrace(eng, 1)
+
+	mutants := map[string]func(EngineState) EngineState{
+		"seed":    func(st EngineState) EngineState { st.Seed++; return st },
+		"scheme":  func(st EngineState) EngineState { st.Scheme = "other"; return st },
+		"network": func(st EngineState) EngineState { st.Network = "other"; return st },
+		"unmapped layer": func(st EngineState) EngineState {
+			st.Layers = append([]LayerState(nil), st.Layers...)
+			st.Layers[0].Layer = 99
+			return st
+		},
+		"duplicate layer": func(st EngineState) EngineState {
+			st.Layers = append(st.Layers, st.Layers[0])
+			return st
+		},
+		"negative remap epoch": func(st EngineState) EngineState {
+			st.Layers = append([]LayerState(nil), st.Layers...)
+			st.Layers[0].Remaps = -1
+			return st
+		},
+		"bits-per-cell retune": func(st EngineState) EngineState {
+			st.Layers = append([]LayerState(nil), st.Layers...)
+			st.Layers[0].Device.BitsPerCell = st.Layers[0].MapDevice.BitsPerCell + 1
+			return st
+		},
+		"bad device": func(st EngineState) EngineState {
+			st.Layers = append([]LayerState(nil), st.Layers...)
+			st.Layers[0].Device = noise.DeviceParams{}
+			return st
+		},
+		"array payload": func(st EngineState) EngineState {
+			st.Layers = append([]LayerState(nil), st.Layers...)
+			st.Layers[0].Arrays = nil
+			return st
+		},
+	}
+	for name, mutate := range mutants {
+		if err := eng.Restore(mutate(good)); err == nil {
+			t.Errorf("%s: malformed snapshot restored silently", name)
+		}
+	}
+	// Refusals left the engine pristine: same output, and the good
+	// snapshot still applies.
+	after := forwardTrace(eng, 1)
+	for j := range before[0] {
+		if before[0][j] != after[0][j] {
+			t.Fatal("refused restores mutated the engine")
+		}
+	}
+	if err := eng.Restore(good); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRaceSnapshotVsTraffic: Snapshot and Restore hold the same per-layer
+// locks the forward path does — hammer both against live traffic and
+// mutators under -race.
+func TestRaceSnapshotVsTraffic(t *testing.T) {
+	cfg := quietConfig(SchemeABN(8), 2)
+	cfg.SpareRows = 4
+	eng, err := Map(stateNet(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := nn.FromSlice([]float64{0.1, 0.9, 0.3, 0.5, 0.2, 0.7, 0.4, 0.8, 0.6, 0.05}, 10)
+	layers := eng.Layers()
+
+	stop := make(chan struct{})
+	var traffic sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		traffic.Add(1)
+		go func(g int) {
+			defer traffic.Done()
+			sess := eng.NewSession(uint64(g))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sess.Reseed(uint64(g*10_000 + i))
+				if out := sess.Forward(x); out == nil {
+					t.Error("nil forward output")
+					return
+				}
+			}
+		}(g)
+	}
+
+	var mut sync.WaitGroup
+	const iters = 20
+	// Snapshotter: the persister's boot+poll path.
+	mut.Add(1)
+	go func() {
+		defer mut.Done()
+		for i := 0; i < iters; i++ {
+			st := eng.Snapshot()
+			if err := eng.CheckRestore(st); err != nil {
+				t.Errorf("self-snapshot refused: %v", err)
+				return
+			}
+			if err := eng.Restore(st); err != nil {
+				t.Errorf("self-restore failed: %v", err)
+				return
+			}
+		}
+	}()
+	// Fault injector: online campaign events racing the snapshotter.
+	mut.Add(1)
+	go func() {
+		defer mut.Done()
+		for i := 0; i < iters; i++ {
+			_ = eng.WithArrays(layers[0], func(arrays []*crossbar.Array) {
+				arrays[0].DriftCell(i%4, i%8, 1-2*(i%2))
+			})
+		}
+	}()
+	// Remapper: epoch bumps racing the snapshotter.
+	mut.Add(1)
+	go func() {
+		defer mut.Done()
+		for i := 0; i < iters/2; i++ {
+			if err := eng.Remap(layers[len(layers)-1]); err != nil {
+				t.Errorf("remap: %v", err)
+				return
+			}
+		}
+	}()
+	mut.Wait()
+	close(stop)
+	traffic.Wait()
+}

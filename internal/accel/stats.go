@@ -90,3 +90,11 @@ func (ss *SharedStats) Snapshot() Stats {
 	defer ss.mu.Unlock()
 	return ss.s
 }
+
+// Restore replaces the accumulated stats — the boot-time restore path
+// reinstating a persisted lifetime tally.
+func (ss *SharedStats) Restore(s Stats) {
+	ss.mu.Lock()
+	ss.s = s
+	ss.mu.Unlock()
+}

@@ -1,0 +1,138 @@
+package crossbar
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// agedArray builds an array that has lived: programmed cells, stuck faults,
+// drift, and a row retired onto a spare — every state dimension a snapshot
+// must carry.
+func agedArray(t *testing.T) *Array {
+	t.Helper()
+	a := NewArrayWithSpares(8, 16, 2, 2)
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			a.Set(r, c, uint8((r*3+c)%a.NumLevels()))
+		}
+	}
+	a.SetStuck(2, 5, 3)
+	a.SetStuck(4, 0, 0)
+	if !a.DriftCell(1, 2, -1) {
+		t.Fatal("drift setup failed")
+	}
+	if !a.DriftCell(6, 10, 1) {
+		t.Fatal("drift setup failed")
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	if _, ok := a.SpareRow(4, 8, nil, rng); !ok {
+		t.Fatal("sparing setup failed")
+	}
+	return a
+}
+
+// TestArrayStateRoundTrip: Snapshot→fresh array→Restore reproduces every
+// observable — levels, faults, drift accounting, spare budget, and the
+// read-path output — bit-identically.
+func TestArrayStateRoundTrip(t *testing.T) {
+	a := agedArray(t)
+	st := a.Snapshot()
+
+	b := NewArrayWithSpares(8, 16, 2, 2)
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			if a.Level(r, c) != b.Level(r, c) || a.Programmed(r, c) != b.Programmed(r, c) {
+				t.Fatalf("cell (%d,%d): restored %d/%d, want %d/%d",
+					r, c, b.Level(r, c), b.Programmed(r, c), a.Level(r, c), a.Programmed(r, c))
+			}
+		}
+	}
+	if a.StuckCount() != b.StuckCount() {
+		t.Fatalf("stuck count %d, want %d", b.StuckCount(), a.StuckCount())
+	}
+	if a.DriftedCount() != b.DriftedCount() || b.DriftedCount() != b.driftedSlow() {
+		t.Fatalf("drift count %d (slow %d), want %d", b.DriftedCount(), b.driftedSlow(), a.DriftedCount())
+	}
+	if a.SpareRowsFree() != b.SpareRowsFree() || a.SparedRows() != b.SparedRows() {
+		t.Fatalf("spares %d/%d, want %d/%d", b.SpareRowsFree(), b.SparedRows(), a.SpareRowsFree(), a.SparedRows())
+	}
+	// Read path: an analog row output over a dense input must agree.
+	input := make([]uint64, a.MaskWords())
+	for i := range input {
+		input[i] = ^uint64(0)
+	}
+	for r := 0; r < a.Rows; r++ {
+		if a.ProgrammedRowOutput(r, input) != b.ProgrammedRowOutput(r, input) {
+			t.Fatalf("row %d read output diverges after restore", r)
+		}
+	}
+	// Mutation equivalence: further lifetime events land identically.
+	a.SetStuck(0, 0, 1)
+	b.SetStuck(0, 0, 1)
+	if a.Level(0, 0) != b.Level(0, 0) {
+		t.Fatal("post-restore mutation diverges")
+	}
+}
+
+// TestArrayCheckStateRefusals: every malformed snapshot is refused, and a
+// refusal leaves the target array untouched.
+func TestArrayCheckStateRefusals(t *testing.T) {
+	a := agedArray(t)
+	good := a.Snapshot()
+
+	mutants := map[string]func(ArrayState) ArrayState{
+		"geometry": func(st ArrayState) ArrayState { st.Rows++; return st },
+		"level overflow": func(st ArrayState) ArrayState {
+			st.Eff = cloneLevels(st.Eff)
+			st.Eff[0][0] = 200
+			return st
+		},
+		"row map out of range": func(st ArrayState) ArrayState {
+			st.RowMap = append([]int(nil), st.RowMap...)
+			st.RowMap[0] = 99
+			return st
+		},
+		"row map duplicate": func(st ArrayState) ArrayState {
+			st.RowMap = append([]int(nil), st.RowMap...)
+			st.RowMap[0] = st.RowMap[1]
+			return st
+		},
+		"spare outside bank": func(st ArrayState) ArrayState {
+			st.SpareFree = []int{0}
+			return st
+		},
+		"spared count": func(st ArrayState) ArrayState { st.Spared = -1; return st },
+		"stuck/eff disagree": func(st ArrayState) ArrayState {
+			st.Stuck = append([]StuckCellState(nil), st.Stuck...)
+			st.Stuck[0].Level ^= 1
+			return st
+		},
+		"stuck duplicate": func(st ArrayState) ArrayState {
+			st.Stuck = append(st.Stuck, st.Stuck[0])
+			return st
+		},
+	}
+	for name, mutate := range mutants {
+		b := NewArrayWithSpares(8, 16, 2, 2)
+		if err := b.Restore(mutate(good)); err == nil {
+			t.Errorf("%s: malformed snapshot restored silently", name)
+			continue
+		}
+		// Refusal must be side-effect free: the pristine array still
+		// restores the good snapshot and matches the original.
+		if err := b.Restore(good); err != nil {
+			t.Errorf("%s: refusal left array unusable: %v", name, err)
+		}
+	}
+}
+
+func cloneLevels(in [][]uint8) [][]uint8 {
+	out := make([][]uint8, len(in))
+	for i := range in {
+		out[i] = append([]uint8(nil), in[i]...)
+	}
+	return out
+}

@@ -2,8 +2,11 @@ package expt
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -12,6 +15,7 @@ import (
 	"repro/internal/crossbar"
 	"repro/internal/fault"
 	"repro/internal/noise"
+	"repro/internal/persist"
 	"repro/internal/stats"
 )
 
@@ -27,6 +31,12 @@ type FaultSweepConfig struct {
 	Seed     uint64
 	Workers  int // 0 = GOMAXPROCS
 	Lifetime fault.LifetimeParams
+	// StateDir, when set, checkpoints each scheme's aged arrays and campaign
+	// cursor there after every lifetime step, and resumes an interrupted
+	// campaign from the last completed step at the next run. A refused
+	// checkpoint (corrupt, version-mismatched, or from a different
+	// configuration) restarts that scheme from step 0, loudly.
+	StateDir string
 }
 
 // FaultPoint is one (scheme, lifetime step) measurement.
@@ -72,7 +82,20 @@ func RunFaultCampaign(w Workload, cfg FaultSweepConfig, prog Progress) ([]FaultP
 			return nil, err
 		}
 		evalCfg := EvalConfig{Scheme: sch, Images: cfg.Images, Seed: cfg.Seed, Workers: cfg.Workers}
-		for step := 0; step <= cfg.Lifetime.Steps; step++ {
+		startStep := 0
+		var stateDir string
+		if cfg.StateDir != "" {
+			stateDir = filepath.Join(cfg.StateDir, w.Name+"-"+sch.Name)
+			if from, err := resumeCampaign(stateDir, eng, runner); err != nil {
+				if !errors.Is(err, os.ErrNotExist) {
+					prog.Printf("faults %s %s: CHECKPOINT REFUSED (%v) — restarting from step 0\n", w.Name, sch.Name, err)
+				}
+			} else {
+				startStep = from + 1
+				prog.Printf("faults %s %s: resumed from checkpoint at step %d\n", w.Name, sch.Name, from)
+			}
+		}
+		for step := startStep; step <= cfg.Lifetime.Steps; step++ {
 			if step > 0 {
 				if _, err := runner.Advance(step); err != nil {
 					return nil, err
@@ -91,9 +114,64 @@ func RunFaultCampaign(w Workload, cfg FaultSweepConfig, prog Progress) ([]FaultP
 			points = append(points, p)
 			prog.Printf("faults %s %s step %d/%d: stuck=%d drifted=%d miss=%.4f detected=%.4f\n",
 				w.Name, sch.Name, step, cfg.Lifetime.Steps, stuck, drifted, p.Miss.Rate(), p.DetectedRate)
+			if stateDir != "" {
+				if err := checkpointCampaign(stateDir, w.Name, eng, runner, step); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	return points, nil
+}
+
+// checkpointCampaign writes one scheme's aged arrays, campaign cursor, and
+// completed step into a crash-consistent snapshot.
+func checkpointCampaign(dir, workload string, eng *accel.Engine, runner *fault.Runner, step int) error {
+	es := eng.Snapshot()
+	rs := runner.Snapshot()
+	st := &persist.State{
+		Workload: workload,
+		Engine:   &es,
+		Campaign: &rs,
+		// The sweep has no served-request clock; the wear clock here is the
+		// completed lifetime step.
+		Scheduler: persist.SchedulerState{Served: uint64(step)},
+	}
+	return persist.Save(dir, st)
+}
+
+// resumeCampaign restores a checkpointed campaign in place: the engine's
+// aged arrays and the runner's cursor. It returns the last completed step. A
+// missing checkpoint returns os.ErrNotExist (fresh start); anything refused
+// by validation leaves the pristine engine untouched.
+func resumeCampaign(dir string, eng *accel.Engine, runner *fault.Runner) (int, error) {
+	st, err := persist.Load(dir)
+	if err != nil {
+		return 0, err
+	}
+	if st.Engine == nil || st.Campaign == nil {
+		return 0, fmt.Errorf("expt: checkpoint carries no engine+campaign state")
+	}
+	if err := eng.CheckRestore(*st.Engine); err != nil {
+		return 0, err
+	}
+	// Validate the cursor against this campaign before mutating the engine,
+	// so a refusal leaves everything pristine.
+	cur := runner.Snapshot()
+	if st.Campaign.Seed != cur.Seed || st.Campaign.Events != cur.Events {
+		return 0, fmt.Errorf("expt: checkpoint belongs to a different campaign (seed %d/%d events, want %d/%d)",
+			st.Campaign.Seed, st.Campaign.Events, cur.Seed, cur.Events)
+	}
+	if st.Campaign.Next < 0 || st.Campaign.Next > st.Campaign.Events {
+		return 0, fmt.Errorf("expt: checkpoint campaign cursor %d outside [0,%d]", st.Campaign.Next, st.Campaign.Events)
+	}
+	if err := eng.Restore(*st.Engine); err != nil {
+		return 0, err
+	}
+	if err := runner.Restore(*st.Campaign); err != nil {
+		return 0, err // unreachable: seed and event count verified above
+	}
+	return int(st.Scheduler.Served), nil
 }
 
 // RenderFaults prints the lifetime decay table: one row per scheme, columns

@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/crossbar"
 	"repro/internal/noise"
@@ -88,9 +89,13 @@ type Injector interface {
 }
 
 // Runner walks a campaign's events over an injector as lifetime advances.
+// It is safe for concurrent use: the snapshotter reads the cursor while the
+// lifetime driver advances it.
 type Runner struct {
 	camp Campaign
 	inj  Injector
+
+	mu   sync.Mutex
 	next int // index of the first unapplied event
 }
 
@@ -104,7 +109,11 @@ func NewRunner(camp Campaign, inj Injector) (*Runner, error) {
 }
 
 // Remaining returns how many events have not yet been applied.
-func (r *Runner) Remaining() int { return len(r.camp.Events) - r.next }
+func (r *Runner) Remaining() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.camp.Events) - r.next
+}
 
 // Advance applies every event scheduled at or before the given lifetime
 // step, returning the events applied. Steps are a logical wear clock (for
@@ -112,6 +121,8 @@ func (r *Runner) Remaining() int { return len(r.camp.Events) - r.next }
 // sweep index) so campaigns replay exactly across runs with different
 // wall-clock timing.
 func (r *Runner) Advance(step int) ([]Event, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var applied []Event
 	for r.next < len(r.camp.Events) && r.camp.Events[r.next].Step <= step {
 		idx := r.next

@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunnerState is the durable position of a fault campaign. The campaign
+// itself (seed + schedule) is regenerated deterministically at boot; only
+// the cursor is state, because every (event, array) RNG stream is derived
+// from the seed and the event's schedule position and is fully consumed
+// when the event applies — there is no live generator to checkpoint.
+type RunnerState struct {
+	// Seed and Events fingerprint the campaign so a cursor cannot be
+	// restored onto a different schedule.
+	Seed   uint64 `json:"seed"`
+	Events int    `json:"events"`
+	// Next is the index of the first unapplied event.
+	Next int `json:"next"`
+}
+
+// Snapshot captures the runner's durable state.
+func (r *Runner) Snapshot() RunnerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunnerState{Seed: r.camp.Seed, Events: len(r.camp.Events), Next: r.next}
+}
+
+// Restore positions the runner at a persisted cursor after verifying the
+// snapshot belongs to this campaign. The events before the cursor are not
+// re-applied — their effects live in the restored array state.
+func (r *Runner) Restore(st RunnerState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st.Seed != r.camp.Seed {
+		return fmt.Errorf("fault: snapshot campaign seed %d does not match %d", st.Seed, r.camp.Seed)
+	}
+	if st.Events != len(r.camp.Events) {
+		return fmt.Errorf("fault: snapshot campaign has %d events, this one %d", st.Events, len(r.camp.Events))
+	}
+	if st.Next < 0 || st.Next > len(r.camp.Events) {
+		return fmt.Errorf("fault: snapshot cursor %d outside [0,%d]", st.Next, len(r.camp.Events))
+	}
+	r.next = st.Next
+	return nil
+}
+
+// MonitorLayerState is one layer's durable breaker window.
+type MonitorLayerState struct {
+	Layer     int    `json:"layer"`
+	Reads     uint64 `json:"reads"`
+	Detected  uint64 `json:"detected"`
+	Corrected uint64 `json:"corrected"`
+	Open      bool   `json:"open,omitempty"`
+	Trips     uint64 `json:"trips,omitempty"`
+}
+
+// MonitorState is the durable state of a health monitor: every layer's
+// decayed ECU window and breaker position.
+type MonitorState struct {
+	Layers []MonitorLayerState `json:"layers,omitempty"`
+}
+
+// StateSnapshot captures the monitor's durable state, sorted by layer.
+// (Snapshot already names the human-facing health view.)
+func (m *Monitor) StateSnapshot() MonitorState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := MonitorState{Layers: make([]MonitorLayerState, 0, len(m.layers))}
+	for layer, lw := range m.layers {
+		st.Layers = append(st.Layers, MonitorLayerState{
+			Layer: layer, Reads: lw.reads, Detected: lw.detected, Corrected: lw.corrected,
+			Open: lw.state == BreakerOpen, Trips: lw.trips,
+		})
+	}
+	sort.Slice(st.Layers, func(i, j int) bool { return st.Layers[i].Layer < st.Layers[j].Layer })
+	return st
+}
+
+// Validate checks the snapshot's internal consistency.
+func (st MonitorState) Validate() error {
+	seen := make(map[int]bool, len(st.Layers))
+	for _, ls := range st.Layers {
+		if seen[ls.Layer] {
+			return fmt.Errorf("fault: snapshot describes monitor layer %d twice", ls.Layer)
+		}
+		seen[ls.Layer] = true
+		if ls.Detected > ls.Reads || ls.Corrected > ls.Reads {
+			return fmt.Errorf("fault: snapshot monitor layer %d counts exceed its window", ls.Layer)
+		}
+	}
+	return nil
+}
+
+// RestoreState replaces the monitor's windows with a persisted snapshot.
+func (m *Monitor) RestoreState(st MonitorState) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.layers = make(map[int]*layerWindow, len(st.Layers))
+	for _, ls := range st.Layers {
+		lw := &layerWindow{reads: ls.Reads, detected: ls.Detected, corrected: ls.Corrected, trips: ls.Trips}
+		if ls.Open {
+			lw.state = BreakerOpen
+		}
+		m.layers[ls.Layer] = lw
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package replica
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/fault"
+)
+
+// ReplicaState is one replica's durable state: its engine and routing
+// monitor, whether it was in the serving rotation, and its router counters.
+type ReplicaState struct {
+	Attached  bool               `json:"attached"`
+	Routed    uint64             `json:"routed"`
+	Failovers uint64             `json:"failovers"`
+	Detaches  uint64             `json:"detaches"`
+	Engine    accel.EngineState  `json:"engine"`
+	Monitor   fault.MonitorState `json:"monitor"`
+}
+
+// SetState is the durable state of a replica set.
+type SetState struct {
+	Replicas      []ReplicaState `json:"replicas"`
+	Votes         uint64         `json:"votes"`
+	Disagreements uint64         `json:"disagreements"`
+	VoteThreshold int            `json:"vote_threshold"`
+}
+
+// Snapshot captures the set's durable state.
+func (s *Set) Snapshot() SetState {
+	s.mu.RLock()
+	attached := append([]bool(nil), s.attached...)
+	s.mu.RUnlock()
+	st := SetState{
+		Replicas:      make([]ReplicaState, len(s.engines)),
+		Votes:         s.votes.Load(),
+		Disagreements: s.disagreements.Load(),
+		VoteThreshold: int(s.voteThreshold.Load()),
+	}
+	for r := range s.engines {
+		st.Replicas[r] = ReplicaState{
+			Attached:  attached[r],
+			Routed:    s.routed[r].Load(),
+			Failovers: s.failovers[r].Load(),
+			Detaches:  s.detaches[r].Load(),
+			Engine:    s.engines[r].Snapshot(),
+			Monitor:   s.mons[r].StateSnapshot(),
+		}
+	}
+	return st
+}
+
+// CheckRestore validates a snapshot against this set without touching any
+// state: replica count, every engine fingerprint and payload, every monitor
+// window, and that at least one replica stays attached.
+func (s *Set) CheckRestore(st SetState) error {
+	if len(st.Replicas) != len(s.engines) {
+		return fmt.Errorf("replica: snapshot has %d replicas, set has %d", len(st.Replicas), len(s.engines))
+	}
+	nAttached := 0
+	for r, rs := range st.Replicas {
+		if rs.Attached {
+			nAttached++
+		}
+		if err := s.engines[r].CheckRestore(rs.Engine); err != nil {
+			return fmt.Errorf("replica: snapshot replica %d: %w", r, err)
+		}
+		if err := rs.Monitor.Validate(); err != nil {
+			return fmt.Errorf("replica: snapshot replica %d monitor: %w", r, err)
+		}
+	}
+	if nAttached == 0 {
+		return fmt.Errorf("replica: snapshot detaches every replica")
+	}
+	return nil
+}
+
+// Restore rebuilds every replica's engine and monitor from a snapshot and
+// reinstates the router state. Every replica is validated before any is
+// touched, so a refused snapshot leaves the set as it was.
+func (s *Set) Restore(st SetState) error {
+	if err := s.CheckRestore(st); err != nil {
+		return err
+	}
+	nAttached := 0
+	for _, rs := range st.Replicas {
+		if rs.Attached {
+			nAttached++
+		}
+	}
+	for r, rs := range st.Replicas {
+		if err := s.engines[r].Restore(rs.Engine); err != nil {
+			return fmt.Errorf("replica: restoring replica %d: %w", r, err)
+		}
+		if err := s.mons[r].RestoreState(rs.Monitor); err != nil {
+			return fmt.Errorf("replica: restoring replica %d monitor: %w", r, err)
+		}
+		s.routed[r].Store(rs.Routed)
+		s.failovers[r].Store(rs.Failovers)
+		s.detaches[r].Store(rs.Detaches)
+	}
+	s.votes.Store(st.Votes)
+	s.disagreements.Store(st.Disagreements)
+	s.SetVoteThreshold(st.VoteThreshold)
+	s.mu.Lock()
+	for r, rs := range st.Replicas {
+		s.attached[r] = rs.Attached
+	}
+	s.nAttached = nAttached
+	s.mu.Unlock()
+	return nil
+}

@@ -60,6 +60,11 @@ type Config struct {
 	// thresholds, proactive replica maintenance, and pre-emptive
 	// degradation, with hysteresis. Requires Recovery.Enabled.
 	Controller ControllerConfig
+	// Persist wires crash-consistent state persistence: periodic
+	// checksummed snapshots of the full device + protection state, and a
+	// boot-time restore that resumes the persisted lifetime trajectory.
+	// Disabled unless Persist.Dir is set.
+	Persist PersistConfig
 
 	// dequeueHook, when set, runs in the worker loop after each dequeue and
 	// before deadline checks (test instrumentation: lets tests hold a
@@ -106,6 +111,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Controller.Validate(); err != nil {
+		return err
+	}
+	if err := c.Persist.Validate(); err != nil {
 		return err
 	}
 	if c.Controller.Enabled && !c.Recovery.Enabled {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/predict"
 )
 
@@ -217,12 +218,18 @@ func newController(sched *Scheduler, cfg ControllerConfig) *controller {
 	if sched.set != nil {
 		c.baseVote = sched.set.Config().VoteThreshold
 	}
-	if cfg.Manual {
-		close(c.done)
-	} else {
-		go c.run()
-	}
 	return c
+}
+
+// start launches the decision loop (or, in manual mode, marks it finished so
+// halt does not wait for one). Split from the constructor so boot-time state
+// restoration can reinstate the core's level before the first tick.
+func (c *controller) start() {
+	if c.cfg.Manual {
+		close(c.done)
+		return
+	}
+	go c.run()
 }
 
 func (c *controller) run() {
@@ -243,6 +250,61 @@ func (c *controller) run() {
 func (c *controller) halt() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	<-c.done
+}
+
+// stateSnapshot captures the controller's durable core: the protection level
+// and the hysteresis bookkeeping that decides the next transition.
+func (c *controller) stateSnapshot() persist.ControllerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := persist.ControllerState{
+		Level:         c.core.level,
+		TightenStreak: c.core.tightenStreak,
+		RelaxStreak:   c.core.relaxStreak,
+		Cooldown:      c.core.cooldown,
+		Ticks:         c.ticks,
+	}
+	if len(c.decisions) > 0 {
+		st.Decisions = make(map[string]uint64, len(c.decisions))
+		for k, v := range c.decisions {
+			st.Decisions[k] = v
+		}
+	}
+	return st
+}
+
+// checkState validates a controller snapshot against this configuration
+// without touching any state.
+func (c *controller) checkState(st persist.ControllerState) error {
+	if st.Level < 0 || st.Level > c.cfg.MaxLevel {
+		return fmt.Errorf("serve: snapshot protection level %d outside [0,%d]", st.Level, c.cfg.MaxLevel)
+	}
+	if st.TightenStreak < 0 || st.RelaxStreak < 0 || st.Cooldown < 0 {
+		return fmt.Errorf("serve: snapshot controller streaks/cooldown negative")
+	}
+	return nil
+}
+
+// restoreState reinstates a persisted controller core and moves the
+// actuators (patrol cadence, vote threshold) to the restored level. Must run
+// before the decision loop starts.
+func (c *controller) restoreState(st persist.ControllerState) error {
+	if err := c.checkState(st); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.core.level = st.Level
+	c.core.tightenStreak = st.TightenStreak
+	c.core.relaxStreak = st.RelaxStreak
+	c.core.cooldown = st.Cooldown
+	c.ticks = st.Ticks
+	c.decisions = make(map[string]uint64, len(st.Decisions))
+	for k, v := range st.Decisions {
+		c.decisions[k] = v
+	}
+	c.mu.Unlock()
+	c.applyLevel(st.Level)
+	return nil
 }
 
 // observe snapshots the controller's sensors.

@@ -94,6 +94,8 @@ type GaugeView struct {
 	Replicas *replica.SetStatus
 	// Controller is the protection-controller snapshot (nil when disabled).
 	Controller *ControllerStatus
+	// Persist is the snapshotter status (nil when persistence is disabled).
+	Persist *PersistStatus
 	// Device is the active device model's library name ("" when custom).
 	Device string
 	// Scheme is the deployed protection scheme name.
@@ -281,6 +283,31 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeView) {
 		for _, a := range []string{"tighten", "relax", "repair", "degrade"} {
 			fmt.Fprintf(w, "mnn_controller_decisions_total{action=%q} %d\n", a, c.Decisions[a])
 		}
+	}
+
+	if g.Persist != nil {
+		p := g.Persist
+		fmt.Fprintf(w, "# HELP mnn_persist_restore_info Boot-time restore outcome (the labeled series is 1).\n")
+		fmt.Fprintf(w, "# TYPE mnn_persist_restore_info gauge\n")
+		for _, o := range []RestoreOutcome{RestoreFresh, RestoreRestored, RestoreFallback} {
+			v := 0
+			if p.Outcome == o {
+				v = 1
+			}
+			fmt.Fprintf(w, "mnn_persist_restore_info{outcome=%q} %d\n", string(o), v)
+		}
+
+		fmt.Fprintf(w, "# HELP mnn_persist_snapshot_age_seconds Time since the last published snapshot (0 before the first save).\n")
+		fmt.Fprintf(w, "# TYPE mnn_persist_snapshot_age_seconds gauge\n")
+		fmt.Fprintf(w, "mnn_persist_snapshot_age_seconds %g\n", p.SnapshotAge.Seconds())
+
+		fmt.Fprintf(w, "# HELP mnn_persist_saves_total Snapshot save attempts.\n")
+		fmt.Fprintf(w, "# TYPE mnn_persist_saves_total counter\n")
+		fmt.Fprintf(w, "mnn_persist_saves_total %d\n", p.Saves)
+
+		fmt.Fprintf(w, "# HELP mnn_persist_save_errors_total Snapshot saves that failed.\n")
+		fmt.Fprintf(w, "# TYPE mnn_persist_save_errors_total counter\n")
+		fmt.Fprintf(w, "mnn_persist_save_errors_total %d\n", p.SaveErrors)
 	}
 
 	if g.Verify != nil {

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/persist"
+)
+
+// PersistConfig wires crash-consistent state persistence into the pool: a
+// background snapshotter that periodically captures the full device +
+// protection state off the request path, and a boot-time restore that
+// resumes the exact lifetime trajectory the previous process was killed in.
+type PersistConfig struct {
+	// Dir is the state directory. Empty disables persistence entirely.
+	Dir string
+	// Every is how many served requests may elapse between snapshots
+	// (0 = 256). Snapshots ride the wear clock, not wall time, so an idle
+	// pool writes nothing.
+	Every uint64
+	// Poll is how often the snapshotter checks the served counter
+	// (0 = 250ms). Polling keeps the Forward hot path free of any
+	// persistence hooks — workers never see the snapshotter.
+	Poll time.Duration
+	// Manual builds the persister without its background loop: snapshots
+	// are taken only via Scheduler.SnapshotNow (and the Close-time flush).
+	// Deterministic drills use this to snapshot on the request-step clock.
+	Manual bool
+}
+
+// withDefaults resolves the zero values.
+func (c PersistConfig) withDefaults() PersistConfig {
+	if c.Every == 0 {
+		c.Every = 256
+	}
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Validate rejects nonsensical persistence settings.
+func (c PersistConfig) Validate() error {
+	if c.Dir == "" {
+		return nil
+	}
+	if c.Poll < 0 {
+		return fmt.Errorf("serve: negative persist poll interval %v", c.Poll)
+	}
+	return nil
+}
+
+// RestoreOutcome classifies what the boot-time restore did.
+type RestoreOutcome string
+
+const (
+	// RestoreFresh means no snapshot existed — a first boot.
+	RestoreFresh RestoreOutcome = "fresh"
+	// RestoreRestored means the snapshot validated and was applied; the
+	// pool resumed the persisted lifetime trajectory.
+	RestoreRestored RestoreOutcome = "restored"
+	// RestoreFallback means a snapshot existed but was refused (corrupt,
+	// wrong schema version, or mismatched against this configuration); the
+	// pool booted from a fresh Map instead. Nothing was half-applied.
+	RestoreFallback RestoreOutcome = "fallback"
+)
+
+// PersistStatus is a point-in-time snapshot of the persister for metrics and
+// health reporting.
+type PersistStatus struct {
+	// Dir is the state directory.
+	Dir string
+	// Outcome is what the boot-time restore did.
+	Outcome RestoreOutcome
+	// RestoreErr is why a snapshot was refused ("" unless Outcome is
+	// fallback).
+	RestoreErr string
+	// Saves and SaveErrors count snapshot attempts.
+	Saves      uint64
+	SaveErrors uint64
+	// LastSaveErr is the most recent save failure ("" after a success).
+	LastSaveErr string
+	// LastSaved is when the last snapshot was published (zero if never).
+	LastSaved time.Time
+	// SnapshotAge is time since LastSaved (0 when never saved).
+	SnapshotAge time.Duration
+	// LastServed is the wear-clock reading the last snapshot captured.
+	LastServed uint64
+}
+
+// persister owns the snapshot lifecycle: boot-time restore, the background
+// save loop, and the Close-time flush. All saves serialize through mu so a
+// manual SnapshotNow cannot interleave with the loop.
+type persister struct {
+	sched *Scheduler
+	cfg   PersistConfig
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu          sync.Mutex
+	outcome     RestoreOutcome
+	restoreErr  error
+	saves       uint64
+	saveErrors  uint64
+	lastSaveErr error
+	lastSaved   time.Time
+	lastServed  uint64
+	// restoredCampaign holds a restored campaign cursor until SetCampaign
+	// hands us the runner it belongs to.
+	restoredCampaign *fault.RunnerState
+}
+
+func newPersister(sched *Scheduler, cfg PersistConfig) *persister {
+	return &persister{
+		sched:   sched,
+		cfg:     cfg.withDefaults(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		outcome: RestoreFresh,
+	}
+}
+
+// bootRestore loads and applies the snapshot in the state directory. It runs
+// before any worker, patrol, controller, or persister goroutine starts, so
+// it owns every subsystem. A missing snapshot is a fresh boot; a refused one
+// (corrupt, version-mismatched, or inconsistent with this configuration)
+// records the fallback outcome and leaves the pool exactly as freshly built
+// — the refusal path is fully pre-validated so nothing is half-applied. The
+// only errors returned are apply-phase failures that validation cannot rule
+// out (a mapping-pipeline rebuild error), which abort the boot rather than
+// serve from an engine in an unknown state.
+func (per *persister) bootRestore() error {
+	st, err := persist.Load(per.cfg.Dir)
+	if errors.Is(err, os.ErrNotExist) {
+		per.outcome = RestoreFresh
+		return nil
+	}
+	if err != nil {
+		per.outcome = RestoreFallback
+		per.restoreErr = err
+		return nil
+	}
+	if err := per.check(st); err != nil {
+		per.outcome = RestoreFallback
+		per.restoreErr = err
+		return nil
+	}
+	if err := per.applyChecked(st); err != nil {
+		return fmt.Errorf("serve: applying validated snapshot: %w", err)
+	}
+	per.outcome = RestoreRestored
+	per.lastSaved = time.Now() // the file we just restored from is current
+	per.lastServed = st.Scheduler.Served
+	return nil
+}
+
+// check validates every section of a decoded snapshot against the assembled
+// pool without touching any state. A nil error means applyChecked can only
+// fail in the deterministic mapping rebuild.
+func (per *persister) check(st *persist.State) error {
+	s := per.sched
+	if s.set != nil {
+		if st.Replicas == nil {
+			return fmt.Errorf("serve: snapshot is single-copy, pool is replicated")
+		}
+		if err := s.set.CheckRestore(*st.Replicas); err != nil {
+			return err
+		}
+	} else {
+		if st.Engine == nil {
+			return fmt.Errorf("serve: snapshot is replicated, pool is single-copy")
+		}
+		if err := s.eng.CheckRestore(*st.Engine); err != nil {
+			return err
+		}
+	}
+	// Sections for subsystems this configuration did not arm are refused:
+	// silently dropping persisted protection state would diverge the resumed
+	// trajectory from the unkilled one. Missing sections are fine — they
+	// mean the subsystem was not armed when the snapshot was taken, and it
+	// simply starts fresh.
+	if st.Monitor != nil {
+		if s.rec == nil {
+			return fmt.Errorf("serve: snapshot carries monitor state but recovery is disabled")
+		}
+		if err := st.Monitor.Validate(); err != nil {
+			return err
+		}
+	}
+	if st.Recovery != nil && s.rec == nil {
+		return fmt.Errorf("serve: snapshot carries recovery counters but recovery is disabled")
+	}
+	if st.Scrub != nil {
+		if s.pat == nil {
+			return fmt.Errorf("serve: snapshot carries scrub state but scrubbing is disabled")
+		}
+		if err := s.pat.checkRestore(*st.Scrub); err != nil {
+			return err
+		}
+	}
+	if st.Controller != nil {
+		if s.ctl == nil {
+			return fmt.Errorf("serve: snapshot carries controller state but the controller is disabled")
+		}
+		if err := s.ctl.checkState(*st.Controller); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyChecked applies a snapshot check has already validated. The campaign
+// cursor cannot be applied yet — the runner is registered after boot via
+// SetCampaign — so it is stashed.
+func (per *persister) applyChecked(st *persist.State) error {
+	s := per.sched
+	if s.set != nil {
+		if err := s.set.Restore(*st.Replicas); err != nil {
+			return err
+		}
+	} else {
+		if err := s.eng.Restore(*st.Engine); err != nil {
+			return err
+		}
+	}
+	if st.Monitor != nil {
+		if err := s.rec.mon.RestoreState(*st.Monitor); err != nil {
+			return err // unreachable after check
+		}
+	}
+	if st.Recovery != nil {
+		s.rec.retries.Store(st.Recovery.Retries)
+		s.rec.failovers.Store(st.Recovery.Failovers)
+		s.rec.remaps.Store(st.Recovery.Remaps)
+		s.rec.degrades.Store(st.Recovery.Degrades)
+	}
+	if st.Scrub != nil {
+		if err := s.pat.restoreState(*st.Scrub); err != nil {
+			return err // unreachable after check
+		}
+	}
+	if st.Controller != nil {
+		if err := s.ctl.restoreState(*st.Controller); err != nil {
+			return err // unreachable after check
+		}
+	}
+	s.served.Store(st.Scheduler.Served)
+	s.canceled.Store(st.Scheduler.Canceled)
+	s.autoSeed.Store(st.Scheduler.AutoSeed)
+	s.ecc.Restore(st.Scheduler.ECC)
+	per.restoredCampaign = st.Campaign
+	return nil
+}
+
+// takeRestoredCampaign hands the stashed campaign cursor to SetCampaign,
+// exactly once.
+func (per *persister) takeRestoredCampaign() *fault.RunnerState {
+	per.mu.Lock()
+	defer per.mu.Unlock()
+	cs := per.restoredCampaign
+	per.restoredCampaign = nil
+	return cs
+}
+
+// start launches the save loop (or, in manual mode, marks it finished so
+// haltLoop does not wait for one).
+func (per *persister) start() {
+	if per.cfg.Manual {
+		close(per.done)
+		return
+	}
+	go per.run()
+}
+
+// run is the save loop: poll the wear clock, snapshot once enough requests
+// have been served since the last snapshot. The loop never touches the
+// request path — workers do not know it exists.
+func (per *persister) run() {
+	defer close(per.done)
+	ticker := time.NewTicker(per.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-per.stop:
+			return
+		case <-ticker.C:
+			served := per.sched.Served()
+			per.mu.Lock()
+			due := served-per.lastServed >= per.cfg.Every
+			per.mu.Unlock()
+			if due {
+				_ = per.snapshotOnce() // failure is recorded in status
+			}
+		}
+	}
+}
+
+// haltLoop stops the save loop and waits for it to exit. Idempotent.
+func (per *persister) haltLoop() {
+	per.stopOnce.Do(func() { close(per.stop) })
+	<-per.done
+}
+
+// snapshotOnce captures the full state tree and writes it atomically.
+func (per *persister) snapshotOnce() error {
+	per.mu.Lock()
+	defer per.mu.Unlock()
+	st := per.sched.buildState()
+	err := persist.Save(per.cfg.Dir, st)
+	per.saves++
+	if err != nil {
+		per.saveErrors++
+		per.lastSaveErr = err
+		return err
+	}
+	per.lastSaveErr = nil
+	per.lastSaved = time.Now()
+	per.lastServed = st.Scheduler.Served
+	return nil
+}
+
+// status snapshots the persister.
+func (per *persister) status() PersistStatus {
+	per.mu.Lock()
+	defer per.mu.Unlock()
+	st := PersistStatus{
+		Dir:        per.cfg.Dir,
+		Outcome:    per.outcome,
+		Saves:      per.saves,
+		SaveErrors: per.saveErrors,
+		LastSaved:  per.lastSaved,
+		LastServed: per.lastServed,
+	}
+	if per.restoreErr != nil {
+		st.RestoreErr = per.restoreErr.Error()
+	}
+	if per.lastSaveErr != nil {
+		st.LastSaveErr = per.lastSaveErr.Error()
+	}
+	if !per.lastSaved.IsZero() {
+		st.SnapshotAge = time.Since(per.lastSaved)
+	}
+	return st
+}
+
+// buildState assembles the full durable state tree of the pool. Each
+// subsystem is captured under its own lock, so every section is internally
+// consistent; the scheduler counters are read last so the wear clock never
+// runs ahead of the device state it stamps.
+func (s *Scheduler) buildState() *persist.State {
+	st := &persist.State{Workload: s.eng.Network().Name}
+	if s.set != nil {
+		ss := s.set.Snapshot()
+		st.Replicas = &ss
+	} else {
+		es := s.eng.Snapshot()
+		st.Engine = &es
+	}
+	if s.rec != nil {
+		ms := s.rec.mon.StateSnapshot()
+		st.Monitor = &ms
+		st.Recovery = &persist.RecoveryState{
+			Retries:   s.rec.retries.Load(),
+			Failovers: s.rec.failovers.Load(),
+			Remaps:    s.rec.remaps.Load(),
+			Degrades:  s.rec.degrades.Load(),
+		}
+	}
+	if s.pat != nil {
+		ps := s.pat.stateSnapshot()
+		st.Scrub = &ps
+	}
+	if s.ctl != nil {
+		cs := s.ctl.stateSnapshot()
+		st.Controller = &cs
+	}
+	s.campMu.Lock()
+	if s.camp != nil {
+		rs := s.camp.Snapshot()
+		st.Campaign = &rs
+	}
+	s.campMu.Unlock()
+	st.Scheduler = persist.SchedulerState{
+		Served:   s.served.Load(),
+		Canceled: s.canceled.Load(),
+		AutoSeed: s.autoSeed.Load(),
+		ECC:      s.ecc.Snapshot(),
+	}
+	return st
+}
+
+// SnapshotNow captures and atomically publishes a snapshot immediately,
+// regardless of the wear clock. Safe concurrently with live traffic and the
+// background loop.
+func (s *Scheduler) SnapshotNow() error {
+	if s.per == nil {
+		return fmt.Errorf("serve: persistence is disabled")
+	}
+	return s.per.snapshotOnce()
+}
+
+// PersistStatus snapshots the persister; ok is false when persistence is
+// disabled.
+func (s *Scheduler) PersistStatus() (PersistStatus, bool) {
+	if s.per == nil {
+		return PersistStatus{}, false
+	}
+	return s.per.status(), true
+}
+
+// SetCampaign registers the fault-campaign runner driving this pool's wear
+// clock, so snapshots capture its cursor. If the boot-time restore carried a
+// campaign cursor, it is applied to the runner now; an error means the
+// persisted cursor does not belong to this campaign — the caller should log
+// it loudly and let the runner proceed from its own position.
+func (s *Scheduler) SetCampaign(r *fault.Runner) error {
+	s.campMu.Lock()
+	s.camp = r
+	s.campMu.Unlock()
+	if s.per == nil || r == nil {
+		return nil
+	}
+	if cs := s.per.takeRestoredCampaign(); cs != nil {
+		return r.Restore(*cs)
+	}
+	return nil
+}

@@ -306,10 +306,16 @@ func backoffDelay(base, max time.Duration, attempt int, seed uint64) time.Durati
 		return 0
 	}
 	shift := attempt - 1
+	if shift < 0 {
+		shift = 0 // attempt 0 or negative: treat as the first attempt
+	}
 	if shift > 20 {
 		shift = 20 // past this the cap always wins; avoid shifting into the sign bit
 	}
 	d := base << shift
+	if d < base {
+		d = base // a pathological base shifted past int64 wraps; the cap decides below
+	}
 	if max > 0 && d > max {
 		d = max
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/accel"
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/noise"
 	"repro/internal/replica"
@@ -115,6 +116,15 @@ type Scheduler struct {
 	// ctl is the closed-loop protection controller (nil when disabled).
 	ctl *controller
 
+	// per is the crash-consistency snapshotter (nil when persistence is
+	// disabled).
+	per *persister
+
+	// camp is the fault-campaign runner registered via SetCampaign, so
+	// snapshots capture its cursor (nil when no campaign drives the pool).
+	campMu sync.Mutex
+	camp   *fault.Runner
+
 	served   atomic.Uint64 // requests answered (success or error)
 	canceled atomic.Uint64 // requests whose client vanished while queued
 	inflight atomic.Int64  // dequeued but not yet answered
@@ -142,15 +152,34 @@ func NewScheduler(eng *accel.Engine, cfg Config) (*Scheduler, error) {
 		}
 		s.set = set
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker(uint64(i))
-	}
+	// Assemble every subsystem before starting any goroutine, so the
+	// boot-time restore owns the whole pool and either applies a snapshot
+	// completely or refuses it completely — traffic and background loops
+	// never see a half-restored engine.
 	if cfg.Scrub.Enabled {
 		s.pat = newPatroller(s, cfg.Scrub)
 	}
 	if cfg.Controller.Enabled {
 		s.ctl = newController(s, cfg.Controller)
+	}
+	if cfg.Persist.Dir != "" {
+		s.per = newPersister(s, cfg.Persist)
+		if err := s.per.bootRestore(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(uint64(i))
+	}
+	if s.pat != nil {
+		s.pat.start()
+	}
+	if s.ctl != nil {
+		s.ctl.start()
+	}
+	if s.per != nil {
+		s.per.start()
 	}
 	return s, nil
 }
@@ -402,6 +431,9 @@ func (s *Scheduler) Close(ctx context.Context) (DrainSummary, error) {
 	if s.pat != nil {
 		s.pat.halt()
 	}
+	if s.per != nil {
+		s.per.haltLoop()
+	}
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -415,12 +447,25 @@ func (s *Scheduler) Close(ctx context.Context) (DrainSummary, error) {
 	}()
 	select {
 	case <-done:
+		// Drain finished: flush a final snapshot so a restart resumes from
+		// the last answered request, not the last periodic checkpoint.
+		// Failure is recorded in PersistStatus, not returned — the drain
+		// itself succeeded.
+		if s.per != nil {
+			_ = s.per.snapshotOnce()
+		}
 		return DrainSummary{
 			Served:   s.served.Load(),
 			Canceled: s.canceled.Load(),
 			ECC:      s.ecc.Snapshot(),
 		}, nil
 	case <-ctx.Done():
+		// Deadline expired mid-drain: still flush — workers may be live, but
+		// every subsystem snapshot is taken under its own lock, so the file
+		// is crash-consistent just like a periodic checkpoint.
+		if s.per != nil {
+			_ = s.per.snapshotOnce()
+		}
 		abandoned := s.QueueLen() + int(s.inflight.Load())
 		return DrainSummary{
 			Served:    s.served.Load(),

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/accel"
+	"repro/internal/persist"
 	"repro/internal/scrub"
 )
 
@@ -97,6 +98,12 @@ type patroller struct {
 	manual       bool
 	cursor       int // replica rotation position
 
+	// scMu owns the scrubbers and the rotation cursor: the background loop
+	// (or PatrolNow) holds it across a pass, and the snapshotter holds it
+	// while capturing scrubber state — scrubbers themselves are not
+	// concurrency-safe.
+	scMu sync.Mutex
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
@@ -107,7 +114,9 @@ type patroller struct {
 	started  time.Time
 }
 
-// newPatroller builds and starts the patrol goroutine.
+// newPatroller builds the patroller without starting its loop, so boot-time
+// state restoration can position the scrubbers before the first pass; the
+// scheduler calls start once the pool is assembled.
 func newPatroller(sched *Scheduler, cfg ScrubConfig) *patroller {
 	cfg = cfg.withDefaults()
 	p := &patroller{
@@ -139,12 +148,17 @@ func newPatroller(sched *Scheduler, cfg ScrubConfig) *patroller {
 		}
 		p.scs = append(p.scs, scrub.New(eng, scrub.Config{VerifyIters: iters, Seed: seed}))
 	}
+	return p
+}
+
+// start launches the patrol loop (or, in manual mode, marks it finished so
+// halt does not wait for one).
+func (p *patroller) start() {
 	if p.manual {
 		close(p.done) // no loop to wait for in halt
-	} else {
-		go p.run()
+		return
 	}
-	return p
+	go p.run()
 }
 
 // interval returns the live patrol cadence.
@@ -189,6 +203,8 @@ func (p *patroller) idle() bool {
 // patrolOnce runs one layer's patrol pass on the next copy in rotation and
 // publishes its outcome.
 func (p *patroller) patrolOnce() {
+	p.scMu.Lock()
+	defer p.scMu.Unlock()
 	r := p.cursor % len(p.scs)
 	p.cursor++
 	if set := p.sched.set; set != nil {
@@ -248,6 +264,55 @@ func (p *patroller) status() ScrubStatus {
 func (p *patroller) halt() {
 	p.stopOnce.Do(func() { close(p.stop) })
 	<-p.done
+}
+
+// stateSnapshot captures the patroller's durable state: the replica rotation
+// cursor and every scrubber's rotation/pass position.
+func (p *patroller) stateSnapshot() persist.ScrubState {
+	p.scMu.Lock()
+	defer p.scMu.Unlock()
+	st := persist.ScrubState{
+		Cursor:    p.cursor,
+		Scrubbers: make([]scrub.State, len(p.scs)),
+	}
+	for i, sc := range p.scs {
+		st.Scrubbers[i] = sc.Snapshot()
+	}
+	return st
+}
+
+// checkRestore validates a scrub snapshot against this patroller without
+// touching any state; a nil error guarantees restoreState will succeed.
+func (p *patroller) checkRestore(st persist.ScrubState) error {
+	if len(st.Scrubbers) != len(p.scs) {
+		return fmt.Errorf("serve: snapshot has %d scrubbers, patroller has %d", len(st.Scrubbers), len(p.scs))
+	}
+	if st.Cursor < 0 {
+		return fmt.Errorf("serve: snapshot scrub rotation cursor %d is negative", st.Cursor)
+	}
+	for i, ss := range st.Scrubbers {
+		if err := p.scs[i].CheckRestore(ss); err != nil {
+			return fmt.Errorf("serve: snapshot scrubber %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// restoreState positions every scrubber and the rotation cursor at a
+// persisted point. All scrubbers are validated before any is touched.
+func (p *patroller) restoreState(st persist.ScrubState) error {
+	p.scMu.Lock()
+	defer p.scMu.Unlock()
+	if err := p.checkRestore(st); err != nil {
+		return err
+	}
+	for i, ss := range st.Scrubbers {
+		if err := p.scs[i].Restore(ss); err != nil {
+			return err // unreachable after checkRestore
+		}
+	}
+	p.cursor = st.Cursor
+	return nil
 }
 
 // ScrubStatus snapshots the patroller; ok is false when scrubbing is

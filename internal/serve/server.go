@@ -242,6 +242,46 @@ type healthzResponse struct {
 	Bits     int    `json:"bits_per_cell"`
 	Workers  int    `json:"workers"`
 	Queue    int    `json:"queue_depth"`
+	// Persist reports the snapshotter: how this boot restored (fresh map,
+	// resumed from snapshot, or fallback after a refused snapshot) and how
+	// stale the newest snapshot is. Omitted when persistence is disabled.
+	Persist *persistJSON `json:"persist,omitempty"`
+}
+
+// persistJSON is the snapshotter's row in /healthz and /readyz.
+type persistJSON struct {
+	// Outcome is what the boot-time restore did: "fresh" (no snapshot),
+	// "restored" (resumed the persisted trajectory), or "fallback" (a
+	// snapshot existed but was refused — corrupt, version-mismatched, or
+	// inconsistent with this configuration — and the pool booted fresh).
+	Outcome string `json:"outcome"`
+	// RestoreErr is why the snapshot was refused (fallback only).
+	RestoreErr string `json:"restore_error,omitempty"`
+	// SnapshotAgeSec is seconds since the last published snapshot (omitted
+	// before the first save on a fresh boot).
+	SnapshotAgeSec float64 `json:"snapshot_age_sec,omitempty"`
+	// Saves / SaveErrors count snapshot attempts this process made.
+	Saves      uint64 `json:"saves"`
+	SaveErrors uint64 `json:"save_errors,omitempty"`
+	// LastSaveErr is the most recent save failure ("" after a success).
+	LastSaveErr string `json:"last_save_error,omitempty"`
+}
+
+// persistRow builds the shared /healthz//readyz persist annotation, nil when
+// persistence is disabled.
+func (s *Server) persistRow() *persistJSON {
+	ps, ok := s.sched.PersistStatus()
+	if !ok {
+		return nil
+	}
+	return &persistJSON{
+		Outcome:        string(ps.Outcome),
+		RestoreErr:     ps.RestoreErr,
+		SnapshotAgeSec: ps.SnapshotAge.Seconds(),
+		Saves:          ps.Saves,
+		SaveErrors:     ps.SaveErrors,
+		LastSaveErr:    ps.LastSaveErr,
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -254,6 +294,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Bits:     cfg.Device.BitsPerCell,
 		Workers:  s.sched.Workers(),
 		Queue:    s.sched.QueueDepth(),
+		Persist:  s.persistRow(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if !s.ready.Load() {
@@ -296,6 +337,11 @@ type readyzResponse struct {
 	// Controller reports the protection controller's posture (omitted when
 	// it is not wired).
 	Controller *controllerJSON `json:"controller,omitempty"`
+	// Persist reports the snapshotter's restore outcome and snapshot age
+	// (omitted when persistence is disabled). A "fallback" outcome is
+	// informational — the instance serves from a fresh map — but operators
+	// see here that the lifetime trajectory was not resumed.
+	Persist *persistJSON `json:"persist,omitempty"`
 }
 
 // controllerJSON is the protection controller's row in /readyz.
@@ -364,6 +410,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Controller = cj
 	}
+	resp.Persist = s.persistRow()
 	resp.Ready = !resp.Draining && resp.QueueLen < resp.QueueDepth
 	w.Header().Set("Content-Type", "application/json")
 	if !resp.Ready {
@@ -398,6 +445,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if set := s.sched.ReplicaSet(); set != nil {
 		st := set.Status()
 		g.Replicas = &st
+	}
+	if ps, ok := s.sched.PersistStatus(); ok {
+		g.Persist = &ps
 	}
 	s.metrics.WritePrometheus(w, g)
 }
