@@ -4,7 +4,7 @@
 //
 //	benchreport run  [-bench regex] [-benchtime d] [-count n] [-pkg ./...] -out BENCH.json
 //	benchreport parse -in bench.txt -out BENCH.json
-//	benchreport compare -baseline BENCH_1.json -current BENCH.json [-ns-tol 0.25]
+//	benchreport compare -baseline BENCH_1.json -current BENCH.json [-ns-tol 0.25] [-ns-gate]
 //
 // run shells out to `go test -run '^$' -bench ... -benchmem`, parses the
 // standard benchmark output, and writes one JSON record per benchmark.
@@ -12,9 +12,11 @@
 // current on benchmark name — the intersection only, because subbenchmark
 // names embed GOMAXPROCS and worker counts that vary across machines — and
 // exits nonzero iff any shared benchmark's allocs/op increased. ns/op is
-// advisory: timing on shared CI runners is too noisy to gate on, so slower
-// wall times only print a warning (tolerance set by -ns-tol, fraction over
-// baseline).
+// advisory by default: timing on shared CI runners is too noisy to gate on,
+// so slower wall times only print a warning (tolerance set by -ns-tol,
+// fraction over baseline). -ns-gate opts in to failing on those ns/op
+// regressions too, for runs on quiet dedicated hardware where a generous
+// -ns-tol absorbs scheduler noise but still catches real slowdowns.
 package main
 
 import (
@@ -137,7 +139,8 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	basePath := fs.String("baseline", "", "committed baseline JSON")
 	curPath := fs.String("current", "", "freshly generated JSON")
-	nsTol := fs.Float64("ns-tol", 0.25, "advisory ns/op slowdown tolerance (fraction over baseline)")
+	nsTol := fs.Float64("ns-tol", 0.25, "ns/op slowdown tolerance (fraction over baseline)")
+	nsGate := fs.Bool("ns-gate", false, "fail on ns/op regressions beyond -ns-tol instead of just warning")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -172,8 +175,13 @@ func cmdCompare(args []string) error {
 				fmt.Sprintf("%s: allocs/op %d -> %d", name, b.Allocs, c.Allocs))
 		}
 		if b.Ns > 0 && c.Ns > b.Ns*(1+*nsTol) {
-			fmt.Printf("advisory: %s ns/op %.0f -> %.0f (+%.0f%%)\n",
+			msg := fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.0f%%)",
 				name, b.Ns, c.Ns, 100*(c.Ns/b.Ns-1))
+			if *nsGate {
+				regressions = append(regressions, msg)
+			} else {
+				fmt.Println("advisory:", msg)
+			}
 		}
 	}
 	fmt.Printf("compared %d shared benchmarks (%d baseline-only, %d current-only)\n",
@@ -182,9 +190,13 @@ func cmdCompare(args []string) error {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "FAIL:", r)
 		}
-		return fmt.Errorf("%d allocation regression(s)", len(regressions))
+		return fmt.Errorf("%d benchmark regression(s)", len(regressions))
 	}
-	fmt.Println("ok: no allocation regressions")
+	if *nsGate {
+		fmt.Println("ok: no allocation or ns/op regressions")
+	} else {
+		fmt.Println("ok: no allocation regressions")
+	}
 	return nil
 }
 

@@ -78,6 +78,15 @@ func TestCompare(t *testing.T) {
 	if err := cmdCompare([]string{"-baseline", base, "-current", bad}); err == nil {
 		t.Fatal("allocs/op increase must fail compare")
 	}
+
+	// -ns-gate upgrades the same ns-only slowdown to a hard failure...
+	if err := cmdCompare([]string{"-baseline", base, "-current", cur, "-ns-gate"}); err == nil {
+		t.Fatal("-ns-gate must fail on ns/op regressions beyond -ns-tol")
+	}
+	// ...but respects the tolerance: +300% worst case is fine under -ns-tol 5.
+	if err := cmdCompare([]string{"-baseline", base, "-current", cur, "-ns-gate", "-ns-tol", "5.0"}); err != nil {
+		t.Fatalf("-ns-gate within tolerance must pass: %v", err)
+	}
 }
 
 func TestParseNoBenchmarks(t *testing.T) {

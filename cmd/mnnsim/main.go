@@ -23,6 +23,9 @@
 //	                 config and print the cheapest per-layer ECC / replica /
 //	                 spare-row / scrub plan meeting -plan-miss without a
 //	                 single Monte-Carlo sweep
+//	mnnsim batch   — serial vs batched forward: run the test set through the
+//	                 single-image path and the multi-image bit-plane kernel,
+//	                 verify bit-identical logits, and report both throughputs
 //	mnnsim devices — list the named device library: every registered
 //	                 resistive-cell profile with its headline parameters
 //	mnnsim scenarios — environment-adaptation matrix: device x scenario
@@ -43,15 +46,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/circuit"
 	"repro/internal/expt"
 	"repro/internal/fault"
 	"repro/internal/hwmodel"
+	"repro/internal/nn"
 	"repro/internal/noise"
 	"repro/internal/predict"
 	"repro/internal/scenario"
@@ -99,12 +105,13 @@ func run(args []string) error {
 	scenarioSteps := fs.Int("scenario-steps", 6, "scenarios: lifetime steps per matrix cell")
 	scenarioScheme := fs.String("scenario-scheme", "ABN-9", "scenarios: protection scheme for the matrix")
 	scenarioStuck := fs.Float64("scenario-stuck", 5e-7, "scenarios: per-cell stuck arrival probability per step that the wear windows multiply (breaker-armed serving needs far gentler wear than -fault-stuck)")
+	batchSize := fs.Int("batch-size", 16, "batch: images per multi-image forward pass")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|plan|faults|scrub|replicas|devices|scenarios|all)")
+		return fmt.Errorf("missing subcommand (fig7|fig10|fig11|fig12|table3|table4|sec4|ablate|budget|plan|batch|faults|scrub|replicas|devices|scenarios|all)")
 	}
 
 	dev, err := noise.Device(*deviceName)
@@ -183,12 +190,14 @@ func run(args []string) error {
 		LRSFrac:   *faultLRS,
 	}
 
+	batchOpt := batchOptions{Size: *batchSize, Device: *deviceName}
+
 	cmds := fs.Args()
 	if len(cmds) == 1 && cmds[0] == "all" {
 		cmds = []string{"fig7", "sec4", "table4", "fig10", "fig11", "fig12", "table3", "ablate"}
 	}
 	for _, cmd := range cmds {
-		if err := dispatch(cmd, opt, *outDir, *stateDir, life, scrubOpt, repOpt, planOpt, scenOpt); err != nil {
+		if err := dispatch(cmd, opt, *outDir, *stateDir, life, scrubOpt, repOpt, planOpt, scenOpt, batchOpt); err != nil {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 	}
@@ -216,6 +225,12 @@ type planOptions struct {
 	Device   string
 }
 
+// batchOptions carries the batch-subcommand knobs through dispatch.
+type batchOptions struct {
+	Size   int
+	Device string
+}
+
 // scrubOptions carries the scrub-subcommand knobs through dispatch.
 type scrubOptions struct {
 	SpareRows   int
@@ -231,7 +246,7 @@ type replicaOptions struct {
 	SpareRows     int
 }
 
-func dispatch(cmd string, opt expt.SweepOptions, outDir, stateDirOpt string, life fault.LifetimeParams, scrubOpt scrubOptions, repOpt replicaOptions, planOpt planOptions, scenOpt scenarioOptions) error {
+func dispatch(cmd string, opt expt.SweepOptions, outDir, stateDirOpt string, life fault.LifetimeParams, scrubOpt scrubOptions, repOpt replicaOptions, planOpt planOptions, scenOpt scenarioOptions, batchOpt batchOptions) error {
 	switch cmd {
 	case "devices":
 		fmt.Printf("\nNamed device library (-device NAME)\n")
@@ -457,6 +472,84 @@ func dispatch(cmd string, opt expt.SweepOptions, outDir, stateDirOpt string, lif
 			}
 			return nil
 		})
+	case "batch":
+		workloads, err := expt.DigitWorkloads(opt.Train)
+		if err != nil {
+			return err
+		}
+		w := workloads[0]
+		dev := opt.Device
+		dev.BitsPerCell = 2
+		acfg := accel.DefaultConfig(accel.SchemeABN(9))
+		acfg.Device = dev
+		acfg.DeviceName = batchOpt.Device
+		acfg.Seed = opt.Seed
+		eng, err := accel.Map(w.Net, acfg)
+		if err != nil {
+			return err
+		}
+		test := w.Test
+		if opt.Images > 0 && opt.Images < len(test) {
+			test = test[:opt.Images]
+		}
+		b := batchOpt.Size
+		if b < 1 {
+			b = 1
+		}
+		// Serial reference: one image per pass, streams 100+i.
+		sess := eng.NewSession(0)
+		serial := make([]*nn.Tensor, len(test))
+		t0 := time.Now()
+		for i, ex := range test {
+			sess.Reseed(100 + uint64(i))
+			serial[i] = sess.Forward(ex.Input).Clone()
+		}
+		serialDur := time.Since(t0)
+		// Batched: the same (engine, stream) pairs through the multi-image
+		// kernel, b images per pass.
+		bsess := eng.NewSession(0)
+		defer bsess.Close()
+		var mismatches int
+		t0 = time.Now()
+		for lo := 0; lo < len(test); lo += b {
+			hi := lo + b
+			if hi > len(test) {
+				hi = len(test)
+			}
+			xs := make([]*nn.Tensor, 0, hi-lo)
+			streams := make([]uint64, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				xs = append(xs, test[i].Input)
+				streams = append(streams, 100+uint64(i))
+			}
+			outs, errs := bsess.ForwardBatch(xs, streams)
+			for i := range outs {
+				if errs[i] != nil {
+					return fmt.Errorf("batch: image %d: %w", lo+i, errs[i])
+				}
+				for k, v := range outs[i].Data {
+					if math.Float64bits(v) != math.Float64bits(serial[lo+i].Data[k]) {
+						mismatches++
+						break
+					}
+				}
+			}
+		}
+		batchDur := time.Since(t0)
+		fmt.Printf("\nSerial vs batched forward (%s, ABN-9, 2-bit cells, %d images, batch %d)\n",
+			w.Name, len(test), b)
+		fmt.Printf("serial : %8.0f ns/image  %8.0f images/sec\n",
+			float64(serialDur.Nanoseconds())/float64(len(test)),
+			float64(len(test))/serialDur.Seconds())
+		fmt.Printf("batched: %8.0f ns/image  %8.0f images/sec  (%.2fx)\n",
+			float64(batchDur.Nanoseconds())/float64(len(test)),
+			float64(len(test))/batchDur.Seconds(),
+			serialDur.Seconds()/batchDur.Seconds())
+		if mismatches > 0 {
+			return fmt.Errorf("batch: %d images diverged bit-wise from the serial path", mismatches)
+		}
+		fmt.Printf("bit-identity: all %d batched outputs match the serial path exactly\n", len(test))
+		return nil
 	case "ablate":
 		workloads, err := expt.DigitWorkloads(opt.Train)
 		if err != nil {

@@ -69,7 +69,7 @@ func meanError(W []float64, sch mnn.Scheme, rate float64) float64 {
 	if err != nil {
 		panic(err)
 	}
-	srng := stats.NewRNG(3)
+	srng := stats.NewFast(3)
 	xr := rand.New(rand.NewPCG(7, 7))
 	scr := mnn.NewScratch()
 	refScr := mnn.NewScratch()
@@ -81,7 +81,7 @@ func meanError(W []float64, sch mnn.Scheme, rate float64) float64 {
 			x[i] = xr.Float64()
 		}
 		y := m.MVM(x, srng, scr, &st)
-		want := ref.MVM(x, stats.NewRNG(0), refScr, &refSt)
+		want := ref.MVM(x, stats.NewFast(0), refScr, &refSt)
 		for r := range y {
 			d := y[r] - want[r]
 			if d < 0 {

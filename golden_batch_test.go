@@ -1,0 +1,125 @@
+// Batched golden determinism: the multi-image bit-plane kernel is pinned by
+// its own digest file AND cross-checked against the serial golden — every
+// image evaluated through ForwardBatch must be bit-identical to the same
+// (engine, seed) evaluated serially, and the batch's ECU accounting (plus
+// the BatchMVMs path marker) must not drift.
+//
+// Regenerate together with the serial golden:
+//
+//	go test -run TestGoldenBatchDeterminism -update-golden
+package mnn
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/accel"
+)
+
+const goldenBatchPath = "testdata/golden_batch.json"
+
+// computeGoldenBatch evaluates every scheme's digest through the batched
+// forward path: all 16 images in one ForwardBatch call, per-image streams
+// matching the serial golden's seeds.
+func computeGoldenBatch(t *testing.T) goldenFile {
+	t.Helper()
+	net, test := goldenWorkload()
+	out := goldenFile{
+		Note: "batched-forward digests; must stay bit-identical to golden_determinism.json images (-update-golden)",
+	}
+	for _, sch := range []accel.Scheme{accel.SchemeNoECC(), accel.SchemeStatic128(), accel.SchemeABN(9)} {
+		eng, err := accel.Map(net, goldenConfig(sch))
+		if err != nil {
+			t.Fatalf("mapping %s: %v", sch.Name, err)
+		}
+		sess := eng.NewSession(7)
+		xs := test[:16]
+		streams := make([]uint64, len(xs))
+		for i := range streams {
+			streams[i] = uint64(100 + i)
+		}
+		outs, errs := sess.ForwardBatch(xs, streams)
+		gs := goldenScheme{Scheme: sch.Name}
+		for i, logits := range outs {
+			if errs[i] != nil {
+				t.Fatalf("%s image %d: %v", sch.Name, i, errs[i])
+			}
+			gs.Images = append(gs.Images, goldenImage{
+				Seed: streams[i], Pred: logits.ArgMax(), LogitsHash: hashLogits(logits),
+			})
+			gs.Stats.Merge(sess.DrainBatchStats(i))
+		}
+		sess.Close()
+		out.Schemes = append(out.Schemes, gs)
+	}
+	return out
+}
+
+func TestGoldenBatchDeterminism(t *testing.T) {
+	got := computeGoldenBatch(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenBatchPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenBatchPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("batched golden testdata rewritten: %s", goldenBatchPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenBatchPath)
+	if err != nil {
+		t.Fatalf("reading batched golden testdata (run with -update-golden to create): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("decoding %s: %v", goldenBatchPath, err)
+	}
+	if len(got.Schemes) != len(want.Schemes) {
+		t.Fatalf("scheme count %d, golden has %d", len(got.Schemes), len(want.Schemes))
+	}
+	for i, gs := range got.Schemes {
+		ws := want.Schemes[i]
+		if gs.Scheme != ws.Scheme {
+			t.Fatalf("scheme %d is %s, golden has %s", i, gs.Scheme, ws.Scheme)
+		}
+		if gs.Stats != ws.Stats {
+			t.Errorf("%s: batched ECU stats diverged from golden:\n got %+v\nwant %+v", gs.Scheme, gs.Stats, ws.Stats)
+		}
+		for j, im := range gs.Images {
+			if !reflect.DeepEqual(im, ws.Images[j]) {
+				t.Errorf("%s image %d diverged: got %+v, want %+v (RNG draw order changed?)",
+					gs.Scheme, j, im, ws.Images[j])
+			}
+		}
+	}
+
+	// Cross-check: the batched path must reproduce the serial golden's logit
+	// bit patterns exactly — batching is a scheduling decision, never a
+	// numerical one.
+	serialRaw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading serial golden for cross-check: %v", err)
+	}
+	var serial goldenFile
+	if err := json.Unmarshal(serialRaw, &serial); err != nil {
+		t.Fatalf("decoding %s: %v", goldenPath, err)
+	}
+	for i, gs := range got.Schemes {
+		for j, im := range gs.Images {
+			sim := serial.Schemes[i].Images[j]
+			if im.LogitsHash != sim.LogitsHash || im.Pred != sim.Pred {
+				t.Errorf("%s image %d: batched output %+v != serial golden %+v",
+					gs.Scheme, j, im, sim)
+			}
+		}
+	}
+}

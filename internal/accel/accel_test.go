@@ -64,7 +64,7 @@ func TestNoiselessExactness(t *testing.T) {
 			}
 			var st Stats
 			scr := NewScratch()
-			y := m.MVM(x, stats.NewRNG(1), scr, &st)
+			y := m.MVM(x, stats.NewFast(1), scr, &st)
 			for r := 0; r < out; r++ {
 				var ref int64
 				for c := 0; c < in; c++ {
@@ -144,7 +144,7 @@ func TestMVMPanicsOnWrongInputLength(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	m.MVM(make([]float64, 3), stats.NewRNG(1), NewScratch(), &Stats{})
+	m.MVM(make([]float64, 3), stats.NewFast(1), NewScratch(), &Stats{})
 }
 
 // TestTailGroups checks output dimensions that do not divide the group size.
@@ -164,7 +164,7 @@ func TestTailGroups(t *testing.T) {
 		x[i] = float64(i%7) / 7
 	}
 	var st Stats
-	y := m.MVM(x, stats.NewRNG(2), NewScratch(), &st)
+	y := m.MVM(x, stats.NewFast(2), NewScratch(), &st)
 	if len(y) != out {
 		t.Fatalf("output length %d", len(y))
 	}
@@ -241,7 +241,7 @@ func TestStatsAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := stats.NewRNG(3)
+	rng := stats.NewFast(3)
 	var st Stats
 	scr := NewScratch()
 	x := make([]float64, 112)
@@ -291,7 +291,7 @@ func TestStuckFaultsKeptInCheckByABN(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rng := stats.NewRNG(23)
+		rng := stats.NewFast(23)
 		scr := NewScratch()
 		var st Stats
 		total := 0.0
@@ -332,7 +332,7 @@ func TestRetriesReduceDetections(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rng := stats.NewRNG(31)
+		rng := stats.NewFast(31)
 		scr := NewScratch()
 		var st Stats
 		x := make([]float64, 112)
@@ -464,7 +464,7 @@ func TestDifferentialEncodingExactness(t *testing.T) {
 		}
 		qx := fixed.QuantizeUnsigned(x, 8)
 		var st Stats
-		y := m.MVM(x, stats.NewRNG(2), NewScratch(), &st)
+		y := m.MVM(x, stats.NewFast(2), NewScratch(), &st)
 		for r := 0; r < out; r++ {
 			var ref int64
 			for c := 0; c < in; c++ {

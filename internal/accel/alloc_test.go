@@ -20,7 +20,7 @@ func TestWarmMVMZeroAllocs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rng := stats.NewRNG(1)
+			rng := stats.NewFast(1)
 			scr := NewScratch()
 			var st Stats
 			xr := rand.New(rand.NewPCG(7, 7))

@@ -42,7 +42,8 @@ func TestDebugGroupReadAccuracy(t *testing.T) {
 	}
 	t.Logf("hot rows: %d; stuck rows: %d", hot, len(g.stuckRows))
 
-	srng := stats.NewRNG(7)
+	srng := stats.NewFast(7)
+	bsn := m.sampler.BinomSnapshot()
 	scr := NewScratch()
 	var st Stats
 	bad, total, clean := 0, 0, 0
@@ -66,7 +67,7 @@ func TestDebugGroupReadAccuracy(t *testing.T) {
 		before := st
 		scr.masks = [][]uint64{mask}
 		g.precompute(m, scr)
-		lanes := g.read(m, scr, 0, srng, &st)
+		lanes := g.read(m, scr, 0, srng, &bsn, &st)
 		status := "clean"
 		if st.Corrected > before.Corrected {
 			status = "corrected"
@@ -141,7 +142,8 @@ func TestDebugTrainedLayerReads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srng := stats.NewRNG(7)
+	srng := stats.NewFast(7)
+	bsn := m.sampler.BinomSnapshot()
 	scr := NewScratch()
 	var st Stats
 	var lastRaw, lastFixed core.Word
@@ -186,7 +188,7 @@ func TestDebugTrainedLayerReads(t *testing.T) {
 				want := g.layout.Unpack(q)
 				scr.masks = [][]uint64{mask}
 				g.precompute(m, scr)
-				got := g.read(m, scr, 0, srng, &st)
+				got := g.read(m, scr, 0, srng, &bsn, &st)
 				totalReads++
 				for i := range got {
 					if got[i] != want[i] {

@@ -48,7 +48,7 @@ type layerSlot struct {
 // mvm evaluates one matrix-vector product through the slot's current path.
 // The returned slice aliases the scratch arena (or, on the software
 // fallback, a fresh allocation) and is valid until the arena's next MVM.
-func (sl *layerSlot) mvm(x []float64, rng *rand.Rand, scr *Scratch, st *Stats) []float64 {
+func (sl *layerSlot) mvm(x []float64, rng *stats.FastRand, scr *Scratch, st *Stats) []float64 {
 	sl.mu.RLock()
 	defer sl.mu.RUnlock()
 	if sl.fallback {
@@ -365,7 +365,7 @@ type Session struct {
 	// src is the PCG state behind rng; Reseed rewinds it in place instead
 	// of allocating a fresh generator per work item.
 	src *rand.PCG
-	rng *rand.Rand
+	rng *stats.FastRand
 	scr *Scratch
 	// mvms is indexed by layer (nil for unmapped layers).
 	mvms []nn.MVMFunc
@@ -374,6 +374,11 @@ type Session struct {
 	// Stats accumulates ECU and row-error tallies across all inputs this
 	// session evaluated.
 	Stats Stats
+	// fb and ba are the lazily armed batched-forward machinery (see
+	// batch.go): the lockstep forward batcher over per-lane network clones
+	// and the batch-shaped scratch arena. Nil until the first ForwardBatch.
+	fb *nn.ForwardBatcher
+	ba *BatchArena
 }
 
 // NewSession creates an evaluation stream with its own noise RNG.
@@ -383,7 +388,7 @@ func (e *Engine) NewSession(seed uint64) *Session {
 		engine: e,
 		net:    e.net.CloneForInference(),
 		src:    src,
-		rng:    rand.New(src),
+		rng:    stats.NewFastRand(src),
 		scr:    NewScratch(),
 		mvms:   make([]nn.MVMFunc, len(e.slots)),
 		layer:  make([]*Stats, len(e.slots)),

@@ -520,11 +520,11 @@ func (g *group) precompute(m *MappedMatrix, scr *Scratch) {
 // configured), decode, and lane split. precompute must have run for the
 // current masks. The returned lanes alias the arena and are valid until the
 // next read.
-func (g *group) read(m *MappedMatrix, scr *Scratch, bit int, rng *rand.Rand, st *Stats) []uint64 {
+func (g *group) read(m *MappedMatrix, scr *Scratch, bit int, rng *stats.FastRand, sn *stats.BinomSnapshot, st *Stats) []uint64 {
 	var acc core.Word
 	var status core.Status
 	for attempt := 0; ; attempt++ {
-		acc = g.sampleRows(m, scr, bit, rng, st)
+		acc = g.sampleRows(m, scr, bit, rng, sn, st)
 		if g.code == nil {
 			return g.layout.UnpackInto(scr.lanesFor(g.layout.Operands), acc)
 		}
@@ -576,7 +576,7 @@ func (g *group) read(m *MappedMatrix, scr *Scratch, bit int, rng *rand.Rand, st 
 // quantities come from precompute; only the noise draws happen here, in
 // exactly the historical order (binomial+Gaussian core, then giant
 // flickers, row-major).
-func (g *group) sampleRows(m *MappedMatrix, scr *Scratch, bit int, rng *rand.Rand, st *Stats) core.Word {
+func (g *group) sampleRows(m *MappedMatrix, scr *Scratch, bit int, rng *stats.FastRand, sn *stats.BinomSnapshot, st *Stats) core.Word {
 	var acc core.Word
 	cell := g.arr.BitsPerCell
 	maxOut := g.arr.MaxOutput()
@@ -586,7 +586,7 @@ func (g *group) sampleRows(m *MappedMatrix, scr *Scratch, bit int, rng *rand.Ran
 	base := bit * rows
 	for r := 0; r < rows; r++ {
 		t := scr.ts[base+r]
-		dev := m.sampler.SampleAgg(rng, scr.aggs[base+r])
+		dev := m.sampler.SampleAggFast(rng, sn, &scr.aggs[base+r])
 		if g.giantPresent[r>>6]>>(uint(r)&63)&1 != 0 {
 			for _, gi := range g.giantRows[r] {
 				if mask[gi.word]>>gi.bit&1 == 1 && rng.Float64() < flicker {
@@ -635,7 +635,7 @@ func (g *group) plausible(fixed core.Word, scr *Scratch) bool {
 // MVM computes the noisy in-situ product W*x for a quantized input vector,
 // returning dequantized float outputs in a fresh slice. scr is the
 // caller-owned scratch arena.
-func (m *MappedMatrix) MVM(x []float64, rng *rand.Rand, scr *Scratch, st *Stats) []float64 {
+func (m *MappedMatrix) MVM(x []float64, rng *stats.FastRand, scr *Scratch, st *Stats) []float64 {
 	out := make([]float64, m.outDim)
 	m.MVMInto(out, x, rng, scr, st)
 	return out
@@ -643,7 +643,7 @@ func (m *MappedMatrix) MVM(x []float64, rng *rand.Rand, scr *Scratch, st *Stats)
 
 // MVMInto is MVM writing into out (len must be the output dimension). A
 // warm arena makes the whole call allocation-free.
-func (m *MappedMatrix) MVMInto(out, x []float64, rng *rand.Rand, scr *Scratch, st *Stats) {
+func (m *MappedMatrix) MVMInto(out, x []float64, rng *stats.FastRand, scr *Scratch, st *Stats) {
 	if len(x) != m.inDim {
 		panic(fmt.Sprintf("accel: input length %d, want %d", len(x), m.inDim))
 	}
@@ -657,6 +657,7 @@ func (m *MappedMatrix) MVMInto(out, x []float64, rng *rand.Rand, scr *Scratch, s
 		internalOut = 2 * m.outDim
 	}
 	acc := scr.accFor(internalOut)
+	sn := m.sampler.BinomSnapshot()
 	for _, ch := range m.chunks {
 		vals := qx.Values[ch.colLo:ch.colHi]
 		scr.masks = crossbar.InputMasksInto(scr.masks, vals, m.cfg.InputBits)
@@ -667,7 +668,7 @@ func (m *MappedMatrix) MVMInto(out, x []float64, rng *rand.Rand, scr *Scratch, s
 		for _, g := range ch.groups {
 			g.precompute(m, scr)
 			for b := range scr.masks {
-				lanes := g.read(m, scr, b, rng, st)
+				lanes := g.read(m, scr, b, rng, &sn, st)
 				for i, outRow := range g.outRows {
 					acc[outRow] += int64(lanes[i]) << uint(b)
 				}

@@ -20,6 +20,10 @@ type Stats struct {
 	// fixed-point fallback path instead of the crossbars (degraded mode
 	// after the recovery ladder gives up on a layer's hardware).
 	SoftMVMs uint64
+	// BatchMVMs counts matrix-vector products evaluated through the batched
+	// multi-image kernel (each image's MVM counts once, so the ratio
+	// BatchMVMs / total MVMs is the batched-path coverage).
+	BatchMVMs uint64
 }
 
 // Merge adds another stats block.
@@ -32,6 +36,7 @@ func (s *Stats) Merge(o Stats) {
 	s.Retries += o.Retries
 	s.Residual += o.Residual
 	s.SoftMVMs += o.SoftMVMs
+	s.BatchMVMs += o.BatchMVMs
 }
 
 // Diff returns the activity accumulated since a previous snapshot.
@@ -45,6 +50,7 @@ func (s Stats) Diff(prev Stats) Stats {
 		Retries:   s.Retries - prev.Retries,
 		Residual:  s.Residual - prev.Residual,
 		SoftMVMs:  s.SoftMVMs - prev.SoftMVMs,
+		BatchMVMs: s.BatchMVMs - prev.BatchMVMs,
 	}
 }
 

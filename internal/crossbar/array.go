@@ -399,6 +399,67 @@ func (a *Array) ActiveCountsMulti(r int, inputs [][]uint64, counts [][]int) {
 	}
 }
 
+// ActiveCountsBatch is the multi-image ActiveCountsMulti: it fills a flat
+// level-major counts buffer for B independent bit-plane sets in a single
+// pass over row r's level masks, so the per-row level list and fault-shaped
+// level masks — which are input-independent and shared by every image in a
+// batch — are walked once per row per batch instead of once per image.
+// sets[i] holds image i's bit-plane masks (every image must carry the same
+// plane count and word width); counts must have at least NumLevels*stride
+// entries, where stride = len(sets)*planes, and entry
+// level*stride + i*planes + b receives the active-cell count of image i's
+// plane b at that level. Only levels present in the row are written — pair
+// this with a consumer that walks the same LevelList(r) and never reads
+// absent levels.
+func (a *Array) ActiveCountsBatch(r int, sets [][][]uint64, counts []int) {
+	p := a.rowMap[r]
+	row := a.masks[p]
+	planes := 0
+	if len(sets) > 0 {
+		planes = len(sets[0])
+	}
+	stride := len(sets) * planes
+	for _, l := range a.levelList[p] {
+		m := row[l]
+		i := int(l) * stride
+		switch len(m) {
+		case 0:
+			continue
+		case 1:
+			// Same unrolling rationale as ActiveCountsMulti: one- and
+			// two-word rows cover every tiled crossbar in practice.
+			m0 := m[0]
+			for _, ps := range sets {
+				for _, in := range ps {
+					counts[i] = bits.OnesCount64(m0 & in[0])
+					i++
+				}
+			}
+		case 2:
+			m0, m1 := m[0], m[1]
+			for _, ps := range sets {
+				for _, in := range ps {
+					in = in[:2]
+					counts[i] = bits.OnesCount64(m0&in[0]) + bits.OnesCount64(m1&in[1])
+					i++
+				}
+			}
+		default:
+			for _, ps := range sets {
+				for _, in := range ps {
+					inw := in[:len(m)] // pins len(inw)==len(m) for bounds elision
+					n := 0
+					for w, mw := range m {
+						n += bits.OnesCount64(mw & inw[w])
+					}
+					counts[i] = n
+					i++
+				}
+			}
+		}
+	}
+}
+
 // LevelList returns the ascending nonzero effective levels present in row r.
 // The slice is owned by the array: do not mutate, and treat it as
 // invalidated by any cell mutation.

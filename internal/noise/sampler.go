@@ -243,6 +243,83 @@ func (s *RowSampler) AggregateRowLevelsIdeal(levels []uint8, counts []int) (RowA
 	return s.finishAgg(n, sbar, meanExcess-comp, statVar, dynVar), ideal
 }
 
+// AggAccum is one (image, bit-plane)'s in-flight state in the batched
+// level-list reduction: the running sums AggregateRowLevelsIdeal keeps in
+// locals, exposed so a single walk of a row's level list can advance B
+// independent reductions side by side (level-major, so the per-level noise
+// terms stay in registers and the count loads are unit-stride). Finish with
+// FinishAccum.
+type AggAccum struct {
+	stepSum, meanExcess, comp, statVar, dynVar, curSteps float64
+	n, ideal                                             int
+}
+
+// AccumulateRowLevelsBatch advances len(accs) independent aggregations in
+// one pass over a row's present-level list. counts is the flat level-major
+// buffer crossbar.ActiveCountsBatch fills: counts[k*len(accs)+i] is
+// reduction i's active-cell count at level k (only listed levels are read,
+// matching what the crossbar kernel writes). The accumulators are reset
+// first, so one call per row is the whole reduction.
+//
+// Each reduction is bit-identical to AggregateRowLevelsIdeal on its own
+// counts: like the serial kernel it skips zero counts (which is also a pure
+// identity — every per-level term is non-negative, so each accumulator
+// starts at +0.0 and never turns negative, and adding the +0.0 products a
+// zero count would produce leaves every float bit unchanged), and the
+// per-level expression shapes and ascending visit order match the serial
+// kernel exactly.
+func (s *RowSampler) AccumulateRowLevelsBatch(levels []uint8, counts []int, accs []AggAccum) {
+	clear(accs)
+	stride := len(accs)
+	p := s.params.PRTN
+	for _, lv := range levels {
+		k := int(lv)
+		t := &s.terms[k]
+		cs := counts[k*stride : k*stride+stride]
+		if t.rtnActive {
+			for i, c := range cs {
+				if c == 0 {
+					continue
+				}
+				a := &accs[i]
+				fc := float64(c)
+				a.n += c
+				a.ideal += k * c
+				a.stepSum += fc * t.stepExcess
+				a.meanExcess += fc * p * t.stepExcess
+				a.comp += fc * t.compSteps
+				a.statVar += fc * t.progVar
+				a.dynVar += fc * t.thermVar
+				a.curSteps += fc * t.gSteps
+			}
+		} else {
+			for i, c := range cs {
+				if c == 0 {
+					continue
+				}
+				a := &accs[i]
+				fc := float64(c)
+				a.ideal += k * c
+				a.comp += fc * t.compSteps
+				a.statVar += fc * t.progVar
+				a.dynVar += fc * t.thermVar
+				a.curSteps += fc * t.gSteps
+			}
+		}
+	}
+}
+
+// FinishAccum closes one batched reduction, returning exactly what
+// AggregateRowLevelsIdeal would have for the same counts.
+func (s *RowSampler) FinishAccum(a *AggAccum) (RowAgg, int) {
+	dynVar := a.dynVar + s.shotVarPerStep*a.curSteps
+	var sbar float64
+	if a.n > 0 {
+		sbar = a.stepSum / float64(a.n)
+	}
+	return s.finishAgg(a.n, sbar, a.meanExcess-a.comp, a.statVar, dynVar), a.ideal
+}
+
 // AggregateActivity reduces a row's full programmed-level histogram under a
 // mean column-activity alpha to two things: the expected-activity aggregate
 // (each level contributes alpha*count cells) and the standard deviation, in
@@ -303,6 +380,26 @@ func (s *RowSampler) SampleAgg(rng *rand.Rand, agg RowAgg) float64 {
 	p := s.params.PRTN
 	if agg.N > 0 && agg.Sbar > 0 && p > 0 {
 		m := s.binom.Sample(rng, agg.N)
+		dev += (float64(m) - float64(agg.N)*p) * agg.Sbar * s.invSqrtK
+	}
+	if agg.Sigma > 0 {
+		dev += rng.NormFloat64() * agg.Sigma
+	}
+	return dev
+}
+
+// BinomSnapshot captures the RTN binomial sampler's table cache for a run
+// of SampleAggFast calls (one snapshot per MVM; see stats.BinomSnapshot).
+func (s *RowSampler) BinomSnapshot() stats.BinomSnapshot { return s.binom.Snapshot() }
+
+// SampleAggFast is SampleAgg on the devirtualized hot-path RNG, bit-for-bit
+// and draw-for-draw identical to SampleAgg over the same PCG state. sn must
+// come from this sampler's BinomSnapshot.
+func (s *RowSampler) SampleAggFast(rng *stats.FastRand, sn *stats.BinomSnapshot, agg *RowAgg) float64 {
+	dev := agg.Resid
+	p := s.params.PRTN
+	if agg.N > 0 && agg.Sbar > 0 && p > 0 {
+		m := sn.Sample(rng, agg.N)
 		dev += (float64(m) - float64(agg.N)*p) * agg.Sbar * s.invSqrtK
 	}
 	if agg.Sigma > 0 {

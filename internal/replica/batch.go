@@ -1,0 +1,248 @@
+package replica
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/accel"
+	"repro/internal/nn"
+)
+
+// batchState is the session's batched-forward machinery, built lazily on
+// the first ForwardBatch: a lockstep batcher over per-lane clones of the
+// primary's inference network, the per-lane request streams of the active
+// run, and the coordinator's reusable gather scratch. All of it lives on
+// the session (single goroutine); the per-replica evaluation state lives in
+// each sub-session's own batch arena.
+type batchState struct {
+	fb      *nn.ForwardBatcher
+	streams []uint64
+
+	// per-dispatch gather scratch (grow-never-shrink)
+	picks []int
+	outs  [][]float64
+	diffs []accel.Stats
+	gIdx  []int
+	gStr  []uint64
+	gXs   [][]float64
+	gOuts [][]float64
+	gDif  []accel.Stats
+	gPos  []int
+
+	// single-image buffers for the failover/vote escalations
+	one1i []int
+	one1s []uint64
+	one1x [][]float64
+	one1o [][]float64
+	one1d []accel.Stats
+}
+
+func (b *batchState) grow(n int) {
+	if cap(b.picks) < n {
+		b.picks = make([]int, n)
+		b.outs = make([][]float64, n)
+		b.diffs = make([]accel.Stats, n)
+		b.gIdx = make([]int, 0, n)
+		b.gStr = make([]uint64, 0, n)
+		b.gXs = make([][]float64, 0, n)
+		b.gOuts = make([][]float64, 0, n)
+		b.gDif = make([]accel.Stats, 0, n)
+		b.gPos = make([]int, 0, n)
+	}
+}
+
+// ensureBatch arms the batched path.
+func (s *Session) ensureBatch() {
+	if s.bs == nil {
+		s.bs = &batchState{
+			fb:    nn.NewForwardBatcher(s.set.engines[0].InferenceNet, s.set.engines[0].Layers()),
+			one1i: make([]int, 1), one1s: make([]uint64, 1),
+			one1x: make([][]float64, 1), one1o: make([][]float64, 1),
+			one1d: make([]accel.Stats, 1),
+		}
+	}
+}
+
+// ForwardBatch runs one routed noisy inference per input, batched: the
+// images advance in lockstep and at each mapped layer the paused group is
+// routed per image (each image's pick is a pure function of set health,
+// layer, and its own stream) and evaluated replica by replica in a single
+// multi-image pass over that replica's arrays. streams[i] plays the role of
+// Reseed(streams[i]) for image i, so on healthy hardware outs[i] is
+// bit-identical to the serial routed Forward of the same stream. Outputs
+// are valid until the session's next ForwardBatch. errs[i] is non-nil (and
+// outs[i] nil) when image i alone failed; batchmates are unaffected.
+func (s *Session) ForwardBatch(xs []*nn.Tensor, streams []uint64) ([]*nn.Tensor, []error) {
+	if len(streams) != len(xs) {
+		panic(fmt.Sprintf("replica: %d inputs, %d streams", len(xs), len(streams)))
+	}
+	s.ensureBatch()
+	s.bs.streams = append(s.bs.streams[:0], streams...)
+	return s.bs.fb.Run(xs, s.batchMVM)
+}
+
+// batchMVM is the coordinator-side routed dispatch of one paused layer
+// group: pick a replica per image, evaluate each replica's images in one
+// MVMLayerBatch pass, then walk the images in lane order applying the same
+// flagged/vote/failover escalation the serial mvmLayer applies — so replica
+// routing and voting stay at layer-MVM granularity inside a batch.
+func (s *Session) batchMVM(layer int, idx []int, xs [][]float64) ([][]float64, []error) {
+	bs := s.bs
+	bs.grow(len(s.bs.streams))
+	picks := bs.picks[:len(idx)]
+	outs := bs.outs[:len(idx)]
+	diffs := bs.diffs[:len(idx)]
+	for j, lane := range idx {
+		picks[j] = s.set.pick(layer, bs.streams[lane])
+	}
+	// Evaluate each replica's group in one batched pass. Replicas are
+	// visited in first-occurrence order; the result is order-independent
+	// because every image's draws are a pure function of (replica engine,
+	// derived stream).
+	for j := range idx {
+		r := picks[j]
+		if r < 0 {
+			continue // already evaluated as part of an earlier group
+		}
+		bs.gIdx, bs.gStr, bs.gXs = bs.gIdx[:0], bs.gStr[:0], bs.gXs[:0]
+		bs.gOuts, bs.gDif, bs.gPos = bs.gOuts[:0], bs.gDif[:0], bs.gPos[:0]
+		for k := j; k < len(idx); k++ {
+			if picks[k] != r {
+				continue
+			}
+			picks[k] = -1
+			lane := idx[k]
+			bs.gIdx = append(bs.gIdx, lane)
+			bs.gStr = append(bs.gStr, bs.streams[lane]^uint64(layer+1)*layerStreamStride)
+			bs.gXs = append(bs.gXs, xs[k])
+			bs.gOuts = append(bs.gOuts, nil)
+			bs.gDif = append(bs.gDif, accel.Stats{})
+			bs.gPos = append(bs.gPos, k)
+		}
+		s.sub[r].MVMLayerBatch(layer, bs.gIdx, bs.gStr, bs.gXs, bs.gOuts, bs.gDif)
+		s.set.routed[r].Add(uint64(len(bs.gIdx)))
+		for g, k := range bs.gPos {
+			s.set.mons[r].ObserveOne(layer, bs.gDif[g])
+			outs[k] = bs.gOuts[g]
+			diffs[k] = bs.gDif[g]
+			picks[k] = ^r // remember the evaluator for the escalation walk
+		}
+	}
+	// Escalation walk, image by image in lane order — the exact serial
+	// mvmLayer tail, sharing the session's consecutive-flag counters.
+	for j := range idx {
+		r := ^picks[j]
+		st := diffs[j]
+		if st.Detected == 0 {
+			s.flagged[layer] = 0
+			continue
+		}
+		s.flagged[layer]++
+		if th := s.set.VoteThreshold(); th > 0 && s.flagged[layer] >= th {
+			if v, ok := s.voteLane(layer, idx[j], xs[j]); ok {
+				outs[j] = v
+				continue
+			}
+		}
+		alt, ok := s.set.alternate(layer, bs.streams[idx[j]], r)
+		if !ok {
+			continue
+		}
+		s.set.failovers[r].Add(1)
+		out2, st2 := s.evalLane(alt, layer, idx[j], xs[j])
+		if st2.Detected < st.Detected {
+			outs[j] = out2
+		}
+	}
+	return outs, nil
+}
+
+// evalLane is eval for one image of a batch: the same replica, stream
+// derivation, and monitor feed, but evaluated through the sub-session's
+// batch lane so the output lands in that image's private arena instead of
+// the shared serial scratch (batchmates' outputs stay live).
+func (s *Session) evalLane(r, layer, lane int, x []float64) ([]float64, accel.Stats) {
+	bs := s.bs
+	bs.one1i[0] = lane
+	bs.one1s[0] = bs.streams[lane] ^ uint64(layer+1)*layerStreamStride
+	bs.one1x[0] = x
+	bs.one1o[0] = nil
+	s.sub[r].MVMLayerBatch(layer, bs.one1i, bs.one1s, bs.one1x, bs.one1o, bs.one1d)
+	s.set.routed[r].Add(1)
+	s.set.mons[r].ObserveOne(layer, bs.one1d[0])
+	return bs.one1o[0], bs.one1d[0]
+}
+
+// voteLane is vote for one image of a batch: a 3-replica panel evaluated
+// through the image's own lane on each panelist, median written in place
+// into the first output. The three outputs live in three distinct engines'
+// lane arenas, so they are simultaneously valid like the serial vote's.
+func (s *Session) voteLane(layer, lane int, x []float64) ([]float64, bool) {
+	vs := s.set.voters(layer, 3)
+	if len(vs) < 3 {
+		return nil, false
+	}
+	a, _ := s.evalLane(vs[0], layer, lane, x)
+	b, _ := s.evalLane(vs[1], layer, lane, x)
+	c, _ := s.evalLane(vs[2], layer, lane, x)
+	s.set.votes.Add(1)
+	tol := s.set.cfg.VoteTolerance
+	var dis uint64
+	for i := range a {
+		av, bv, cv := a[i], b[i], c[i]
+		m := av + bv + cv - math.Min(av, math.Min(bv, cv)) - math.Max(av, math.Max(bv, cv))
+		lim := tol * math.Max(math.Abs(m), 1)
+		if math.Abs(av-m) > lim {
+			dis++
+		}
+		if math.Abs(bv-m) > lim {
+			dis++
+		}
+		if math.Abs(cv-m) > lim {
+			dis++
+		}
+		a[i] = m
+	}
+	if dis > 0 {
+		s.set.disagreements.Add(dis)
+	}
+	return a, true
+}
+
+// DrainBatchStats returns lane i's stats summed across every replica since
+// the last drain and resets them — the batched, per-image counterpart of
+// DrainStats.
+func (s *Session) DrainBatchStats(i int) accel.Stats {
+	var st accel.Stats
+	for _, sub := range s.sub {
+		st.Merge(sub.DrainBatchStats(i))
+	}
+	return st
+}
+
+// DrainBatchLayerStatsInto drains lane i's per-layer stats, merged across
+// replicas, into the caller-owned map (cleared first). Call it before
+// DrainBatchStats for the same lane.
+func (s *Session) DrainBatchLayerStatsInto(i int, out map[int]accel.Stats) {
+	clear(out)
+	for _, sub := range s.sub {
+		sub.DrainBatchLayerStatsInto(i, s.tmp)
+		for layer, st := range s.tmp {
+			agg := out[layer]
+			agg.Merge(st)
+			out[layer] = agg
+		}
+	}
+}
+
+// Close releases the session's batch machinery across every replica. The
+// serial path stays usable; the batched path re-arms lazily.
+func (s *Session) Close() {
+	if s.bs != nil {
+		s.bs.fb.Close()
+		s.bs = nil
+	}
+	for _, sub := range s.sub {
+		sub.Close()
+	}
+}

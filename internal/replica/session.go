@@ -34,6 +34,8 @@ type Session struct {
 	flagged []int
 	// tmp stages one sub-session's per-layer drain during the merged drain.
 	tmp map[int]accel.Stats
+	// bs is the batched-forward machinery, armed by the first ForwardBatch.
+	bs *batchState
 }
 
 // NewSession creates an evaluation stream across every replica.

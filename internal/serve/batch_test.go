@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// TestServeBatchSizeInvariance is the serving-layer determinism contract for
+// coalescing: a prediction is the same pure function of (engine, seed)
+// whether the scheduler served its image alone (MaxBatch=1, the pre-batch
+// serial worker) or folded it into a multi-image pass with batchmates.
+// Classes, rankings, and the full per-request ECU tallies must all match.
+func TestServeBatchSizeInvariance(t *testing.T) {
+	eng, _ := testEngine(t, 0.01)
+	const n = 24
+	inputs := make([]*nn.Tensor, n)
+	for i := range inputs {
+		inputs[i] = testInput(uint64(i))
+	}
+	run := func(cfg Config) ([]Prediction, BatchStatus) {
+		s, err := NewScheduler(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close(context.Background())
+		preds, err := s.PredictBatch(context.Background(), inputs, 4000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return preds, s.BatchStatus()
+	}
+
+	serial, _ := run(Config{Workers: 1, QueueDepth: 2 * n, MaxBatch: 1})
+	batched, bst := run(Config{Workers: 1, QueueDepth: 2 * n, MaxBatch: 16,
+		CoalesceWait: 2 * time.Millisecond})
+
+	// The contract is only tested if coalescing actually happened.
+	if bst.SizeSum <= bst.Batches {
+		t.Fatalf("no coalescing occurred: %d images over %d passes", bst.SizeSum, bst.Batches)
+	}
+	if bst.BatchMVMs == 0 {
+		t.Fatal("batched passes recorded no batch MVMs")
+	}
+	for i := range serial {
+		a, b := serial[i], batched[i]
+		if a.Seed != b.Seed || a.Class != b.Class {
+			t.Fatalf("image %d: serial (seed %d, class %d) != batched (seed %d, class %d)",
+				i, a.Seed, a.Class, b.Seed, b.Class)
+		}
+		if len(a.TopK) != len(b.TopK) {
+			t.Fatalf("image %d: top-k lengths differ: %v vs %v", i, a.TopK, b.TopK)
+		}
+		for k := range a.TopK {
+			if a.TopK[k] != b.TopK[k] {
+				t.Fatalf("image %d: rankings differ: %v vs %v", i, a.TopK, b.TopK)
+			}
+		}
+		if a.Stats != b.Stats {
+			t.Fatalf("image %d: per-request stats differ across batch sizes:\nserial  %+v\nbatched %+v",
+				i, a.Stats, b.Stats)
+		}
+	}
+}
+
+// TestServeBatchFaultMidBatch: a persistent fault surfacing inside a
+// coalesced pass must climb the same retry → remap ladder a serial request
+// would, without failing batchmates — zero errors across the whole batch,
+// recovery counters advanced, and post-repair traffic clean.
+func TestServeBatchFaultMidBatch(t *testing.T) {
+	eng := quietEngine(t)
+	s, err := NewScheduler(eng, Config{Workers: 1, QueueDepth: 64, MaxBatch: 16,
+		CoalesceWait: 2 * time.Millisecond, Recovery: recoveryConfig(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	const n = 16
+	inputs := make([]*nn.Tensor, n)
+	for i := range inputs {
+		inputs[i] = testInput(uint64(i))
+	}
+	if _, err := s.PredictBatch(context.Background(), inputs, 6000, 0); err != nil {
+		t.Fatalf("healthy warmup batch failed: %v", err)
+	}
+
+	const layer = 2
+	wreckLayer(t, eng, layer)
+	preds, err := s.PredictBatch(context.Background(), inputs, 7000, 0)
+	if err != nil {
+		t.Fatalf("batch over wrecked layer failed: %v", err)
+	}
+	for i, p := range preds {
+		if len(p.TopK) == 0 {
+			t.Fatalf("image %d answered empty", i)
+		}
+		// A clean rung-1 retry legitimately answers under the retry stream
+		// (request seed + attempt*retrySeedStride); the request seed must
+		// survive in the low bits either way.
+		if p.Seed%retrySeedStride != 7000+uint64(i) {
+			t.Fatalf("image %d answered under seed %d", i, p.Seed)
+		}
+	}
+	if got := s.RecoveryCounters(); got.Remaps == 0 {
+		t.Fatalf("wrecked layer never remapped: %+v", got)
+	}
+	if eng.RemapCount(layer) == 0 {
+		t.Fatal("engine shows no remap on the wrecked layer")
+	}
+
+	// Fresh hardware serves the next batch clean.
+	post, err := s.PredictBatch(context.Background(), inputs, 8000, 0)
+	if err != nil {
+		t.Fatalf("post-repair batch failed: %v", err)
+	}
+	for i, p := range post {
+		if p.Stats.Detected != 0 || p.LadderRetries != 0 {
+			t.Fatalf("post-repair image %d not clean: %+v", i, p)
+		}
+	}
+}

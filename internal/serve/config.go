@@ -32,6 +32,20 @@ type Config struct {
 	// TopK is the default number of ranked classes returned when a request
 	// does not ask for a specific k (0 = 3).
 	TopK int
+	// MaxBatch caps how many queued requests one worker coalesces into a
+	// single multi-image layer-MVM pass over the shared arrays. Each image
+	// keeps its own noise stream, so coalescing never changes results —
+	// prediction i is the same pure function of (engine, seed) whether it
+	// is served alone or with 15 batchmates. 0 = 16; 1 disables coalescing
+	// (the pre-batch serial worker, byte for byte).
+	MaxBatch int
+	// CoalesceWait is how long a worker that dequeued a request holds it
+	// waiting for batchmates before evaluating (only while the batch is
+	// not full). 0 — the default — never waits: the worker drains whatever
+	// is already queued and goes, so an idle pool adds no latency. A small
+	// wait (tens of microseconds) trades first-image latency for batch
+	// occupancy under bursty arrivals.
+	CoalesceWait time.Duration
 	// Recovery wires the ECU-driven health monitor and the
 	// retry → remap → degrade ladder into the pool. Disabled by default:
 	// with it off, a prediction stays a pure function of (engine, seed).
@@ -86,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.TopK <= 0 {
 		c.TopK = 3
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
 	return c
 }
 
@@ -100,6 +117,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative queue timeout %v", c.QueueTimeout)
 	case c.TopK < 0:
 		return fmt.Errorf("serve: negative top-k %d", c.TopK)
+	case c.MaxBatch < 0:
+		return fmt.Errorf("serve: negative max batch %d", c.MaxBatch)
+	case c.CoalesceWait < 0:
+		return fmt.Errorf("serve: negative coalesce wait %v", c.CoalesceWait)
 	}
 	if err := c.Scrub.Validate(); err != nil {
 		return err

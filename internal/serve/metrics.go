@@ -28,6 +28,89 @@ var latencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
 }
 
+// batchSizeBuckets are the coalesced-batch-size histogram bounds (images
+// per worker pass).
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// coalesceWaitBuckets are the histogram bounds, in seconds, for how long a
+// worker held a dequeued request open gathering batchmates.
+var coalesceWaitBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1}
+
+// batchTelemetry accumulates the scheduler's coalescing histograms: how
+// large the multi-image passes actually are, and what the coalescing added
+// to queue latency. Updated once per worker pass, not per image.
+type batchTelemetry struct {
+	mu        sync.Mutex
+	sizeCount []uint64
+	sizeSum   uint64
+	waitCount []uint64
+	waitSum   float64
+	n         uint64
+}
+
+func (b *batchTelemetry) observe(size int, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.sizeCount == nil {
+		b.sizeCount = make([]uint64, len(batchSizeBuckets)+1)
+		b.waitCount = make([]uint64, len(coalesceWaitBuckets)+1)
+	}
+	idx := len(batchSizeBuckets)
+	for i, ub := range batchSizeBuckets {
+		if float64(size) <= ub {
+			idx = i
+			break
+		}
+	}
+	b.sizeCount[idx]++
+	b.sizeSum += uint64(size)
+	sec := wait.Seconds()
+	idx = len(coalesceWaitBuckets)
+	for i, ub := range coalesceWaitBuckets {
+		if sec <= ub {
+			idx = i
+			break
+		}
+	}
+	b.waitCount[idx]++
+	b.waitSum += sec
+	b.n++
+}
+
+// BatchStatus is a scrape-time snapshot of the coalescing telemetry.
+type BatchStatus struct {
+	// SizeCount / WaitCount are per-bucket tallies aligned with
+	// batchSizeBuckets / coalesceWaitBuckets, one extra slot for +Inf.
+	SizeCount []uint64
+	WaitCount []uint64
+	// SizeSum is the total images served through worker passes, WaitSum the
+	// total coalesce-hold seconds, Batches the number of passes.
+	SizeSum uint64
+	WaitSum float64
+	Batches uint64
+	// BatchMVMs is the cumulative count of per-image layer MVMs evaluated
+	// through the coalesced kernel. It lives here — not in the per-request
+	// Stats — because which path served an image is pool telemetry, never
+	// part of the (engine, seed)-pure answer.
+	BatchMVMs uint64
+}
+
+func (b *batchTelemetry) snapshot() BatchStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BatchStatus{SizeSum: b.sizeSum, WaitSum: b.waitSum, Batches: b.n}
+	st.SizeCount = append(st.SizeCount, b.sizeCount...)
+	st.WaitCount = append(st.WaitCount, b.waitCount...)
+	return st
+}
+
+// BatchStatus returns the scheduler's coalescing snapshot.
+func (s *Scheduler) BatchStatus() BatchStatus {
+	st := s.bat.snapshot()
+	st.BatchMVMs = s.ecc.Snapshot().BatchMVMs
+	return st
+}
+
 // Metrics accumulates serving telemetry and renders it in the Prometheus
 // text exposition format. One mutex guards everything: scrapes and updates
 // are both rare relative to crossbar reads.
@@ -96,6 +179,9 @@ type GaugeView struct {
 	Controller *ControllerStatus
 	// Persist is the snapshotter status (nil when persistence is disabled).
 	Persist *PersistStatus
+	// Batch is the scheduler's coalescing snapshot (zero Batches before
+	// any traffic).
+	Batch BatchStatus
 	// Device is the active device model's library name ("" when custom).
 	Device string
 	// Scheme is the deployed protection scheme name.
@@ -170,6 +256,36 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeView) {
 	fmt.Fprintf(w, "# HELP mnn_soft_mvms_total Matrix-vector products answered by the software fallback.\n")
 	fmt.Fprintf(w, "# TYPE mnn_soft_mvms_total counter\n")
 	fmt.Fprintf(w, "mnn_soft_mvms_total %d\n", m.ecc.SoftMVMs)
+
+	fmt.Fprintf(w, "# HELP mnn_batch_mvms_total Per-image layer MVMs served through the coalesced multi-image kernel.\n")
+	fmt.Fprintf(w, "# TYPE mnn_batch_mvms_total counter\n")
+	fmt.Fprintf(w, "mnn_batch_mvms_total %d\n", g.Batch.BatchMVMs)
+
+	fmt.Fprintf(w, "# HELP mnn_batch_size Images per worker evaluation pass (1 = no coalescing).\n")
+	fmt.Fprintf(w, "# TYPE mnn_batch_size histogram\n")
+	cumB := uint64(0)
+	for i, ub := range batchSizeBuckets {
+		if i < len(g.Batch.SizeCount) {
+			cumB += g.Batch.SizeCount[i]
+		}
+		fmt.Fprintf(w, "mnn_batch_size_bucket{le=%q} %d\n", formatFloat(ub), cumB)
+	}
+	fmt.Fprintf(w, "mnn_batch_size_bucket{le=\"+Inf\"} %d\n", g.Batch.Batches)
+	fmt.Fprintf(w, "mnn_batch_size_sum %d\n", g.Batch.SizeSum)
+	fmt.Fprintf(w, "mnn_batch_size_count %d\n", g.Batch.Batches)
+
+	fmt.Fprintf(w, "# HELP mnn_batch_coalesce_wait_seconds Time a worker held a dequeued request open gathering batchmates.\n")
+	fmt.Fprintf(w, "# TYPE mnn_batch_coalesce_wait_seconds histogram\n")
+	cumW := uint64(0)
+	for i, ub := range coalesceWaitBuckets {
+		if i < len(g.Batch.WaitCount) {
+			cumW += g.Batch.WaitCount[i]
+		}
+		fmt.Fprintf(w, "mnn_batch_coalesce_wait_seconds_bucket{le=%q} %d\n", formatFloat(ub), cumW)
+	}
+	fmt.Fprintf(w, "mnn_batch_coalesce_wait_seconds_bucket{le=\"+Inf\"} %d\n", g.Batch.Batches)
+	fmt.Fprintf(w, "mnn_batch_coalesce_wait_seconds_sum %g\n", g.Batch.WaitSum)
+	fmt.Fprintf(w, "mnn_batch_coalesce_wait_seconds_count %d\n", g.Batch.Batches)
 
 	if g.Health != nil {
 		fmt.Fprintf(w, "# HELP mnn_breaker_open Per-layer health-breaker state (1 = open).\n")

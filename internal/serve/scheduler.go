@@ -81,12 +81,30 @@ type poolSession interface {
 	Forward(x *nn.Tensor) *nn.Tensor
 }
 
+// batchSession is the batched growth of poolSession: one multi-image pass
+// over the mapped arrays with per-image noise lanes and per-image stat
+// drains. Both session kinds implement it; the interface stays separate so
+// a custom poolSession (tests) still works, served serially.
+type batchSession interface {
+	poolSession
+	ForwardBatch(xs []*nn.Tensor, streams []uint64) ([]*nn.Tensor, []error)
+	DrainBatchStats(i int) accel.Stats
+	DrainBatchLayerStatsInto(i int, out map[int]accel.Stats)
+	Close()
+}
+
 // workerState is one worker's owned session.
 type workerState struct {
 	sess poolSession
 	// perLayer is the worker's reusable per-request layer-stats map; the
 	// monitor's Observe only reads it, so one map per worker suffices.
 	perLayer map[int]accel.Stats
+	// batch-gather scratch, reused across coalesced batches.
+	bxs      []*nn.Tensor
+	bstreams []uint64
+	// timer is the reusable CoalesceWait timer (allocating one per pass
+	// would put the scheduler loop back on the allocator).
+	timer *time.Timer
 }
 
 // Scheduler owns a fixed pool of accel.Session workers fed by a bounded
@@ -129,6 +147,7 @@ type Scheduler struct {
 	canceled atomic.Uint64 // requests whose client vanished while queued
 	inflight atomic.Int64  // dequeued but not yet answered
 	ecc      accel.SharedStats
+	bat      batchTelemetry
 }
 
 // NewScheduler starts the worker pool over a mapped engine.
@@ -308,38 +327,201 @@ func (s *Scheduler) submit(ctx context.Context, input *nn.Tensor, seed uint64, t
 }
 
 // worker is one evaluation stream: it owns a session and serves queued jobs
-// until the queue is closed and drained.
+// until the queue is closed and drained. When the session supports batching
+// it coalesces whatever is already queued (plus an optional CoalesceWait
+// window) into one multi-image layer-MVM pass, up to MaxBatch images.
 func (s *Scheduler) worker(id uint64) {
 	defer s.wg.Done()
 	w := &workerState{sess: s.newSession(id), perLayer: make(map[int]accel.Stats)}
+	bs, _ := w.sess.(batchSession)
+	if bs != nil {
+		defer bs.Close()
+	}
+	maxB := s.cfg.MaxBatch
+	if bs == nil || maxB < 1 {
+		maxB = 1
+	}
+	batch := make([]*job, 0, maxB)
+	live := make([]*job, 0, maxB)
 	for j := range s.queue {
+		batch = append(batch[:0], j)
 		s.inflight.Add(1)
 		if s.cfg.dequeueHook != nil {
 			s.cfg.dequeueHook()
 		}
+		coalesceStart := time.Now()
+		s.coalesce(w, &batch, maxB)
+		s.bat.observe(len(batch), time.Since(coalesceStart))
+
+		// Per-job admission filtering: a vanished client or an overaged job
+		// is answered without spending crossbar reads, exactly as before.
 		start := time.Now()
-		wait := start.Sub(j.enqueued)
-		if j.ctx != nil && j.ctx.Err() != nil {
-			// The client vanished while the job was queued: no session slot
-			// is spent on it and it does not count as served — only the
-			// cancellation tally moves.
-			s.canceled.Add(1)
-			j.resp <- jobResult{err: j.ctx.Err()}
-			s.inflight.Add(-1)
+		live = live[:0]
+		for _, jb := range batch {
+			if jb.ctx != nil && jb.ctx.Err() != nil {
+				// The client vanished while the job was queued: no session
+				// slot is spent on it and it does not count as served — only
+				// the cancellation tally moves.
+				s.canceled.Add(1)
+				jb.resp <- jobResult{err: jb.ctx.Err()}
+				s.inflight.Add(-1)
+				continue
+			}
+			if start.Sub(jb.enqueued) > s.cfg.QueueTimeout {
+				s.answer(jb, jobResult{err: ErrQueueTimeout})
+				continue
+			}
+			live = append(live, jb)
+		}
+		if len(live) > 1 && bs != nil {
+			s.serveBatch(w, bs, live, start)
 			continue
 		}
-		if wait > s.cfg.QueueTimeout {
-			s.answer(j, jobResult{err: ErrQueueTimeout})
+		for _, jb := range live {
+			s.serveOne(w, jb, start)
+		}
+	}
+}
+
+// coalesce greedily drains already-queued jobs into the batch, then — when
+// CoalesceWait is set and the batch is not full — holds the batch open for
+// late batchmates. The dequeue hook fires once per job, like the serial
+// loop's.
+func (s *Scheduler) coalesce(w *workerState, batch *[]*job, maxB int) {
+	for len(*batch) < maxB {
+		select {
+		case jb, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			*batch = append(*batch, jb)
+			s.inflight.Add(1)
+			if s.cfg.dequeueHook != nil {
+				s.cfg.dequeueHook()
+			}
+		default:
+			if s.cfg.CoalesceWait <= 0 {
+				return
+			}
+			s.coalesceWait(w, batch, maxB)
+			return
+		}
+	}
+}
+
+// coalesceWait is the blocking tail of coalesce: wait up to CoalesceWait
+// for more jobs, leaving early when the batch fills. The worker's timer is
+// reused across passes.
+func (s *Scheduler) coalesceWait(w *workerState, batch *[]*job, maxB int) {
+	if w.timer == nil {
+		w.timer = time.NewTimer(s.cfg.CoalesceWait)
+	} else {
+		w.timer.Reset(s.cfg.CoalesceWait)
+	}
+	defer func() {
+		if !w.timer.Stop() {
+			select {
+			case <-w.timer.C:
+			default:
+			}
+		}
+	}()
+	for len(*batch) < maxB {
+		select {
+		case jb, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			*batch = append(*batch, jb)
+			s.inflight.Add(1)
+			if s.cfg.dequeueHook != nil {
+				s.cfg.dequeueHook()
+			}
+		case <-w.timer.C:
+			return
+		}
+	}
+}
+
+// serveOne evaluates one job on the serial path and answers it.
+func (s *Scheduler) serveOne(w *workerState, j *job, start time.Time) {
+	pred, err := s.serveJob(w, j)
+	if err == nil {
+		pred.QueueWait = start.Sub(j.enqueued)
+		pred.Infer = time.Since(start)
+		s.ecc.Add(pred.Stats)
+	}
+	s.answer(j, jobResult{pred: pred, err: err})
+}
+
+// serveBatch evaluates a coalesced batch in one multi-image pass. Per-image
+// guarantees survive coalescing: each image keeps its own noise stream and
+// per-lane stats, a failed image falls back to the serial path (which owns
+// the recovery ladder) without disturbing batchmates, and a post-batch
+// breaker trip climbs the same retry → remap → degrade ladder a serial
+// request would.
+func (s *Scheduler) serveBatch(w *workerState, bs batchSession, jobs []*job, start time.Time) {
+	w.bxs, w.bstreams = w.bxs[:0], w.bstreams[:0]
+	for _, j := range jobs {
+		w.bxs = append(w.bxs, j.input)
+		w.bstreams = append(w.bstreams, j.seed)
+	}
+	outs, errs := s.forwardBatch(bs, w.bxs, w.bstreams)
+	for i, j := range jobs {
+		failed := outs == nil || outs[i] == nil || (errs != nil && errs[i] != nil)
+		if failed {
+			// Discard the lane's partial stats, then let the serial path —
+			// ladder included — re-evaluate this image alone. Batchmates'
+			// outputs live in their own lanes and are untouched.
+			bs.DrainBatchStats(i)
+			s.serveOne(w, j, start)
 			continue
 		}
-		pred, err := s.serveJob(w, j)
+		k := j.topK
+		if k <= 0 {
+			k = s.cfg.TopK
+		}
+		topk := outs[i].TopK(k)
+		bs.DrainBatchLayerStatsInto(i, w.perLayer)
+		pred := Prediction{Class: topk[0], TopK: topk, Seed: j.seed, Stats: bs.DrainBatchStats(i)}
+		var err error
+		if s.rec != nil {
+			if open := s.rec.mon.Observe(w.perLayer); len(open) > 0 {
+				pred, err = s.recover(w, j, open)
+			}
+		}
 		if err == nil {
-			pred.QueueWait = wait
+			if s.set != nil {
+				if sick := s.set.OpenLayers(); len(sick) > 0 {
+					s.maintainReplicas(sick)
+				}
+			}
+			if pred.Stats.SoftMVMs > 0 {
+				pred.Degraded = s.eng.DegradedLayers()
+			}
+			pred.QueueWait = start.Sub(j.enqueued)
 			pred.Infer = time.Since(start)
 			s.ecc.Add(pred.Stats)
+			// BatchMVMs marks which path served the image — pool telemetry,
+			// not part of the answer. Stripping it keeps the per-request
+			// Stats a pure function of (engine, seed), identical whether the
+			// image was coalesced or served alone.
+			pred.Stats.BatchMVMs = 0
 		}
 		s.answer(j, jobResult{pred: pred, err: err})
 	}
+}
+
+// forwardBatch shields the pool from a coordinator-side panic: when the
+// batched pass itself blows up, every image is reported failed and retried
+// serially by the caller.
+func (s *Scheduler) forwardBatch(bs batchSession, xs []*nn.Tensor, streams []uint64) (outs []*nn.Tensor, errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs, errs = nil, nil
+		}
+	}()
+	return bs.ForwardBatch(xs, streams)
 }
 
 // answer delivers one result and updates the drain accounting.

@@ -428,6 +428,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Health:         s.sched.Health(),
 		DegradedLayers: s.sched.Engine().DegradedLayers(),
 		Recovery:       s.sched.RecoveryCounters(),
+		Batch:          s.sched.BatchStatus(),
 		Device:         cfg.DeviceName,
 		Scheme:         cfg.Scheme.Name,
 	}

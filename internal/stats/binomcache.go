@@ -117,6 +117,84 @@ func (b *Binomial) sampleTable(rng *rand.Rand, n int, t *binomTable) int {
 	return n
 }
 
+// BinomSnapshot is a per-call-site view of a Binomial's table cache for the
+// FastRand hot path: Snapshot loads the atomic table pointer once, so the
+// per-draw Sample skips the atomic load (and its branches) that
+// Binomial.Sample pays on every call. A snapshot taken before an MVM stays
+// valid forever — tables are immutable once published — and ns it predates
+// simply fall through to the locked builder.
+type BinomSnapshot struct {
+	b      *Binomial
+	tables []*binomTable
+}
+
+// Snapshot captures the current table cache. Cheap (one atomic load); take
+// one per MVM, not per draw.
+func (b *Binomial) Snapshot() BinomSnapshot {
+	sn := BinomSnapshot{b: b}
+	if p := b.tables.Load(); p != nil {
+		sn.tables = *p
+	}
+	return sn
+}
+
+// Sample draws from Binomial(n, p) identically (value and RNG consumption)
+// to Binomial.Sample over the same rng state.
+func (sn *BinomSnapshot) Sample(rng *FastRand, n int) int {
+	b := sn.b
+	if n <= 0 || b.p <= 0 {
+		return 0
+	}
+	if b.p >= 1 {
+		return n
+	}
+	np := float64(n) * b.pEff
+	var k int
+	if np >= 12 && n >= 30 {
+		sigma := math.Sqrt(np * (1 - b.pEff))
+		k = int(math.Round(np + sigma*rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+	} else {
+		t := (*binomTable)(nil)
+		if n < len(sn.tables) {
+			t = sn.tables[n]
+		}
+		if t == nil {
+			t = b.table(n)
+		}
+		k = sn.sampleTable(rng, n, t)
+	}
+	if b.refl {
+		return n - k
+	}
+	return k
+}
+
+// sampleTable mirrors Binomial.sampleTable for the FastRand path.
+func (sn *BinomSnapshot) sampleTable(rng *FastRand, n int, t *binomTable) int {
+	u := rng.Float64()
+	if t.bernoulli {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < sn.b.pEff {
+				k++
+			}
+		}
+		return k
+	}
+	for k, c := range t.cdf {
+		if u <= c {
+			return k
+		}
+	}
+	return n
+}
+
 // table returns the cached inversion table for n, building it on first use.
 func (b *Binomial) table(n int) *binomTable {
 	if p := b.tables.Load(); p != nil && n < len(*p) && (*p)[n] != nil {
