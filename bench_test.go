@@ -16,9 +16,12 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/noise"
+	"repro/internal/replica"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -370,6 +373,54 @@ func BenchmarkForwardBatch(b *testing.B) {
 		}
 	}
 	warm() // grow the batch arena before counting allocations
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "images/sec")
+}
+
+// BenchmarkShardPoolForwardBatch runs the same 16-image batch through a
+// shard pool (layers partitioned into fault domains, 2 replicas per shard)
+// instead of a bare session. Warm routing must stay allocation-free — the
+// owner table and per-layer closures are built at session construction —
+// so this bench sits under the CI alloc gate next to BenchmarkForwardBatch.
+func BenchmarkShardPoolForwardBatch(b *testing.B) {
+	w := benchWorkload(b)
+	cfg := accel.DefaultConfig(accel.SchemeABN(9))
+	cfg.Device.BitsPerCell = 2
+	eng, err := accel.Map(w.Net, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := shard.NewPool(eng, shard.Config{N: 2, Replicas: replica.Config{
+		N:       2,
+		Monitor: fault.MonitorConfig{Window: 4096, MinReads: 8, TripRate: 0.05},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 16
+	xs := make([]*nn.Tensor, batch)
+	streams := make([]uint64, batch)
+	for i := range xs {
+		xs[i] = w.Test[i%len(w.Test)].Input
+		streams[i] = uint64(i + 1)
+	}
+	sess := pool.NewSession(0)
+	defer sess.Close()
+	warm := func() {
+		outs, errs := sess.ForwardBatch(xs, streams)
+		for i := range outs {
+			if errs[i] != nil {
+				b.Fatal(errs[i])
+			}
+			sess.DrainBatchStats(i)
+		}
+	}
+	warm() // grow every shard's batch arena before counting allocations
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -40,6 +40,19 @@
 //
 //	mnnserve -workload MLP1 -replicas 2 -fault-steps 4 -fault-every 50
 //
+// -shards N splits the model's layers into N contiguous fault domains, each
+// owning its own replica set, breakers, scrubber rotation, and persistence
+// slice. A sick shard is drained, repaired, and rejoined — or degraded to
+// software — without touching its siblings, and per-request outputs are
+// bit-identical at any shard count. -admin exposes the operator API for
+// exactly those moves, plus a workload registry that loads and evicts
+// additional models behind the same listener:
+//
+//	mnnserve -workload MLP1 -shards 4 -replicas 2 -admin
+//	curl -s localhost:8420/admin/shards | jq
+//	curl -s -X POST localhost:8420/admin/shards -d '{"action":"drain","shard":2}'
+//	curl -s -X POST localhost:8420/admin/models -d '{"action":"load","model":"MLP2"}'
+//
 // -device selects a named cell profile from the device library (see
 // `mnnsim devices`); the device's own bits-per-cell applies unless -bits is
 // passed explicitly. -scenario replays a deterministic environment timeline
@@ -118,6 +131,8 @@ func run(args []string) error {
 	scrubInterval := fs.Duration("scrub-interval", time.Second, "idle-slot patrol tick interval")
 	spareRows := fs.Int("spare-rows", 0, "spare lines per array available for patrol sparing")
 	verifyIters := fs.Int("verify-iters", 5, "max write-verify pulses per programmed cell (0 = blind programming)")
+	shards := fs.Int("shards", 0, "contiguous layer fault domains, each with its own replica set and breakers (0 = unsharded)")
+	adminOn := fs.Bool("admin", false, "expose the /admin operator API: shard drain/repair/rejoin and the model registry")
 	replicas := fs.Int("replicas", 1, "independent programmed copies per layer with health-aware routing (1 = no replication)")
 	voteThreshold := fs.Int("vote-threshold", 3, "consecutive flagged MVMs before a layer majority-votes across 3 replicas (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving address")
@@ -232,6 +247,32 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "replicating onto %d independent array sets (%.0fx area)...\n",
 			*replicas, float64(*replicas))
+	}
+	if *shards > 0 {
+		scfg.Shards = *shards
+		fmt.Fprintf(os.Stderr, "sharding %d layers into %d contiguous fault domains...\n",
+			len(eng.Layers()), *shards)
+	}
+	if *adminOn {
+		scfg.Admin = serve.AdminConfig{
+			Enabled: true,
+			// The loader maps additional Table II workloads onto fresh
+			// simulated arrays with the boot configuration; training reuses
+			// the weight cache, so a warm cache loads in milliseconds.
+			Loader: func(name string) (*accel.Engine, serve.Model, error) {
+				for _, cand := range workloads {
+					if strings.EqualFold(cand.Name, name) {
+						eng, err := accel.Map(cand.Net, acfg)
+						if err != nil {
+							return nil, serve.Model{}, err
+						}
+						return eng, serve.Model{Name: cand.Name, InShape: cand.Net.InShape}, nil
+					}
+				}
+				return nil, serve.Model{}, fmt.Errorf("unknown workload %q (want MLP1|MLP2|CNN1)", name)
+			},
+		}
+		fmt.Fprintln(os.Stderr, "admin API armed: /admin/shards, /admin/models")
 	}
 	if *controllerOn {
 		scfg.Controller = serve.ControllerConfig{

@@ -75,6 +75,10 @@ type Engine struct {
 	slots []*layerSlot
 	// mapped counts the non-nil slots.
 	mapped int
+	// partition, when non-nil, restricts the engine to this subset of the
+	// network's mappable layers (a shard). Replicate then reprograms only
+	// these layers, so a shard's replicas never pay for sibling layers.
+	partition []int
 	// PhysicalRows is the total mapped word-line count (hardware-model
 	// bookkeeping).
 	PhysicalRows int
@@ -90,11 +94,39 @@ func (e *Engine) slot(layer int) *layerSlot {
 
 // Map programs every MVM-capable layer of the network onto crossbars.
 func Map(net *nn.Network, cfg Config) (*Engine, error) {
+	return MapLayers(net, cfg, nil)
+}
+
+// MapLayers programs a subset of the network's MVM-capable layers onto
+// crossbars (nil = every mappable layer, exactly Map). A layer's arrays
+// depend only on (cfg, layer index) — the per-layer map seed is the global
+// layer index and fault populations are drawn per layer — so mapping a
+// subset programs bit-identical arrays to mapping the whole network. That
+// is the property shard partitioning leans on: a shard's slice of layers
+// is indistinguishable, cell for cell, from the same layers inside a
+// monolithic engine.
+func MapLayers(net *nn.Network, cfg Config, layers []int) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var want map[int]bool
+	if layers != nil {
+		want = make(map[int]bool, len(layers))
+		for _, li := range layers {
+			if li < 0 || li >= len(net.Layers) {
+				return nil, fmt.Errorf("accel: partition layer %d out of range for network %s", li, net.Name)
+			}
+			want[li] = true
+		}
+	}
 	e := &Engine{cfg: cfg, net: net, slots: make([]*layerSlot, len(net.Layers))}
+	if layers != nil {
+		e.partition = append([]int(nil), layers...)
+	}
 	for i, l := range net.Layers {
+		if want != nil && !want[i] {
+			continue
+		}
 		layerCfg := cfg
 		if override, ok := cfg.LayerSchemes[i]; ok {
 			layerCfg.Scheme = override
@@ -107,6 +139,9 @@ func Map(net *nn.Network, cfg Config) (*Engine, error) {
 		case *nn.Conv2D:
 			outDim, inDim, weightAt = v.OutC, v.PatchLen(), v.WeightAt
 		default:
+			if want != nil {
+				return nil, fmt.Errorf("accel: partition layer %d (%s) is not mappable", i, l.Name())
+			}
 			continue
 		}
 		lc, oD, iD, wA := layerCfg, outDim, inDim, weightAt

@@ -26,7 +26,40 @@ func (e *Engine) Replicate(replica uint64) (*Engine, error) {
 	}
 	cfg := e.cfg
 	cfg.Seed = e.cfg.Seed + replica*replicaSeedStride
-	return Map(e.net, cfg)
+	return MapLayers(e.net, cfg, e.partition)
+}
+
+// Partition returns a view engine restricted to the given mapped layers: a
+// shard. The view shares the receiver's layer slots (no re-programming), so
+// a Remap, Retune, or fallback flip through either engine is visible to
+// both — the partition is an ownership boundary, not a copy. Replicate on
+// the view programs fresh arrays for only the partition's layers, which is
+// what gives each shard an independently replaceable reliability stack.
+func (e *Engine) Partition(layers []int) (*Engine, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("accel: empty partition")
+	}
+	p := &Engine{
+		cfg:       e.cfg,
+		net:       e.net,
+		slots:     make([]*layerSlot, len(e.slots)),
+		partition: append([]int(nil), layers...),
+	}
+	for _, li := range layers {
+		sl := e.slot(li)
+		if sl == nil {
+			return nil, fmt.Errorf("accel: partition layer %d is not mapped", li)
+		}
+		if p.slots[li] != nil {
+			return nil, fmt.Errorf("accel: partition layer %d listed twice", li)
+		}
+		p.slots[li] = sl
+		p.mapped++
+		sl.mu.RLock()
+		p.PhysicalRows += sl.m.PhysicalRows
+		sl.mu.RUnlock()
+	}
+	return p, nil
 }
 
 // InferenceNet returns a buffer-reusing forward-pass clone of the mapped

@@ -31,6 +31,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/replica"
 	"repro/internal/scrub"
+	"repro/internal/shard"
 )
 
 // SchemaVersion is bumped whenever the payload layout changes
@@ -92,14 +93,17 @@ type ControllerState struct {
 }
 
 // State is the full durable state of one serving stack. Exactly one of
-// Engine (single-copy) or Replicas (replicated) is set. Optional sections
-// are nil when the corresponding subsystem was not armed.
+// Engine (single-copy), Replicas (replicated), or Shards (sharded pool) is
+// set — the section is the topology fingerprint, so a snapshot can never be
+// poured into a pool partitioned differently. Optional sections are nil
+// when the corresponding subsystem was not armed.
 type State struct {
 	// Workload labels the snapshot for operators; the binding identity
 	// checks (seed, scheme, network) live in the engine states.
 	Workload   string              `json:"workload,omitempty"`
 	Engine     *accel.EngineState  `json:"engine,omitempty"`
 	Replicas   *replica.SetState   `json:"replicas,omitempty"`
+	Shards     *shard.PoolState    `json:"shards,omitempty"`
 	Monitor    *fault.MonitorState `json:"monitor,omitempty"`
 	Recovery   *RecoveryState      `json:"recovery,omitempty"`
 	Campaign   *fault.RunnerState  `json:"campaign,omitempty"`
@@ -166,10 +170,16 @@ func Decode(data []byte) (*State, error) {
 	if err := dec.Decode(&st); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if st.Engine != nil && st.Replicas != nil {
-		return nil, fmt.Errorf("%w: snapshot carries both single-engine and replica-set state", ErrCorrupt)
+	topologies := 0
+	for _, set := range []bool{st.Engine != nil, st.Replicas != nil, st.Shards != nil} {
+		if set {
+			topologies++
+		}
 	}
-	if st.Engine == nil && st.Replicas == nil {
+	if topologies > 1 {
+		return nil, fmt.Errorf("%w: snapshot carries more than one engine-topology section", ErrCorrupt)
+	}
+	if topologies == 0 {
 		return nil, fmt.Errorf("%w: snapshot carries no engine state", ErrCorrupt)
 	}
 	return &st, nil

@@ -51,15 +51,24 @@ func (b *batchState) grow(n int) {
 	}
 }
 
-// ensureBatch arms the batched path.
-func (s *Session) ensureBatch() {
+// ensureBatchState arms the coordinator-side batch scratch without the
+// lockstep batcher — enough for an external coordinator (the shard pool)
+// to drive BatchMVM directly.
+func (s *Session) ensureBatchState() {
 	if s.bs == nil {
 		s.bs = &batchState{
-			fb:    nn.NewForwardBatcher(s.set.engines[0].InferenceNet, s.set.engines[0].Layers()),
 			one1i: make([]int, 1), one1s: make([]uint64, 1),
 			one1x: make([][]float64, 1), one1o: make([][]float64, 1),
 			one1d: make([]accel.Stats, 1),
 		}
+	}
+}
+
+// ensureBatch arms the full batched path, lockstep batcher included.
+func (s *Session) ensureBatch() {
+	s.ensureBatchState()
+	if s.bs.fb == nil {
+		s.bs.fb = nn.NewForwardBatcher(s.set.engines[0].InferenceNet, s.set.engines[0].Layers())
 	}
 }
 
@@ -79,6 +88,27 @@ func (s *Session) ForwardBatch(xs []*nn.Tensor, streams []uint64) ([]*nn.Tensor,
 	s.ensureBatch()
 	s.bs.streams = append(s.bs.streams[:0], streams...)
 	return s.bs.fb.Run(xs, s.batchMVM)
+}
+
+// BeginBatch arms the batched evaluation state for an externally
+// coordinated multi-image pass: streams[i] is lane i's request stream,
+// playing the role of Reseed per image exactly as in ForwardBatch. Call it
+// once per batch, before the first BatchMVM of that batch.
+func (s *Session) BeginBatch(streams []uint64) {
+	s.ensureBatchState()
+	s.bs.streams = append(s.bs.streams[:0], streams...)
+}
+
+// BatchMVM is the routed multi-image evaluation of one layer group —
+// batchMVM exported for an external lockstep coordinator (the shard pool's
+// batcher) that owns the forward pass and delegates each paused layer to
+// the session owning it. idx holds the lane index of each image (indexing
+// the streams given to BeginBatch), xs the corresponding MVM inputs.
+// Outputs land in per-lane arenas and stay valid until the lane's next
+// evaluation; the error slice is always nil (per-lane failures surface as
+// panics in the lane's own layers, not here).
+func (s *Session) BatchMVM(layer int, idx []int, xs [][]float64) ([][]float64, []error) {
+	return s.batchMVM(layer, idx, xs)
 }
 
 // batchMVM is the coordinator-side routed dispatch of one paused layer
@@ -239,7 +269,9 @@ func (s *Session) DrainBatchLayerStatsInto(i int, out map[int]accel.Stats) {
 // serial path stays usable; the batched path re-arms lazily.
 func (s *Session) Close() {
 	if s.bs != nil {
-		s.bs.fb.Close()
+		if s.bs.fb != nil {
+			s.bs.fb.Close()
+		}
 		s.bs = nil
 	}
 	for _, sub := range s.sub {

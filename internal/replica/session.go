@@ -106,6 +106,15 @@ func (s *Session) mvmLayer(layer int, x []float64) []float64 {
 	return out
 }
 
+// MVMLayer is the routed evaluation of one layer under the session's
+// current request stream — mvmLayer exported for callers that compose
+// their own forward pass over a partition of the network (the shard pool).
+// The returned slice aliases a replica session's scratch arena and is
+// valid until this session's next serial MVM.
+func (s *Session) MVMLayer(layer int, x []float64) []float64 {
+	return s.mvmLayer(layer, x)
+}
+
 // vote evaluates the layer on a 3-replica panel and returns the
 // element-wise median, tallying elements where a voter deviates past the
 // tolerance — the signature of a damaged copy whose errors alias into

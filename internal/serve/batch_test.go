@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -119,6 +120,94 @@ func TestServeBatchFaultMidBatch(t *testing.T) {
 	for i, p := range post {
 		if p.Stats.Detected != 0 || p.LadderRetries != 0 {
 			t.Fatalf("post-repair image %d not clean: %+v", i, p)
+		}
+	}
+}
+
+// TestBatchDropsCanceledBatchmates pins the coalescing window's blind spot:
+// a client can vanish after the dequeue-time cancellation filter but before
+// the multi-image pass runs. The canceled job must be answered with its
+// context error and dropped from the pass — its MVMs never spent, never
+// counted in mnn_batch_mvms_total — while its batchmates are served
+// normally.
+func TestBatchDropsCanceledBatchmates(t *testing.T) {
+	eng, _ := testEngine(t, 0)
+	// run coalesces exactly three jobs into one pass; when cancelOne is set,
+	// the middle job's context is canceled inside the batch hook — after the
+	// worker's dequeue-time filter, before the batched evaluation.
+	run := func(cancelOne bool) (results [3]jobResult, bst BatchStatus, canceled uint64) {
+		cfg := Config{Workers: 1, QueueDepth: 16, MaxBatch: 8, QueueTimeout: time.Minute}
+		gate := make(chan struct{})
+		first := true // dequeueHook runs only on the single worker goroutine
+		cfg.dequeueHook = func() {
+			if first {
+				first = false
+				<-gate
+			}
+		}
+		var cancelMid context.CancelFunc
+		cfg.batchHook = func(jobs []*job) {
+			if cancelOne {
+				cancelMid()
+			}
+		}
+		s, err := NewScheduler(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close(context.Background())
+
+		midCtx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cancelMid = cancel
+		jobs := make([]*job, 3)
+		for i, ctx := range []context.Context{context.Background(), midCtx, context.Background()} {
+			j, err := s.submit(ctx, testInput(uint64(i+1)), uint64(9000+i), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs[i] = j
+		}
+		// All three are queued; release the worker to coalesce them into one
+		// pass.
+		close(gate)
+		for i, j := range jobs {
+			results[i] = <-j.resp
+		}
+		return results, s.BatchStatus(), s.Canceled()
+	}
+
+	clean, cleanBatch, cleanCanceled := run(false)
+	for i, r := range clean {
+		if r.err != nil {
+			t.Fatalf("control job %d failed: %v", i, r.err)
+		}
+	}
+	if cleanCanceled != 0 || cleanBatch.BatchMVMs == 0 {
+		t.Fatalf("control pass malformed: canceled %d, batch MVMs %d", cleanCanceled, cleanBatch.BatchMVMs)
+	}
+
+	got, gotBatch, gotCanceled := run(true)
+	if got[1].err == nil || !errors.Is(got[1].err, context.Canceled) {
+		t.Fatalf("canceled batchmate answered %v, want context.Canceled", got[1].err)
+	}
+	if got[0].err != nil || got[2].err != nil {
+		t.Fatalf("surviving batchmates failed: %v, %v", got[0].err, got[2].err)
+	}
+	if gotCanceled != 1 {
+		t.Fatalf("cancellation tally = %d, want 1", gotCanceled)
+	}
+	// The dropped job's lane never ran: the batched-MVM counter carries two
+	// images' layers, not three — 2/3 of the control pass exactly.
+	if gotBatch.BatchMVMs == 0 || gotBatch.BatchMVMs*3 != cleanBatch.BatchMVMs*2 {
+		t.Fatalf("canceled batchmate inflated mnn_batch_mvms_total: got %d with a drop, %d without",
+			gotBatch.BatchMVMs, cleanBatch.BatchMVMs)
+	}
+	// The survivors' answers match the control run bit for bit.
+	for _, i := range []int{0, 2} {
+		if got[i].pred.Class != clean[i].pred.Class || got[i].pred.Stats != clean[i].pred.Stats {
+			t.Fatalf("survivor %d diverged from control:\n with drop %+v\n  control %+v",
+				i, got[i].pred, clean[i].pred)
 		}
 	}
 }

@@ -63,8 +63,20 @@ type Config struct {
 	// by a health-aware router: spatial failover ahead of the temporal
 	// ladder, majority voting for persistently flagged layers, and
 	// detach-for-maintenance without pausing traffic. N <= 1 (the default)
-	// keeps the single-copy path byte for byte.
+	// keeps the single-copy path byte for byte. With Shards > 0 this is the
+	// per-shard replication factor instead.
 	Replicas replica.Config
+	// Shards partitions the mapped layers into that many contiguous fault
+	// domains, each with its own replica set, routing breakers, scrubber
+	// rotation, and persistence section — drainable, repairable, and
+	// rejoinable at runtime without touching siblings. 0 (the default)
+	// keeps the unsharded topologies byte for byte; predictions are
+	// bit-identical at any shard count.
+	Shards int
+	// Admin registers the operator API (/admin/shards, /admin/models) on
+	// the server mux. Off by default: mutation endpoints on a serving port
+	// are an operator opt-in.
+	Admin AdminConfig
 	// Plan wires GET /plan: the analytic protection planner run against the
 	// live engine, recalibrated by the health monitor's measured rates.
 	// Disabled by default (requires an offline calibration).
@@ -84,6 +96,11 @@ type Config struct {
 	// before deadline checks (test instrumentation: lets tests hold a
 	// worker mid-job to fill the queue deterministically).
 	dequeueHook func()
+	// batchHook, when set, runs at the top of each coalesced batch pass,
+	// before the per-job liveness re-check (test instrumentation: lets
+	// tests cancel a batchmate in the window between dequeue filtering and
+	// batch assembly).
+	batchHook func(jobs []*job)
 }
 
 // withDefaults resolves the zero values.
@@ -121,6 +138,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative max batch %d", c.MaxBatch)
 	case c.CoalesceWait < 0:
 		return fmt.Errorf("serve: negative coalesce wait %v", c.CoalesceWait)
+	case c.Shards < 0:
+		return fmt.Errorf("serve: negative shard count %d", c.Shards)
 	}
 	if err := c.Scrub.Validate(); err != nil {
 		return err

@@ -218,6 +218,9 @@ func newController(sched *Scheduler, cfg ControllerConfig) *controller {
 	if sched.set != nil {
 		c.baseVote = sched.set.Config().VoteThreshold
 	}
+	if sched.pool != nil {
+		c.baseVote = sched.pool.Config().Replicas.VoteThreshold
+	}
 	return c
 }
 
@@ -383,6 +386,11 @@ func (c *controller) applyLevel(level int) {
 	if c.sched.set != nil {
 		c.sched.set.SetVoteThreshold(c.voteFor(level))
 	}
+	if pool := c.sched.pool; pool != nil {
+		for i := 0; i < pool.Size(); i++ {
+			pool.Shard(i).Set().SetVoteThreshold(c.voteFor(level))
+		}
+	}
 }
 
 // voteFor maps a protection level to a vote threshold. A configured
@@ -433,8 +441,8 @@ func (c *controller) predictAndPreempt() string {
 			continue
 		}
 		var err error
-		if s.set != nil {
-			err = s.set.SetFallback(lr.Layer, true)
+		if set := s.replicaSetFor(lr.Layer); set != nil {
+			err = set.SetFallback(lr.Layer, true)
 		} else {
 			err = s.eng.SetFallback(lr.Layer, true)
 		}
@@ -453,19 +461,23 @@ func (c *controller) predictAndPreempt() string {
 // rotate out the sickest copy on the worst-measured layer. Returns replicas
 // repaired and verified clean.
 func (s *Scheduler) proactiveRepair() int {
-	if s.set == nil || s.rec == nil {
+	if (s.set == nil && s.pool == nil) || s.rec == nil {
 		return 0
 	}
 	s.escMu.Lock()
 	defer s.escMu.Unlock()
 	repaired := 0
-	open := s.set.OpenLayers()
+	open := s.openReplicaLayers()
 	for _, layer := range open {
-		repaired += s.repairLayer(layer, true)
+		if set := s.replicaSetFor(layer); set != nil {
+			repaired += s.repairSetLayer(set, layer, true)
+		}
 	}
 	if repaired == 0 && len(open) == 0 {
 		if layer, ok := s.worstMeasuredLayer(); ok {
-			repaired += s.repairLayer(layer, false)
+			if set := s.replicaSetFor(layer); set != nil {
+				repaired += s.repairSetLayer(set, layer, false)
+			}
 		}
 	}
 	return repaired
@@ -500,6 +512,11 @@ func (c *controller) status() ControllerStatus {
 	}
 	if c.sched.set != nil {
 		st.VoteThreshold = c.sched.set.VoteThreshold()
+	}
+	if pool := c.sched.pool; pool != nil {
+		// Shards share one controller level, so any shard's live threshold
+		// is the pool's.
+		st.VoteThreshold = pool.Shard(0).Set().VoteThreshold()
 	}
 	for k, v := range c.decisions {
 		st.Decisions[k] = v

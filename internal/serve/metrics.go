@@ -11,6 +11,7 @@ import (
 	"repro/internal/crossbar"
 	"repro/internal/fault"
 	"repro/internal/replica"
+	"repro/internal/shard"
 )
 
 // Request-counter outcome labels.
@@ -173,6 +174,8 @@ type GaugeView struct {
 	// Verify is the cumulative closed-loop programming accounting —
 	// mapping-time plus every scrub repair (nil when unavailable).
 	Verify *crossbar.VerifyTally
+	// Shards is the per-fault-domain snapshot (nil when unsharded).
+	Shards []shard.ShardStatus
 	// Replicas is the replica-set snapshot (nil without replication).
 	Replicas *replica.SetStatus
 	// Controller is the protection-controller snapshot (nil when disabled).
@@ -307,6 +310,45 @@ func (m *Metrics) WritePrometheus(w io.Writer, g GaugeView) {
 		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"failover\"} %d\n", g.Recovery.Failovers)
 		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"remap\"} %d\n", g.Recovery.Remaps)
 		fmt.Fprintf(w, "mnn_recovery_actions_total{rung=\"degrade\"} %d\n", g.Recovery.Degrades)
+	}
+
+	if len(g.Shards) > 0 {
+		fmt.Fprintf(w, "# HELP mnn_shard_state Per-shard fault-domain state (one-hot over serving/draining/degraded).\n")
+		fmt.Fprintf(w, "# TYPE mnn_shard_state gauge\n")
+		for _, sh := range g.Shards {
+			for _, st := range []string{"serving", "draining", "degraded"} {
+				v := 0
+				if sh.State == st {
+					v = 1
+				}
+				fmt.Fprintf(w, "mnn_shard_state{shard=\"%d\",state=%q} %d\n", sh.ID, st, v)
+			}
+		}
+
+		fmt.Fprintf(w, "# HELP mnn_shard_layers Layers owned by each shard.\n")
+		fmt.Fprintf(w, "# TYPE mnn_shard_layers gauge\n")
+		fmt.Fprintf(w, "# HELP mnn_shard_degraded_layers Shard layers currently on the software path.\n")
+		fmt.Fprintf(w, "# TYPE mnn_shard_degraded_layers gauge\n")
+		fmt.Fprintf(w, "# HELP mnn_shard_breaker_open_layers Shard layers with an open routing breaker on any of its replicas.\n")
+		fmt.Fprintf(w, "# TYPE mnn_shard_breaker_open_layers gauge\n")
+		for _, sh := range g.Shards {
+			fmt.Fprintf(w, "mnn_shard_layers{shard=\"%d\"} %d\n", sh.ID, len(sh.Layers))
+			fmt.Fprintf(w, "mnn_shard_degraded_layers{shard=\"%d\"} %d\n", sh.ID, len(sh.DegradedLayers))
+			open := 0
+			for _, r := range sh.Replicas.Replicas {
+				open += len(r.OpenLayers)
+			}
+			fmt.Fprintf(w, "mnn_shard_breaker_open_layers{shard=\"%d\"} %d\n", sh.ID, open)
+		}
+
+		fmt.Fprintf(w, "# HELP mnn_shard_maintenance_total Shard lifecycle transitions by kind.\n")
+		fmt.Fprintf(w, "# TYPE mnn_shard_maintenance_total counter\n")
+		for _, sh := range g.Shards {
+			fmt.Fprintf(w, "mnn_shard_maintenance_total{shard=\"%d\",kind=\"drain\"} %d\n", sh.ID, sh.Drains)
+			fmt.Fprintf(w, "mnn_shard_maintenance_total{shard=\"%d\",kind=\"repair\"} %d\n", sh.ID, sh.Repairs)
+			fmt.Fprintf(w, "mnn_shard_maintenance_total{shard=\"%d\",kind=\"remap\"} %d\n", sh.ID, sh.Remaps)
+			fmt.Fprintf(w, "mnn_shard_maintenance_total{shard=\"%d\",kind=\"rejoin\"} %d\n", sh.ID, sh.Rejoins)
+		}
 	}
 
 	if g.Replicas != nil {

@@ -165,14 +165,28 @@ func (per *persister) bootRestore() error {
 // fail in the deterministic mapping rebuild.
 func (per *persister) check(st *persist.State) error {
 	s := per.sched
-	if s.set != nil {
+	switch {
+	case s.pool != nil:
+		if st.Shards == nil {
+			return fmt.Errorf("serve: snapshot is not sharded, pool runs %d shards — topology changed, snapshot refused", s.pool.Size())
+		}
+		if err := s.pool.CheckRestore(*st.Shards); err != nil {
+			return err
+		}
+	case s.set != nil:
+		if st.Shards != nil {
+			return fmt.Errorf("serve: snapshot is sharded (%d shards), pool is an unsharded replica set — topology changed, snapshot refused", len(st.Shards.Shards))
+		}
 		if st.Replicas == nil {
 			return fmt.Errorf("serve: snapshot is single-copy, pool is replicated")
 		}
 		if err := s.set.CheckRestore(*st.Replicas); err != nil {
 			return err
 		}
-	} else {
+	default:
+		if st.Shards != nil {
+			return fmt.Errorf("serve: snapshot is sharded (%d shards), pool is single-copy — topology changed, snapshot refused", len(st.Shards.Shards))
+		}
 		if st.Engine == nil {
 			return fmt.Errorf("serve: snapshot is replicated, pool is single-copy")
 		}
@@ -220,11 +234,16 @@ func (per *persister) check(st *persist.State) error {
 // SetCampaign — so it is stashed.
 func (per *persister) applyChecked(st *persist.State) error {
 	s := per.sched
-	if s.set != nil {
+	switch {
+	case s.pool != nil:
+		if err := s.pool.Restore(*st.Shards); err != nil {
+			return err
+		}
+	case s.set != nil:
 		if err := s.set.Restore(*st.Replicas); err != nil {
 			return err
 		}
-	} else {
+	default:
 		if err := s.eng.Restore(*st.Engine); err != nil {
 			return err
 		}
@@ -355,10 +374,14 @@ func (per *persister) status() PersistStatus {
 // runs ahead of the device state it stamps.
 func (s *Scheduler) buildState() *persist.State {
 	st := &persist.State{Workload: s.eng.Network().Name}
-	if s.set != nil {
+	switch {
+	case s.pool != nil:
+		ps := s.pool.Snapshot()
+		st.Shards = &ps
+	case s.set != nil:
 		ss := s.set.Snapshot()
 		st.Replicas = &ss
-	} else {
+	default:
 		es := s.eng.Snapshot()
 		st.Engine = &es
 	}

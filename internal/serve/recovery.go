@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/replica"
 	"repro/internal/scrub"
+	"repro/internal/shard"
 )
 
 // retrySeedStride separates recovery-retry noise streams from the request's
@@ -203,8 +205,11 @@ func (s *Scheduler) escalate(layer int) (escalation, error) {
 		return actionNone, nil // another worker already recovered it
 	}
 	defer s.rec.mon.Reset(layer)
+	if s.pool != nil {
+		return s.escalateShard(layer)
+	}
 	if s.set != nil {
-		if s.repairLayer(layer, false) > 0 {
+		if s.repairSetLayer(s.set, layer, false) > 0 {
 			return actionFailover, nil
 		}
 		if s.eng.Fallback(layer) {
@@ -230,40 +235,116 @@ func (s *Scheduler) escalate(layer int) (escalation, error) {
 	return actionDegrade, nil
 }
 
+// escalateShard climbs the shard-level ladder for one tripped layer: first
+// the spatial rung inside the owning fault domain (repair its sick replicas
+// while siblings keep serving), then — when the damage is wider than one
+// copy — drain the whole shard to the software path, re-program every layer
+// it owns onto spares across all its replicas, verify, and rejoin. Sibling
+// shards never notice. Only when a repair cycle cannot verify clean (or the
+// shard's repair budget is spent) is the shard degraded — pinned to
+// software until an operator or a later repair rejoins it. Caller holds
+// escMu; the breaker has been re-checked.
+func (s *Scheduler) escalateShard(layer int) (escalation, error) {
+	sh := s.pool.Owner(layer)
+	if sh == nil {
+		return actionNone, fmt.Errorf("serve: breaker tripped on layer %d no shard owns", layer)
+	}
+	if s.repairSetLayer(sh.Set(), layer, false) > 0 {
+		return actionFailover, nil
+	}
+	if sh.State() == shard.Serving && s.rec.cfg.MaxRemaps >= 0 && sh.RepairCount() < uint64(s.rec.cfg.MaxRemaps) {
+		if err := sh.Drain(); err != nil {
+			return actionNone, fmt.Errorf("serve: shard drain: %w", err)
+		}
+		eng := sh.Set().Engine(0)
+		dirty, err := sh.Repair(eng.Config().VerifyIters, eng.Config().Seed)
+		if err != nil {
+			return actionNone, fmt.Errorf("serve: shard repair: %w", err)
+		}
+		if dirty == 0 {
+			if err := sh.Rejoin(); err != nil {
+				return actionNone, fmt.Errorf("serve: shard rejoin: %w", err)
+			}
+			s.rec.remaps.Add(1)
+			return actionRemap, nil
+		}
+		// Verification failed on remapped hardware: fall through and pin
+		// the fault domain to software.
+	}
+	if err := sh.Degrade(); err != nil {
+		return actionNone, fmt.Errorf("serve: shard degrade: %w", err)
+	}
+	s.rec.degrades.Add(1)
+	return actionDegrade, nil
+}
+
+// openReplicaLayers returns the layers with an open per-replica routing
+// breaker, across whichever topology fronts the engine (nil single-copy).
+func (s *Scheduler) openReplicaLayers() []int {
+	if s.set != nil {
+		return s.set.OpenLayers()
+	}
+	if s.pool != nil {
+		var sick []int
+		for i := 0; i < s.pool.Size(); i++ {
+			sick = append(sick, s.pool.Shard(i).Set().OpenLayers()...)
+		}
+		return sick
+	}
+	return nil
+}
+
+// replicaSetFor returns the replica set serving a layer: the pool-wide set,
+// or the owning shard's set under sharding (nil when unreplicated or
+// unowned).
+func (s *Scheduler) replicaSetFor(layer int) *replica.Set {
+	if s.set != nil {
+		return s.set
+	}
+	if s.pool != nil {
+		if sh := s.pool.Owner(layer); sh != nil {
+			return sh.Set()
+		}
+	}
+	return nil
+}
+
 // maintainReplicas repairs, for each tripped layer, any replica whose own
 // routing breaker is open — the background half of spatial recovery, run
-// once the request itself has a clean answer. No-op without a replica set.
+// once the request itself has a clean answer. No-op without replication.
 func (s *Scheduler) maintainReplicas(open []int) {
-	if s.set == nil {
+	if s.set == nil && s.pool == nil {
 		return
 	}
 	s.escMu.Lock()
 	defer s.escMu.Unlock()
 	for _, layer := range open {
-		s.repairLayer(layer, true)
+		if set := s.replicaSetFor(layer); set != nil {
+			s.repairSetLayer(set, layer, true)
+		}
 	}
 }
 
-// repairLayer runs the detach → remap → verify → rejoin cycle on the
-// replicas whose routing breaker for the layer is open (or, when openOnly
-// is false and none has tripped yet, on the attached replica with the worst
-// detected-rate window). Siblings keep serving throughout — this is the
-// no-downtime maintenance a single programmed copy cannot have, and it is
-// why MaxRemaps does not apply here: that budget bounds inline remaps that
-// stall traffic, while a detached copy can be re-programmed as often as the
-// wear-out demands without anyone waiting. Returns the number of replicas
-// repaired and verified clean. Caller holds escMu.
-func (s *Scheduler) repairLayer(layer int, openOnly bool) int {
-	candidates := s.set.OpenFor(layer)
+// repairSetLayer runs the detach → remap → verify → rejoin cycle on the
+// replicas of one set whose routing breaker for the layer is open (or, when
+// openOnly is false and none has tripped yet, on the attached replica with
+// the worst detected-rate window). Siblings keep serving throughout — this
+// is the no-downtime maintenance a single programmed copy cannot have, and
+// it is why MaxRemaps does not apply here: that budget bounds inline remaps
+// that stall traffic, while a detached copy can be re-programmed as often
+// as the wear-out demands without anyone waiting. Returns the number of
+// replicas repaired and verified clean. Caller holds escMu.
+func (s *Scheduler) repairSetLayer(set *replica.Set, layer int, openOnly bool) int {
+	candidates := set.OpenFor(layer)
 	if len(candidates) == 0 && !openOnly {
-		if r, ok := s.set.SickestFor(layer); ok {
+		if r, ok := set.SickestFor(layer); ok {
 			candidates = []int{r}
 		}
 	}
 	repaired := 0
 	for _, r := range candidates {
-		eng := s.set.Engine(r)
-		if err := s.set.Detach(r); err != nil {
+		eng := set.Engine(r)
+		if err := set.Detach(r); err != nil {
 			continue // last attached replica: someone must keep serving
 		}
 		ok := false
@@ -279,7 +360,7 @@ func (s *Scheduler) repairLayer(layer int, openOnly bool) int {
 		// Rejoin either way: a copy that failed verification re-earns (or
 		// re-loses) trust from fresh evidence, and its breaker steers
 		// traffic away again if the damage persists.
-		s.set.Attach(r)
+		set.Attach(r)
 		if ok {
 			s.rec.failovers.Add(1)
 			repaired++

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/accel"
+)
+
+// Loader builds the engine for a named workload on demand: train or fetch
+// the network, map it onto the simulated accelerator, and describe its
+// input contract. The serve layer stays ignorant of where workloads come
+// from — the binary injects this (mnnserve wires the Table II training
+// pipeline in), so loading a model never drags dataset or training code
+// into the serving path.
+type Loader func(name string) (*accel.Engine, Model, error)
+
+// modelEntry is one served workload: its scheduler pool (with whatever
+// shard/replica topology the template config asks for) and its input
+// contract.
+type modelEntry struct {
+	model   Model
+	sched   *Scheduler
+	inLen   int
+	primary bool
+}
+
+// registry is the workload directory fronting the scheduler pools: the
+// primary (boot-time) model plus anything loaded through /admin/models.
+// Lookups are per request; loads and evicts are rare operator actions.
+type registry struct {
+	mu       sync.Mutex
+	template Config
+	loader   Loader
+	entries  map[string]*modelEntry
+	primary  string
+}
+
+func newRegistry(template Config, loader Loader, name string, primary *modelEntry) *registry {
+	primary.primary = true
+	return &registry{
+		template: template,
+		loader:   loader,
+		entries:  map[string]*modelEntry{name: primary},
+		primary:  name,
+	}
+}
+
+// lookup resolves a model name ("" = the primary model).
+func (r *registry) lookup(name string) (*modelEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" {
+		name = r.primary
+	}
+	ent, ok := r.entries[name]
+	return ent, ok
+}
+
+// load builds and registers a named workload through the injected Loader.
+// The new pool gets the primary's template configuration minus persistence:
+// one state directory belongs to one lifetime trajectory, so only the
+// primary model snapshots.
+func (r *registry) load(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.loader == nil {
+		return fmt.Errorf("serve: no workload loader is configured")
+	}
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("serve: model %q is already loaded", name)
+	}
+	eng, model, err := r.loader(name)
+	if err != nil {
+		return fmt.Errorf("serve: loading model %q: %w", name, err)
+	}
+	inLen := 1
+	for _, d := range model.InShape {
+		inLen *= d
+	}
+	if len(model.InShape) == 0 || inLen <= 0 {
+		return fmt.Errorf("serve: loaded model %q has no input shape", name)
+	}
+	cfg := r.template
+	cfg.Persist = PersistConfig{}
+	sched, err := NewScheduler(eng, cfg)
+	if err != nil {
+		return fmt.Errorf("serve: starting pool for model %q: %w", name, err)
+	}
+	r.entries[name] = &modelEntry{model: model, sched: sched, inLen: inLen}
+	return nil
+}
+
+// evict drains and removes a loaded model. The primary model is refused —
+// it owns the HTTP identity (and the persistence directory); shut the
+// server down instead.
+func (r *registry) evict(ctx context.Context, name string) error {
+	r.mu.Lock()
+	ent, ok := r.entries[name]
+	if ok && ent.primary {
+		r.mu.Unlock()
+		return fmt.Errorf("serve: model %q is the primary workload and cannot be evicted", name)
+	}
+	delete(r.entries, name)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: model %q is not loaded", name)
+	}
+	if _, err := ent.sched.Close(ctx); err != nil {
+		return fmt.Errorf("serve: draining model %q: %w", name, err)
+	}
+	return nil
+}
+
+// closeLoaded drains every non-primary pool (server shutdown).
+func (r *registry) closeLoaded(ctx context.Context) {
+	r.mu.Lock()
+	var loaded []*modelEntry
+	for name, ent := range r.entries {
+		if !ent.primary {
+			loaded = append(loaded, ent)
+			delete(r.entries, name)
+		}
+	}
+	r.mu.Unlock()
+	for _, ent := range loaded {
+		_, _ = ent.sched.Close(ctx)
+	}
+}
+
+// ModelInfo is one workload's row in GET /admin/models.
+type ModelInfo struct {
+	Name    string `json:"name"`
+	Primary bool   `json:"primary,omitempty"`
+	// Shards is the pool's fault-domain count (0 = unsharded).
+	Shards  int    `json:"shards,omitempty"`
+	Workers int    `json:"workers"`
+	Served  uint64 `json:"served"`
+}
+
+// list snapshots every registered workload, primary first then by name.
+func (r *registry) list() []ModelInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ModelInfo, 0, len(r.entries))
+	for name, ent := range r.entries {
+		info := ModelInfo{
+			Name:    name,
+			Primary: ent.primary,
+			Workers: ent.sched.Workers(),
+			Served:  ent.sched.Served(),
+		}
+		if pool := ent.sched.ShardPool(); pool != nil {
+			info.Shards = pool.Size()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Primary != out[j].Primary {
+			return out[i].Primary
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// evictTimeout bounds how long an admin evict waits for the model's pool to
+// drain before giving up (the entry is removed either way).
+const evictTimeout = 10 * time.Second

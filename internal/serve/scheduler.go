@@ -13,6 +13,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/noise"
 	"repro/internal/replica"
+	"repro/internal/shard"
 )
 
 // Admission and lifecycle errors. The HTTP layer maps ErrQueueFull to 429
@@ -102,6 +103,7 @@ type workerState struct {
 	// batch-gather scratch, reused across coalesced batches.
 	bxs      []*nn.Tensor
 	bstreams []uint64
+	bjobs    []*job
 	// timer is the reusable CoalesceWait timer (allocating one per pass
 	// would put the scheduler loop back on the allocator).
 	timer *time.Timer
@@ -127,6 +129,11 @@ type Scheduler struct {
 	// set is the replica set fronting the engine (nil when Replicas.N <= 1;
 	// the single-copy path is then exactly the pre-replica scheduler).
 	set *replica.Set
+
+	// pool is the shard pool fronting the engine (nil when Shards == 0).
+	// With it set, layer MVMs route to per-shard replica sets and the
+	// ladder escalates per fault domain; set stays nil.
+	pool *shard.Pool
 
 	// pat is the background patrol scrubber (nil when disabled).
 	pat *patroller
@@ -164,7 +171,14 @@ func NewScheduler(eng *accel.Engine, cfg Config) (*Scheduler, error) {
 		cfg.Recovery = rec.cfg
 	}
 	s := &Scheduler{cfg: cfg, eng: eng, queue: make(chan *job, cfg.QueueDepth), rec: rec}
-	if cfg.Replicas.N > 1 {
+	switch {
+	case cfg.Shards > 0:
+		pool, err := shard.NewPool(eng, shard.Config{N: cfg.Shards, Replicas: cfg.Replicas})
+		if err != nil {
+			return nil, err
+		}
+		s.pool = pool
+	case cfg.Replicas.N > 1:
 		set, err := replica.NewSet(eng, cfg.Replicas)
 		if err != nil {
 			return nil, err
@@ -207,6 +221,9 @@ func NewScheduler(eng *accel.Engine, cfg Config) (*Scheduler, error) {
 // model — the scenario engine's actuator. With a replica set, all copies
 // share the environment; without one, only the primary exists.
 func (s *Scheduler) ApplyEnv(dev noise.DeviceParams) error {
+	if s.pool != nil {
+		return s.pool.Retune(dev)
+	}
 	if s.set != nil {
 		return s.set.Retune(dev)
 	}
@@ -221,13 +238,21 @@ func (s *Scheduler) Engine() *accel.Engine { return s.eng }
 // serves a single copy.
 func (s *Scheduler) ReplicaSet() *replica.Set { return s.set }
 
+// ShardPool returns the shard pool fronting the engine, nil when the
+// scheduler serves an unsharded topology.
+func (s *Scheduler) ShardPool() *shard.Pool { return s.pool }
+
 // Canceled returns how many admitted requests were dropped because their
 // client disconnected while they sat in the queue.
 func (s *Scheduler) Canceled() uint64 { return s.canceled.Load() }
 
-// newSession builds one worker's evaluation stream: a routed replica
-// session when replication is on, the engine's own session otherwise.
+// newSession builds one worker's evaluation stream: a shard-routed session
+// when the pool is sharded, a routed replica session when replication is
+// on, the engine's own session otherwise.
 func (s *Scheduler) newSession(id uint64) poolSession {
+	if s.pool != nil {
+		return s.pool.NewSession(id)
+	}
 	if s.set != nil {
 		return s.set.NewSession(id)
 	}
@@ -461,10 +486,35 @@ func (s *Scheduler) serveOne(w *workerState, j *job, start time.Time) {
 // breaker trip climbs the same retry → remap → degrade ladder a serial
 // request would.
 func (s *Scheduler) serveBatch(w *workerState, bs batchSession, jobs []*job, start time.Time) {
-	w.bxs, w.bstreams = w.bxs[:0], w.bstreams[:0]
+	if s.cfg.batchHook != nil {
+		s.cfg.batchHook(jobs)
+	}
+	w.bxs, w.bstreams, w.bjobs = w.bxs[:0], w.bstreams[:0], w.bjobs[:0]
 	for _, j := range jobs {
+		// A client can vanish between the dequeue-time filter and here — a
+		// coalesce wait, or batchmates' ladder work on this worker's previous
+		// pass. Dropping the job now keeps the multi-image pass from burning
+		// a lane on an answer nobody reads, and keeps its MVMs out of the
+		// batch telemetry.
+		if j.ctx != nil && j.ctx.Err() != nil {
+			s.canceled.Add(1)
+			j.resp <- jobResult{err: j.ctx.Err()}
+			s.inflight.Add(-1)
+			continue
+		}
+		w.bjobs = append(w.bjobs, j)
 		w.bxs = append(w.bxs, j.input)
 		w.bstreams = append(w.bstreams, j.seed)
+	}
+	jobs = w.bjobs
+	switch len(jobs) {
+	case 0:
+		return
+	case 1:
+		// A lone survivor gets the serial path — same answer, no batch
+		// machinery.
+		s.serveOne(w, jobs[0], start)
+		return
 	}
 	outs, errs := s.forwardBatch(bs, w.bxs, w.bstreams)
 	for i, j := range jobs {
@@ -491,10 +541,8 @@ func (s *Scheduler) serveBatch(w *workerState, bs batchSession, jobs []*job, sta
 			}
 		}
 		if err == nil {
-			if s.set != nil {
-				if sick := s.set.OpenLayers(); len(sick) > 0 {
-					s.maintainReplicas(sick)
-				}
+			if sick := s.openReplicaLayers(); len(sick) > 0 {
+				s.maintainReplicas(sick)
 			}
 			if pred.Stats.SoftMVMs > 0 {
 				pred.Degraded = s.eng.DegradedLayers()
@@ -549,10 +597,8 @@ func (s *Scheduler) serveJob(w *workerState, j *job) (Prediction, error) {
 	// which also keeps the damage below the request-level trip rate — so
 	// degraded redundancy must be polled from the per-replica breakers, not
 	// inferred from this request's stats.
-	if s.set != nil {
-		if sick := s.set.OpenLayers(); len(sick) > 0 {
-			s.maintainReplicas(sick)
-		}
+	if sick := s.openReplicaLayers(); len(sick) > 0 {
+		s.maintainReplicas(sick)
 	}
 	if pred.Stats.SoftMVMs > 0 {
 		pred.Degraded = s.eng.DegradedLayers()

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/persist"
+	"repro/internal/replica"
 	"repro/internal/scrub"
 )
 
@@ -89,14 +90,26 @@ type ScrubStatus struct {
 // slots.
 type patroller struct {
 	sched *Scheduler
-	scs   []*scrub.Scrubber // one per replica; a single entry without a set
+	scs   []*scrub.Scrubber // one per programmed copy; a single entry without replication
+	// sets/reps align with scs: the replica set (and replica index within
+	// it) each scrubber's engine belongs to, so a patrol pass can detach
+	// exactly that copy. nil set = the unreplicated primary. Under sharding
+	// there is one entry per (shard, replica) pair, so the rotation walks
+	// every fault domain's every copy.
+	sets []*replica.Set
+	reps []int
+	// detachable reports that patrolled copies can be taken out of their
+	// serving rotation, so patrol does not need to wait for idle slots.
+	detachable bool
+	// layers is every mapped layer the rotation covers (staleness view).
+	layers []int
 	// baseInterval is the configured cadence; curInterval (nanoseconds) is
 	// the live one, adjustable by the protection controller between ticks.
 	baseInterval time.Duration
 	curInterval  atomic.Int64
 	maxStale     time.Duration
 	manual       bool
-	cursor       int // replica rotation position
+	cursor       int // copy rotation position
 
 	// scMu owns the scrubbers and the rotation cursor: the background loop
 	// (or PatrolNow) holds it across a pass, and the snapshotter holds it
@@ -130,23 +143,48 @@ func newPatroller(sched *Scheduler, cfg ScrubConfig) *patroller {
 		started:      time.Now(),
 	}
 	p.curInterval.Store(int64(cfg.Interval))
-	engines := []*accel.Engine{sched.eng}
-	if sched.set != nil {
-		engines = engines[:0]
-		for r := 0; r < sched.set.Size(); r++ {
-			engines = append(engines, sched.set.Engine(r))
-		}
+	type target struct {
+		eng *accel.Engine
+		set *replica.Set
+		rep int
 	}
-	for _, eng := range engines {
+	var targets []target
+	switch {
+	case sched.pool != nil:
+		// One scrubber per (shard, replica) pair: each covers only its
+		// shard's layer slice, and together the rotation patrols every copy
+		// of every fault domain.
+		for i := 0; i < sched.pool.Size(); i++ {
+			set := sched.pool.Shard(i).Set()
+			for r := 0; r < set.Size(); r++ {
+				targets = append(targets, target{eng: set.Engine(r), set: set, rep: r})
+			}
+		}
+		p.layers = sched.pool.Layers()
+	case sched.set != nil:
+		for r := 0; r < sched.set.Size(); r++ {
+			targets = append(targets, target{eng: sched.set.Engine(r), set: sched.set, rep: r})
+		}
+		p.layers = sched.eng.Layers()
+	default:
+		targets = []target{{eng: sched.eng}}
+		p.layers = sched.eng.Layers()
+	}
+	for _, tg := range targets {
 		iters := cfg.VerifyIters
 		if iters <= 0 {
-			iters = eng.Config().VerifyIters
+			iters = tg.eng.Config().VerifyIters
 		}
 		seed := cfg.Seed
 		if seed == 0 {
-			seed = eng.Config().Seed
+			seed = tg.eng.Config().Seed
 		}
-		p.scs = append(p.scs, scrub.New(eng, scrub.Config{VerifyIters: iters, Seed: seed}))
+		p.scs = append(p.scs, scrub.New(tg.eng, scrub.Config{VerifyIters: iters, Seed: seed}))
+		p.sets = append(p.sets, tg.set)
+		p.reps = append(p.reps, tg.rep)
+		if tg.set != nil && tg.set.Size() > 1 {
+			p.detachable = true
+		}
 	}
 	return p
 }
@@ -175,8 +213,9 @@ func (p *patroller) setInterval(d time.Duration) {
 }
 
 // run is the patrol loop: tick, patrol one layer of one copy. Without a
-// replica set the pool must be idle (patrol steals only idle slots); with
-// one, the patrolled copy is detached so traffic never waits on it.
+// detachable copy the pool must be idle (patrol steals only idle slots);
+// otherwise the patrolled copy is detached from its replica set — pool-wide
+// or per shard — so traffic never waits on it.
 func (p *patroller) run() {
 	defer close(p.done)
 	timer := time.NewTimer(p.interval())
@@ -186,7 +225,7 @@ func (p *patroller) run() {
 		case <-p.stop:
 			return
 		case <-timer.C:
-			if p.sched.set != nil || p.idle() {
+			if p.detachable || p.idle() {
 				p.patrolOnce()
 			}
 			timer.Reset(p.interval())
@@ -207,14 +246,14 @@ func (p *patroller) patrolOnce() {
 	defer p.scMu.Unlock()
 	r := p.cursor % len(p.scs)
 	p.cursor++
-	if set := p.sched.set; set != nil {
-		// Take the copy out of the rotation while its arrays are probed; if
-		// it is the last one attached, skip this tick rather than stall
-		// traffic behind the layer write lock.
-		if err := set.Detach(r); err != nil {
+	if set := p.sets[r]; set != nil && set.Size() > 1 {
+		// Take the copy out of its serving rotation while its arrays are
+		// probed; if it is the last one attached, skip this tick rather
+		// than stall traffic behind the layer write lock.
+		if err := set.Detach(p.reps[r]); err != nil {
 			return
 		}
-		defer set.Attach(r)
+		defer set.Attach(p.reps[r])
 	}
 	rep, err := p.scs[r].Next()
 	if err != nil {
@@ -245,7 +284,7 @@ func (p *patroller) status() ScrubStatus {
 		LayerAge: make(map[int]time.Duration),
 	}
 	now := time.Now()
-	for _, layer := range p.scs[0].Layers() {
+	for _, layer := range p.layers {
 		last, ok := p.lastPass[layer]
 		if !ok {
 			last = p.started

@@ -13,6 +13,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/fault"
 	"repro/internal/nn"
+	"repro/internal/shard"
 )
 
 // maxBodyBytes bounds a predict request body (a MiniAlexNet batch of a few
@@ -28,7 +29,8 @@ type Model struct {
 }
 
 // Server is the HTTP front end: POST /v1/predict, GET /healthz (liveness),
-// GET /readyz (readiness), GET /metrics.
+// GET /readyz (readiness), GET /metrics, and — when AdminConfig.Enabled —
+// the /admin operator surface (shard maintenance and the workload registry).
 type Server struct {
 	sched   *Scheduler
 	metrics *Metrics
@@ -37,6 +39,7 @@ type Server struct {
 	mux     *http.ServeMux
 	ready   atomic.Bool
 	plan    PlanConfig
+	reg     *registry
 }
 
 // NewServer builds the scheduler pool over a mapped engine and wires the
@@ -54,12 +57,17 @@ func NewServer(eng *accel.Engine, model Model, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: model %q has no input shape", model.Name)
 	}
 	s := &Server{sched: sched, metrics: newMetrics(), model: model, inLen: inLen, mux: http.NewServeMux(), plan: cfg.Plan}
+	s.reg = newRegistry(cfg, cfg.Admin.Loader, model.Name, &modelEntry{model: model, sched: sched, inLen: inLen})
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if cfg.Plan.Enabled {
 		s.mux.HandleFunc("/plan", s.handlePlan)
+	}
+	if cfg.Admin.Enabled {
+		s.mux.HandleFunc("/admin/shards", s.handleAdminShards)
+		s.mux.HandleFunc("/admin/models", s.handleAdminModels)
 	}
 	if cfg.Pprof {
 		// The stdlib handlers, on our mux rather than DefaultServeMux, so
@@ -89,6 +97,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // partial but still meaningful when ctx expires mid-drain.
 func (s *Server) Shutdown(ctx context.Context) (DrainSummary, error) {
 	s.ready.Store(false)
+	s.reg.closeLoaded(ctx)
 	return s.sched.Close(ctx)
 }
 
@@ -104,6 +113,9 @@ type predictRequest struct {
 	// Seed pins the noise stream of the first image (entry i uses Seed+i);
 	// 0 or absent lets the server assign fresh streams.
 	Seed uint64 `json:"seed,omitempty"`
+	// Model routes the request to a registry workload ("" = the primary
+	// model this server booted with).
+	Model string `json:"model,omitempty"`
 }
 
 // eccJSON is the per-request slice of accel.Stats.
@@ -153,6 +165,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, start, http.StatusBadRequest, outcomeBadRequest, fmt.Sprintf("bad JSON: %v", err))
 		return
 	}
+	ent, ok := s.reg.lookup(req.Model)
+	if !ok {
+		s.fail(w, start, http.StatusNotFound, outcomeBadRequest, fmt.Sprintf("model %q is not loaded", req.Model))
+		return
+	}
 	images := req.Images
 	if len(req.Image) > 0 {
 		images = append([][]float64{req.Image}, images...)
@@ -163,15 +180,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	inputs := make([]*nn.Tensor, len(images))
 	for i, im := range images {
-		if len(im) != s.inLen {
+		if len(im) != ent.inLen {
 			s.fail(w, start, http.StatusBadRequest, outcomeBadRequest,
-				fmt.Sprintf("image %d has %d values, want %d for shape %v", i, len(im), s.inLen, s.model.InShape))
+				fmt.Sprintf("image %d has %d values, want %d for shape %v", i, len(im), ent.inLen, ent.model.InShape))
 			return
 		}
-		inputs[i] = nn.FromSlice(im, s.model.InShape...)
+		inputs[i] = nn.FromSlice(im, ent.model.InShape...)
 	}
 
-	preds, err := s.sched.PredictBatch(r.Context(), inputs, req.Seed, req.TopK)
+	preds, err := ent.sched.PredictBatch(r.Context(), inputs, req.Seed, req.TopK)
 	if err != nil {
 		status, outcome := classifyErr(err)
 		s.fail(w, start, status, outcome, err.Error())
@@ -179,8 +196,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := predictResponse{
-		Workload: s.model.Name,
-		Scheme:   s.sched.Engine().Config().Scheme.Name,
+		Workload: ent.model.Name,
+		Scheme:   ent.sched.Engine().Config().Scheme.Name,
 		Results:  make([]resultJSON, len(preds)),
 	}
 	var total accel.Stats
@@ -331,6 +348,11 @@ type readyzResponse struct {
 	// informational: the instance still serves (the reactive ladder is
 	// armed), but operators see the proactive loop has fallen behind.
 	ScrubStale bool `json:"scrub_stale,omitempty"`
+	// Shards reports per-fault-domain state when the engine is sharded
+	// (omitted otherwise). A draining or degraded shard is informational —
+	// its layers serve from siblings or software — but operators see which
+	// domain is out and why traffic survives.
+	Shards []shard.ShardStatus `json:"shards,omitempty"`
 	// Replicas reports per-replica attachment and health when the layer
 	// slots are replicated (omitted otherwise).
 	Replicas []replicaJSON `json:"replicas,omitempty"`
@@ -387,6 +409,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp.ScrubOldestAgeSec = st.OldestAge.Seconds()
 		resp.ScrubStale = st.Stale
 	}
+	if pool := s.sched.ShardPool(); pool != nil {
+		resp.Shards = pool.Status()
+	}
 	if set := s.sched.ReplicaSet(); set != nil {
 		for _, rs := range set.Status().Replicas {
 			resp.Replicas = append(resp.Replicas, replicaJSON{
@@ -442,6 +467,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if verify.Cells > 0 {
 		g.Verify = &verify
+	}
+	if pool := s.sched.ShardPool(); pool != nil {
+		g.Shards = pool.Status()
 	}
 	if set := s.sched.ReplicaSet(); set != nil {
 		st := set.Status()

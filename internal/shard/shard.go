@@ -1,0 +1,213 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/replica"
+	"repro/internal/scrub"
+)
+
+// ShardState is a shard's serving state.
+type ShardState int32
+
+const (
+	// Serving: the shard answers layer MVMs from its crossbar replicas.
+	Serving ShardState = iota
+	// Draining: the shard's layers are routed to the software fixed-point
+	// path while the crossbars are repaired — traffic keeps flowing with
+	// deterministic answers, siblings untouched.
+	Draining
+	// Degraded: the shard's layers are pinned to the software path
+	// (terminal ladder rung for this fault domain) until an operator or
+	// repair cycle rejoins it.
+	Degraded
+)
+
+// String names the state for logs, metrics, and /readyz rows.
+func (s ShardState) String() string {
+	switch s {
+	case Serving:
+		return "serving"
+	case Draining:
+		return "draining"
+	case Degraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Shard is one fault domain: a contiguous slice of the network's layers
+// with its own replica set, routing breakers, and maintenance lifecycle.
+// Layer evaluation goes through the set (concurrency-safe); maintenance
+// (Drain, Repair, Rejoin) is serialized per shard by mu, so an admin drain
+// and the scheduler's shard ladder cannot interleave half-finished repairs.
+type Shard struct {
+	id     int
+	layers []int
+	set    *replica.Set
+
+	// mu serializes maintenance transitions; state is the read side for
+	// hot-path-free status checks.
+	mu    sync.Mutex
+	state atomic.Int32
+
+	drains  atomic.Uint64 // drain transitions (admin + ladder)
+	repairs atomic.Uint64 // completed repair cycles
+	remaps  atomic.Uint64 // layer remaps performed by repair cycles
+	rejoins atomic.Uint64 // rejoin transitions back to serving
+}
+
+func newShard(id int, layers []int, set *replica.Set) *Shard {
+	return &Shard{id: id, layers: append([]int(nil), layers...), set: set}
+}
+
+// ID returns the shard's position in the pool.
+func (sh *Shard) ID() int { return sh.id }
+
+// Layers returns the shard's owned layer indices in ascending order.
+func (sh *Shard) Layers() []int { return append([]int(nil), sh.layers...) }
+
+// Owns reports whether the shard owns a layer.
+func (sh *Shard) Owns(layer int) bool {
+	for _, li := range sh.layers {
+		if li == layer {
+			return true
+		}
+	}
+	return false
+}
+
+// Set returns the shard's replica set.
+func (sh *Shard) Set() *replica.Set { return sh.set }
+
+// State returns the shard's serving state.
+func (sh *Shard) State() ShardState { return ShardState(sh.state.Load()) }
+
+// RepairCount returns how many repair cycles the shard has completed — the
+// budget the scheduler's ladder checks before another drain-and-remap.
+func (sh *Shard) RepairCount() uint64 { return sh.repairs.Load() }
+
+// Drain routes every layer of the shard to the software fixed-point path —
+// on every replica at once — and marks the shard Draining. Requests keep
+// being answered (deterministically, from the digital fallback) the whole
+// time; sibling shards are untouched. Idempotent while already draining.
+func (sh *Shard) Drain() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.drainLocked(Draining)
+}
+
+// Degrade is Drain with the terminal state: the shard's layers are pinned
+// to software until something rejoins them. The ladder uses it when repair
+// verification keeps failing.
+func (sh *Shard) Degrade() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.drainLocked(Degraded)
+}
+
+func (sh *Shard) drainLocked(to ShardState) error {
+	for _, li := range sh.layers {
+		if err := sh.set.SetFallback(li, true); err != nil {
+			return fmt.Errorf("shard %d: draining layer %d: %w", sh.id, li, err)
+		}
+	}
+	if ShardState(sh.state.Swap(int32(to))) != to {
+		sh.drains.Add(1)
+	}
+	return nil
+}
+
+// Repair re-programs every layer of the shard onto spare arrays, replica by
+// replica, and patrol-verifies each remap (scrub pass with verifyIters
+// programming iterations under the given seed). Call it on a drained shard:
+// traffic is answering from the software path, so the reprogram stalls
+// nobody. It returns the number of layers whose verify still reports
+// uncorrectable rows (0 = the shard is clean and safe to Rejoin).
+func (sh *Shard) Repair(verifyIters int, seed uint64) (dirty int, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for r := 0; r < sh.set.Size(); r++ {
+		eng := sh.set.Engine(r)
+		sc := scrub.New(eng, scrub.Config{VerifyIters: verifyIters, Seed: seed})
+		for _, li := range sh.layers {
+			if err := eng.Remap(li); err != nil {
+				return dirty, fmt.Errorf("shard %d: remapping layer %d replica %d: %w", sh.id, li, r, err)
+			}
+			sh.remaps.Add(1)
+			rep, err := sc.PatrolLayer(li)
+			if err != nil {
+				return dirty, fmt.Errorf("shard %d: verifying layer %d replica %d: %w", sh.id, li, r, err)
+			}
+			if !rep.Clean() {
+				dirty++
+			}
+		}
+	}
+	sh.repairs.Add(1)
+	return dirty, nil
+}
+
+// Rejoin returns a drained (or degraded) shard to crossbar serving: every
+// layer's software-fallback flag is cleared — Repair's remaps already clear
+// it on the remapped copies, this also covers layers degraded without a
+// remap — and every replica's routing monitor is reset, so the shard
+// re-earns trust from fresh evidence. Idempotent while already serving.
+func (sh *Shard) Rejoin() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, li := range sh.layers {
+		if err := sh.set.SetFallback(li, false); err != nil {
+			return fmt.Errorf("shard %d: rejoining layer %d: %w", sh.id, li, err)
+		}
+	}
+	for r := 0; r < sh.set.Size(); r++ {
+		sh.set.Monitor(r).ResetAll()
+	}
+	if ShardState(sh.state.Swap(int32(Serving))) != Serving {
+		sh.rejoins.Add(1)
+	}
+	return nil
+}
+
+// ShardStatus is one shard's row in the operator view (/readyz, metrics,
+// /admin/shards).
+type ShardStatus struct {
+	ID     int    `json:"id"`
+	State  string `json:"state"`
+	Layers []int  `json:"layers"`
+	// DegradedLayers are the shard's layers currently on the software path
+	// (all of them while drained; possibly a subset after partial repair).
+	DegradedLayers []int `json:"degraded_layers,omitempty"`
+	// Drains/Repairs/Remaps/Rejoins count the shard's maintenance
+	// lifecycle transitions.
+	Drains  uint64 `json:"drains"`
+	Repairs uint64 `json:"repairs"`
+	Remaps  uint64 `json:"remaps"`
+	Rejoins uint64 `json:"rejoins"`
+	// Replicas is the shard's replica-set view (attachment, open breakers,
+	// routing counters).
+	Replicas replica.SetStatus `json:"replicas"`
+}
+
+// Status snapshots the shard.
+func (sh *Shard) Status() ShardStatus {
+	st := ShardStatus{
+		ID:       sh.id,
+		State:    sh.State().String(),
+		Layers:   sh.Layers(),
+		Drains:   sh.drains.Load(),
+		Repairs:  sh.repairs.Load(),
+		Remaps:   sh.remaps.Load(),
+		Rejoins:  sh.rejoins.Load(),
+		Replicas: sh.set.Status(),
+	}
+	for _, li := range sh.layers {
+		if sh.set.Engine(0).Fallback(li) {
+			st.DegradedLayers = append(st.DegradedLayers, li)
+		}
+	}
+	return st
+}
